@@ -1,0 +1,72 @@
+"""Ablation: number of t1 collocation points (harmonics) in the WaMPDE.
+
+Paper §4: "the Fourier series (19) can be truncated to N0 = 2M+1 terms".
+This bench sweeps N0 on the vacuum VCO and reports how the omega(t2)
+trace converges (spectral accuracy in the t1 direction) and how runtime
+scales — the knob a user actually turns.
+"""
+
+import numpy as np
+
+from repro.circuits.library import MemsVcoDae, T_NOMINAL, VcoParams
+from repro.utils import WallTimer, format_table, write_csv
+from repro.wampde import oscillator_initial_condition, solve_wampde_envelope
+
+
+def run_sweep():
+    params = VcoParams.vacuum()
+    unforced = MemsVcoDae(params, constant_control=True)
+    forced = MemsVcoDae(params)
+    horizon, steps = 40e-6, 300
+    sweep = {}
+    for num_t1 in (9, 13, 17, 25, 33):
+        samples, f0 = oscillator_initial_condition(
+            unforced, num_t1=num_t1, period_guess=T_NOMINAL
+        )
+        with WallTimer() as timer:
+            env = solve_wampde_envelope(
+                forced, samples, f0, 0.0, horizon, steps
+            )
+        sweep[num_t1] = {
+            "time": timer.elapsed,
+            "omega": env.omega,
+            "t2": env.t2,
+            "newton": env.stats["newton_iterations"],
+        }
+    return sweep
+
+
+def test_ablation_harmonics(benchmark, output_dir):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    finest = sweep[33]["omega"]
+    rows = []
+    deviations = {}
+    for num_t1, record in sorted(sweep.items()):
+        deviation = float(
+            np.sqrt(np.mean((record["omega"] - finest) ** 2)) / finest.mean()
+        )
+        deviations[num_t1] = deviation
+        rows.append([
+            num_t1, (num_t1 - 1) // 2, deviation, record["time"],
+            record["newton"],
+        ])
+
+    # Spectral convergence: deviation falls fast with N0.
+    assert deviations[17] < 5e-3
+    assert deviations[25] < deviations[13]
+    assert deviations[25] < 5e-4
+
+    print()
+    print(format_table(
+        ["N0 (t1 points)", "harmonics M", "rel. RMS omega deviation",
+         "wall time [s]", "Newton iters"],
+        rows,
+        title="Ablation — t1 resolution of the WaMPDE envelope "
+              "(vacuum VCO, 40 us)",
+    ))
+    write_csv(
+        output_dir / "ablation_harmonics.csv",
+        ["N0", "rel_rms_omega_deviation", "wall_time_s"],
+        [[r[0] for r in rows], [r[2] for r in rows], [r[3] for r in rows]],
+    )

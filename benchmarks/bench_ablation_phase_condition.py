@@ -1,0 +1,71 @@
+"""Ablation: choice of phase condition.
+
+Paper §3: "the phase condition can, for instance, require that the phase
+of the t1-variation ... vary only slowly", eq. (20) fixes a Fourier
+coefficient's imaginary part, and §5 uses "a time-domain equivalent".
+All valid choices must yield the *same physics*: local frequencies that
+agree to within the order-f2 ambiguity the paper discusses.
+"""
+
+import numpy as np
+
+from repro.circuits.library import MemsVcoDae, T_NOMINAL, VcoParams
+from repro.utils import WallTimer, format_table, write_csv
+from repro.wampde import oscillator_initial_condition, solve_wampde_envelope
+from repro.wampde.envelope import WampdeEnvelopeOptions
+
+
+def run_conditions():
+    params = VcoParams.vacuum()
+    unforced = MemsVcoDae(params, constant_control=True)
+    forced = MemsVcoDae(params)
+    horizon, steps = 40e-6, 300
+    results = {}
+    for condition in ("derivative", "fourier", "value"):
+        samples, f0 = oscillator_initial_condition(
+            unforced, num_t1=25, period_guess=T_NOMINAL,
+            phase_condition=condition,
+        )
+        with WallTimer() as timer:
+            env = solve_wampde_envelope(
+                forced, samples, f0, 0.0, horizon, steps,
+                WampdeEnvelopeOptions(phase_condition=condition),
+            )
+        results[condition] = {
+            "time": timer.elapsed,
+            "omega": env.omega,
+            "newton": env.stats["newton_iterations"],
+        }
+    return results
+
+
+def test_ablation_phase_condition(benchmark, output_dir):
+    results = benchmark.pedantic(run_conditions, rounds=1, iterations=1)
+
+    reference = results["derivative"]["omega"]
+    forcing_rate = 1.0 / VcoParams.vacuum().control_period  # = f2 = 25 kHz
+    rows = []
+    for name, record in results.items():
+        deviation = float(np.max(np.abs(record["omega"] - reference)))
+        rows.append([
+            name, record["omega"].min() / 1e6, record["omega"].max() / 1e6,
+            deviation / 1e3, record["newton"], record["time"],
+        ])
+        # All conditions agree to within the order-f2 ambiguity (paper §3).
+        assert deviation < 2.0 * forcing_rate
+
+    print()
+    print(format_table(
+        ["phase condition", "min f [MHz]", "max f [MHz]",
+         "max |delta f| vs derivative [kHz]", "Newton iters",
+         "wall time [s]"],
+        rows,
+        title="Ablation — phase-condition choice (f2 = 25 kHz ambiguity "
+              "bound, paper §3)",
+    ))
+    write_csv(
+        output_dir / "ablation_phase_condition.csv",
+        ["condition_index", "min_f_hz", "max_f_hz"],
+        [np.arange(len(rows)),
+         [r[1] * 1e6 for r in rows], [r[2] * 1e6 for r in rows]],
+    )

@@ -1,0 +1,41 @@
+"""Figure 3: the sawtooth evaluation path t_i = t mod T_i.
+
+The paper's worked example: ``y(1.952 s) = yhat(0.012 s, 0.952 s)``.
+The bench generates the path and verifies that evaluating the bivariate
+form along it reproduces the univariate signal everywhere.
+"""
+
+import numpy as np
+
+from repro.signals import two_tone_bivariate, two_tone_signal
+from repro.utils import format_table, write_csv
+from repro.wampde import sawtooth_path
+
+
+def generate_fig03():
+    t = np.linspace(0.0, 2.0, 4001)
+    path = sawtooth_path(t, (0.02, 1.0))
+    along_path = two_tone_bivariate(path[:, 0], path[:, 1])
+    direct = two_tone_signal(t)
+    return t, path, float(np.max(np.abs(along_path - direct)))
+
+
+def test_fig03_sawtooth_path(benchmark, output_dir):
+    t, path, max_error = benchmark(generate_fig03)
+
+    # Paper's worked example: t = 1.952 -> (0.012, 0.952).
+    example = sawtooth_path([1.952], (0.02, 1.0))[0]
+    np.testing.assert_allclose(example, [0.012, 0.952], atol=1e-12)
+    assert max_error < 1e-12
+
+    rows = [
+        ["path points generated", t.size],
+        ["t1 at t=1.952 s (paper: 0.012)", example[0]],
+        ["t2 at t=1.952 s (paper: 0.952)", example[1]],
+        ["max |yhat(path) - y(t)|", max_error],
+    ]
+    print()
+    print(format_table(["quantity", "value"], rows,
+                       title="Fig 3 — sawtooth path in the t1-t2 plane"))
+    write_csv(output_dir / "fig03_sawtooth_path.csv",
+              ["t", "t1", "t2"], [t, path[:, 0], path[:, 1]])

@@ -1,0 +1,41 @@
+"""Figure 4: the prototypical FM signal (paper eq. 3).
+
+f0 = 1 MHz, f2 = 20 kHz, k = 8 pi; instantaneous frequency (eq. 4) swings
+between f0 - k f2 ~ 0.5 MHz and f0 + k f2 ~ 1.5 MHz.
+"""
+
+import numpy as np
+
+from repro.analysis import frequency_from_crossings
+from repro.signals import fm_instantaneous_frequency, fm_signal
+from repro.signals.fm import F0_PAPER, F2_PAPER, K_PAPER
+from repro.utils import ascii_plot, format_table, write_csv
+
+
+def generate_fig04():
+    t = np.linspace(0.0, 7e-5, 7001)  # the paper's plot window
+    x = fm_signal(t)
+    mid, measured = frequency_from_crossings(t, x)
+    return t, x, mid, measured
+
+
+def test_fig04_fm_signal(benchmark, output_dir):
+    t, x, mid, measured = benchmark(generate_fig04)
+
+    expected = fm_instantaneous_frequency(mid)
+    assert np.max(np.abs(measured - expected)) < 0.1e6
+
+    deviation = K_PAPER * F2_PAPER
+    rows = [
+        ["carrier f0 [MHz] (paper: 1)", F0_PAPER / 1e6],
+        ["modulation f2 [kHz] (paper: 20)", F2_PAPER / 1e3],
+        ["modulation index k (paper: 8*pi)", K_PAPER],
+        ["peak deviation k*f2 [MHz]", deviation / 1e6],
+        ["measured min frequency [MHz]", measured.min() / 1e6],
+        ["measured max frequency [MHz]", measured.max() / 1e6],
+    ]
+    print()
+    print(format_table(["quantity", "value"], rows,
+                       title="Fig 4 — prototypical FM signal x(t)"))
+    print(ascii_plot(t, x, title="x(t) over 70 us: note varying density"))
+    write_csv(output_dir / "fig04_fm_signal.csv", ["t", "x"], [t, x])

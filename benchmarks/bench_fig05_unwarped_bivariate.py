@@ -1,0 +1,51 @@
+"""Figure 5: the *unwarped* bivariate FM form xhat1 (paper eq. 5).
+
+Paper claim: xhat1 undergoes about ``m = k/(2 pi)`` oscillations along t2
+(4 here, and "in practice k is often of the order of f0/f2*2pi" — i.e.
+~50 for these parameters), so it cannot be sampled compactly; a 2-D grid
+would need as many points as brute-force transient sampling.
+"""
+
+import numpy as np
+
+from repro.signals import fm_unwarped_bivariate, grid_undulation_count
+from repro.signals.fm import F0_PAPER, F2_PAPER, K_PAPER
+from repro.utils import format_table, write_csv
+
+
+def generate_fig05():
+    # Sample the t2 axis finely enough to resolve the k-driven undulations.
+    t1 = np.linspace(0.0, 1.0 / F0_PAPER, 31, endpoint=False)
+    t2 = np.linspace(0.0, 1.0 / F2_PAPER, 801, endpoint=False)
+    surface = fm_unwarped_bivariate(t1[None, :], t2[:, None])
+    t2_undulations = grid_undulation_count(surface, axis=0)
+    t1_undulations = grid_undulation_count(surface.T, axis=0)
+    return surface, t1_undulations, t2_undulations
+
+
+def test_fig05_unwarped_bivariate(benchmark, output_dir):
+    surface, t1_und, t2_und = benchmark(generate_fig05)
+
+    oscillations_t2 = K_PAPER / (2 * np.pi)  # = 4 for k = 8 pi
+    # Each oscillation contributes 2 extrema.
+    assert t2_und >= 2 * oscillations_t2 - 1
+
+    # Samples needed along t2 at, say, 15 per undulation period:
+    t2_samples_needed = int(15 * oscillations_t2)
+    practical_k = 2 * np.pi * F0_PAPER / F2_PAPER  # "often of order f0/f2"
+    rows = [
+        ["k/(2 pi) oscillations along t2 (paper: ~4)", oscillations_t2],
+        ["extrema counted along t2", t2_und],
+        ["extrema counted along t1", t1_und],
+        ["t2 samples needed (15/undulation)", t2_samples_needed],
+        ["practical k (order f0/f2 * 2pi)", practical_k],
+        ["t2 samples at practical k", int(15 * practical_k / (2 * np.pi))],
+    ]
+    print()
+    print(format_table(["quantity", "value"], rows,
+                       title="Fig 5 — unwarped bivariate xhat1: not compact"))
+    write_csv(
+        output_dir / "fig05_unwarped_slice.csv",
+        ["t2", "xhat1_at_t1_0"],
+        [np.linspace(0.0, 1.0 / F2_PAPER, 801, endpoint=False), surface[:, 0]],
+    )

@@ -1,0 +1,74 @@
+"""Figure 6: the *warped* bivariate FM form xhat2 + phi (paper eqs. 6-8).
+
+Paper claims verified here:
+* xhat2 and phi are compactly representable (xhat2 is a pure cosine; phi
+  is a line plus one sinusoid);
+* ``d phi/dt`` equals the instantaneous frequency of eq. (4);
+* the alternative (xhat3, phi3) from the derivative phase condition
+  differs in local frequency by exactly f2 — the order-f2 ambiguity.
+"""
+
+import numpy as np
+
+from repro.signals import (
+    fm_alternative_phi,
+    fm_instantaneous_frequency,
+    fm_signal,
+    fm_warped_bivariate,
+    fm_warping_phi,
+    grid_undulation_count,
+)
+from repro.signals.fm import F2_PAPER
+from repro.utils import format_table, write_csv
+
+
+def generate_fig06():
+    t1 = np.linspace(0.0, 1.0, 31, endpoint=False)
+    t2 = np.linspace(0.0, 1.0 / F2_PAPER, 801, endpoint=False)
+    surface = fm_warped_bivariate(t1[None, :], t2[:, None])
+    t2_und = grid_undulation_count(surface, axis=0)
+
+    # Identity x(t) = xhat2(phi(t), t) over several modulation periods.
+    t = np.linspace(0.0, 3.0 / F2_PAPER, 30001)
+    identity_error = float(np.max(np.abs(
+        fm_signal(t) - fm_warped_bivariate(np.mod(fm_warping_phi(t), 1.0))
+    )))
+
+    # Local frequency = d phi / dt (numerical derivative).
+    step = 1e-12
+    tm = np.linspace(0.0, 1.0 / F2_PAPER, 400)
+    dphi = (fm_warping_phi(tm + step) - fm_warping_phi(tm - step)) / (2 * step)
+    freq_error = float(np.max(np.abs(dphi - fm_instantaneous_frequency(tm))))
+
+    # Ambiguity: d(phi - phi3)/dt == f2.
+    dphi3 = (fm_alternative_phi(tm + step) - fm_alternative_phi(tm - step)) / (
+        2 * step
+    )
+    ambiguity = float(np.mean(dphi - dphi3))
+    return surface, t2_und, identity_error, freq_error, ambiguity
+
+
+def test_fig06_warped_bivariate(benchmark, output_dir):
+    surface, t2_und, identity_error, freq_error, ambiguity = benchmark(
+        generate_fig06
+    )
+
+    assert t2_und == 0  # xhat2 is constant along t2: perfectly compact
+    assert identity_error < 1e-9
+    assert freq_error < 1e3  # numerical differentiation noise only
+    np.testing.assert_allclose(ambiguity, F2_PAPER, rtol=1e-3)
+
+    rows = [
+        ["undulations of xhat2 along t2 (Fig 5: >= 8)", t2_und],
+        ["max |x(t) - xhat2(phi(t), t)| (eq. 8)", identity_error],
+        ["max |dphi/dt - f_inst| [Hz] (eq. 4 vs 7)", freq_error],
+        ["mean d(phi - phi3)/dt [Hz] (ambiguity; = f2)", ambiguity],
+        ["f2 [Hz]", F2_PAPER],
+    ]
+    print()
+    print(format_table(["quantity", "value"], rows,
+                       title="Fig 6 — warped bivariate xhat2: compact + "
+                             "consistent local frequency"))
+    t2_axis = np.linspace(0.0, 1.0 / F2_PAPER, 801, endpoint=False)
+    write_csv(output_dir / "fig06_warped_slice.csv",
+              ["t2", "xhat2_at_t1_0"], [t2_axis, surface[:, 0]])

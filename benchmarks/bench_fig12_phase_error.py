@@ -1,0 +1,77 @@
+"""Figure 12: phase error of transient simulation versus the WaMPDE.
+
+Paper claims, all on the modified (air) VCO:
+
+* "even at an early stage of the simulation, direct transient simulation
+  with 50 points per cycle builds up significant phase error";
+* "this is reduced considerably when 100 points are taken per cycle, but
+  further along the error accumulates again, reaching many multiples of
+  2 pi by the end of the simulation at 3 ms";
+* "the WaMPDE achieves much tighter control on phase because the phase
+  condition explicitly prevents build-up of error";
+* "to achieve accuracy comparable to the WaMPDE, transient simulation
+  required 1000 points per nominal cycle".
+
+The shared ``fig12_data`` fixture runs all four engines once; this bench
+re-times the WaMPDE envelope as its benchmark payload and prints the
+phase-error rows.
+"""
+
+import numpy as np
+
+from repro.analysis import phase_error_vs_reference
+from repro.circuits.library import MemsVcoDae
+from repro.utils import format_table, write_csv
+from repro.wampde import solve_wampde_envelope
+
+
+def test_fig12_phase_error(benchmark, fig12_data, air_ic, output_dir):
+    params, samples, f0 = air_ic
+    horizon = fig12_data["horizon"]
+    forced = MemsVcoDae(params)
+
+    # Benchmark payload: the WaMPDE envelope itself.
+    from repro.wampde import WampdeEnvelopeOptions
+
+    benchmark.pedantic(
+        solve_wampde_envelope,
+        args=(forced, samples, f0, 0.0, horizon,
+              fig12_data["wampde"]["steps"]),
+        kwargs={"options": WampdeEnvelopeOptions(integrator="trap")},
+        rounds=1, iterations=1,
+    )
+
+    ode50 = fig12_data["transient"][50]["phase_error_cycles"]
+    ode100 = fig12_data["transient"][100]["phase_error_cycles"]
+    wampde = fig12_data["wampde"]["phase_error_cycles"]
+
+    # The paper's ordering: ODE-50 >> ODE-100 >> WaMPDE.
+    assert ode50 > 3.0 * ode100 > 3.0 * wampde
+    # ~2nd-order trap: ODE needs ~1000 pts/cycle to reach WaMPDE accuracy.
+    projected_1000 = ode100 * (100.0 / 1000.0) ** 2
+    assert projected_1000 < 3.0 * wampde + 1e-3
+
+    rows = [
+        ["ODE: 50 pts/cycle", fig12_data["transient"][50]["steps"], ode50],
+        ["ODE: 100 pts/cycle", fig12_data["transient"][100]["steps"], ode100],
+        ["ODE: 1000 pts/cycle (reference)", fig12_data["reference_steps"],
+         projected_1000],
+        ["WaMPDE", fig12_data["wampde"]["steps"], wampde],
+    ]
+    print()
+    print(format_table(
+        ["method", "time steps", "peak phase error [cycles]"], rows,
+        title=f"Fig 12 — accumulated phase error over {horizon*1e3:.2f} ms "
+              "(modified VCO)",
+    ))
+
+    # Per-time phase-error series (the 'drift curves' behind Fig 12).
+    t_ref, v_ref = fig12_data["reference"]
+    env = fig12_data["wampde"]["envelope"]
+    eval_times = np.linspace(0.0, horizon, 20000)
+    rec = env.reconstruct("v(tank)", eval_times)
+    times, err_wampde = phase_error_vs_reference(
+        eval_times, rec, t_ref, v_ref, num_eval=60
+    )
+    write_csv(output_dir / "fig12_wampde_phase_error.csv",
+              ["t_s", "phase_error_cycles"], [times, err_wampde])

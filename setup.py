@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This environment has no network and no ``wheel`` package, so PEP 660
+editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` falls back to this file and works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,121 @@
+"""repro — Multi-Time Simulation of Voltage-Controlled Oscillators.
+
+A from-scratch reproduction of Narayan & Roychowdhury, *Multi-Time
+Simulation of Voltage-Controlled Oscillators* (DAC 1999): the WaMPDE
+(Warped Multirate Partial Differential Equation) formulation for forced
+autonomous systems, together with every substrate it needs — an MNA
+circuit simulator, transient/shooting/harmonic-balance engines, the
+unwarped MPDE, and the paper's MEMS-varactor VCO test circuits.
+
+Quickstart
+----------
+>>> from repro import (MemsVcoDae, VcoParams, T_NOMINAL,
+...                    oscillator_initial_condition, solve_wampde_envelope)
+>>> params = VcoParams.vacuum()
+>>> unforced = MemsVcoDae(params, constant_control=True)
+>>> samples, f0 = oscillator_initial_condition(
+...     unforced, num_t1=25, period_guess=T_NOMINAL)
+>>> forced = MemsVcoDae(params)
+>>> env = solve_wampde_envelope(forced, samples, f0, 0.0, 60e-6, 600)
+>>> env.omega.max() / env.omega.min() > 2.5   # paper Fig 7: ~3x FM swing
+True
+"""
+
+from repro._version import __version__
+
+# Core contribution: the WaMPDE.
+from repro.wampde import (
+    BivariateWaveform,
+    WarpingFunction,
+    sawtooth_path,
+    WampdeEnvelopeOptions,
+    WampdeEnvelopeResult,
+    solve_wampde_envelope,
+    solve_wampde_envelope_adaptive,
+    WampdeQuasiperiodicResult,
+    solve_wampde_quasiperiodic,
+    envelope_to_quasiperiodic_guess,
+    oscillator_initial_condition,
+    reconstruct_univariate,
+)
+from repro.phase_conditions import (
+    PhaseCondition,
+    ValueAnchor,
+    DerivativeAnchor,
+    FourierImagAnchor,
+)
+
+# Prior-art substrate: the unwarped MPDE.
+from repro.mpde import (
+    BivariateForcing,
+    additive_two_tone_forcing,
+    solve_mpde_quasiperiodic,
+    solve_mpde_envelope,
+)
+
+# Circuit substrate.
+from repro.circuits import Circuit, CircuitDAE
+from repro.circuits.library import (
+    VcoParams,
+    MemsVcoDae,
+    mems_vco_circuit,
+    lc_oscillator_circuit,
+    forced_lc_oscillator_circuit,
+    rc_diode_mixer_circuit,
+    F_NOMINAL,
+    T_NOMINAL,
+)
+
+# Engines.
+from repro.transient import TransientOptions, simulate_transient
+from repro.steadystate import (
+    dc_operating_point,
+    shooting_periodic,
+    shooting_autonomous,
+    harmonic_balance_forced,
+    harmonic_balance_autonomous,
+)
+from repro.dae import SemiExplicitDAE, FunctionDAE
+
+__all__ = [
+    "__version__",
+    "BivariateWaveform",
+    "WarpingFunction",
+    "sawtooth_path",
+    "WampdeEnvelopeOptions",
+    "WampdeEnvelopeResult",
+    "solve_wampde_envelope",
+    "solve_wampde_envelope_adaptive",
+    "WampdeQuasiperiodicResult",
+    "solve_wampde_quasiperiodic",
+    "envelope_to_quasiperiodic_guess",
+    "oscillator_initial_condition",
+    "reconstruct_univariate",
+    "PhaseCondition",
+    "ValueAnchor",
+    "DerivativeAnchor",
+    "FourierImagAnchor",
+    "BivariateForcing",
+    "additive_two_tone_forcing",
+    "solve_mpde_quasiperiodic",
+    "solve_mpde_envelope",
+    "Circuit",
+    "CircuitDAE",
+    "VcoParams",
+    "MemsVcoDae",
+    "mems_vco_circuit",
+    "lc_oscillator_circuit",
+    "forced_lc_oscillator_circuit",
+    "rc_diode_mixer_circuit",
+    "F_NOMINAL",
+    "T_NOMINAL",
+    "TransientOptions",
+    "simulate_transient",
+    "dc_operating_point",
+    "shooting_periodic",
+    "shooting_autonomous",
+    "harmonic_balance_forced",
+    "harmonic_balance_autonomous",
+    "SemiExplicitDAE",
+    "FunctionDAE",
+]

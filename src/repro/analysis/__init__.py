@@ -1,0 +1,31 @@
+"""Waveform analysis: frequency estimation, phase error, spectra.
+
+These tools turn raw simulation traces into the quantities the paper's
+figures report: local frequency versus time (Figs 7, 10) and accumulated
+phase error of transient simulation versus the WaMPDE (Fig 12).
+"""
+
+from repro.analysis.freq_estimation import (
+    frequency_from_crossings,
+    instantaneous_frequency_hilbert,
+)
+from repro.analysis.phase_error import (
+    phase_from_crossings,
+    phase_error_vs_reference,
+    cycles_to_radians,
+)
+from repro.analysis.spectrum import amplitude_spectrum, dominant_frequency
+from repro.analysis.compare import rms_error, max_error, relative_rms_error
+
+__all__ = [
+    "frequency_from_crossings",
+    "instantaneous_frequency_hilbert",
+    "phase_from_crossings",
+    "phase_error_vs_reference",
+    "cycles_to_radians",
+    "amplitude_spectrum",
+    "dominant_frequency",
+    "rms_error",
+    "max_error",
+    "relative_rms_error",
+]

@@ -1,0 +1,36 @@
+"""Waveform error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_1d_array
+
+
+def _pair(a, b):
+    a = as_1d_array(a, "a")
+    b = as_1d_array(b, "b")
+    if a.size != b.size:
+        raise ValueError(f"arrays must have equal length, got {a.size} vs {b.size}")
+    return a, b
+
+
+def rms_error(a, b):
+    """Root-mean-square difference between two equal-length arrays."""
+    a, b = _pair(a, b)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def max_error(a, b):
+    """Maximum absolute difference between two equal-length arrays."""
+    a, b = _pair(a, b)
+    return float(np.max(np.abs(a - b)))
+
+
+def relative_rms_error(test, reference):
+    """RMS error normalised by the reference's RMS value."""
+    test, reference = _pair(test, reference)
+    scale = float(np.sqrt(np.mean(reference**2)))
+    if scale == 0.0:
+        raise ValueError("reference signal is identically zero")
+    return rms_error(test, reference) / scale

@@ -1,0 +1,57 @@
+"""Simple amplitude spectra of uniformly sampled waveforms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_1d_array
+
+
+def amplitude_spectrum(t, y, window="hann"):
+    """One-sided amplitude spectrum of a uniformly sampled signal.
+
+    Parameters
+    ----------
+    t, y:
+        Samples on a uniform grid.
+    window:
+        ``"hann"``, ``"rect"`` — taper applied before the FFT; amplitudes
+        are rescaled for the window's coherent gain.
+
+    Returns
+    -------
+    tuple
+        ``(frequencies, amplitudes)`` for the non-negative frequencies.
+    """
+    t = as_1d_array(t, "t")
+    y = as_1d_array(y, "y")
+    if t.size != y.size:
+        raise ValueError(f"t and y must have equal length, got {t.size} vs {y.size}")
+    if t.size < 4:
+        raise ValueError("need at least 4 samples for a spectrum")
+    dt = np.diff(t)
+    if not np.allclose(dt, dt[0], rtol=1e-6):
+        raise ValueError("amplitude_spectrum requires a uniform time grid")
+
+    if window == "hann":
+        taper = np.hanning(y.size)
+    elif window == "rect":
+        taper = np.ones(y.size)
+    else:
+        raise ValueError(f"unknown window {window!r}; use 'hann' or 'rect'")
+    gain = np.sum(taper) / y.size
+
+    spectrum = np.fft.rfft(y * taper) / (y.size * gain)
+    freqs = np.fft.rfftfreq(y.size, d=float(dt[0]))
+    amplitudes = np.abs(spectrum)
+    amplitudes[1:] *= 2.0  # fold negative frequencies
+    return freqs, amplitudes
+
+
+def dominant_frequency(t, y):
+    """Frequency of the largest non-DC spectral peak [Hz]."""
+    freqs, amps = amplitude_spectrum(t, y)
+    if freqs.size < 2:
+        raise ValueError("spectrum too short to find a peak")
+    peak = 1 + int(np.argmax(amps[1:]))
+    return float(freqs[peak])

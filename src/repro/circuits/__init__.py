@@ -1,0 +1,58 @@
+"""Modified-nodal-analysis (MNA) circuit substrate.
+
+This package is the "circuit simulator" the paper assumes: a netlist of
+devices compiles to the charge-oriented DAE ``d/dt q(x) + f(x) = b(t)``
+(paper eq. 12) consumed by every engine in the library.
+
+Quick tour
+----------
+>>> from repro.circuits import Circuit, Resistor, Capacitor, CurrentSource
+>>> from repro.circuits.waveforms import Sine
+>>> ckt = Circuit("rc lowpass")
+>>> ckt.add(CurrentSource("I1", "0", "out", Sine(amplitude=1e-3, frequency=1e3)))
+>>> ckt.add(Resistor("R1", "out", "0", 1e3))
+>>> ckt.add(Capacitor("C1", "out", "0", 1e-6))
+>>> dae = ckt.to_dae()
+>>> dae.variable_names
+('v(out)',)
+"""
+
+from repro.circuits.netlist import Circuit
+from repro.circuits.mna import CircuitDAE
+from repro.circuits.devices import (
+    Device,
+    Resistor,
+    Capacitor,
+    Inductor,
+    CurrentSource,
+    VoltageSource,
+    CubicConductance,
+    TanhNegativeConductance,
+    Diode,
+    VCCS,
+    VCVS,
+    MemsVaractor,
+    TanhTransconductance,
+)
+from repro.circuits import waveforms
+from repro.circuits import library
+
+__all__ = [
+    "Circuit",
+    "CircuitDAE",
+    "Device",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "CurrentSource",
+    "VoltageSource",
+    "CubicConductance",
+    "TanhNegativeConductance",
+    "Diode",
+    "VCCS",
+    "VCVS",
+    "MemsVaractor",
+    "TanhTransconductance",
+    "waveforms",
+    "library",
+]

@@ -1,0 +1,38 @@
+"""Circuit device library.
+
+Each device contributes local charge/flux (``q``), static (``f``) and source
+(``b``) terms plus analytic local Jacobians; the netlist assembles them into
+the global MNA system.  See :class:`repro.circuits.devices.base.Device` for
+the stamping contract.
+"""
+
+from repro.circuits.devices.base import Device, TwoTerminalStatic
+from repro.circuits.devices.resistor import Resistor
+from repro.circuits.devices.capacitor import Capacitor
+from repro.circuits.devices.inductor import Inductor
+from repro.circuits.devices.sources import CurrentSource, VoltageSource
+from repro.circuits.devices.nonlinear_resistor import (
+    CubicConductance,
+    TanhNegativeConductance,
+)
+from repro.circuits.devices.diode import Diode
+from repro.circuits.devices.controlled import VCCS, VCVS
+from repro.circuits.devices.mems_varactor import MemsVaractor
+from repro.circuits.devices.transconductance import TanhTransconductance
+
+__all__ = [
+    "Device",
+    "TwoTerminalStatic",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "CurrentSource",
+    "VoltageSource",
+    "CubicConductance",
+    "TanhNegativeConductance",
+    "Diode",
+    "VCCS",
+    "VCVS",
+    "MemsVaractor",
+    "TanhTransconductance",
+]

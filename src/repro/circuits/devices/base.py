@@ -1,0 +1,121 @@
+"""Device stamping contract.
+
+A device connects to ``ports`` (node names) and may own internal unknowns
+(branch currents, mechanical states).  Its *local unknown vector* is::
+
+    u = [v(port_0), ..., v(port_{p-1}), internal_0, ..., internal_{m-1}]
+
+and it contributes one equation row per local unknown:
+
+* one KCL row per port — the charge (``q``) and current (``f``) flowing
+  *out of that node into the device*, and any source term (``b``) on the
+  right-hand side;
+* one constitutive row per internal unknown (e.g. an inductor's flux
+  equation, a voltage source's KVL row, a varactor's mechanical equations).
+
+The global system built by :class:`repro.circuits.mna.CircuitDAE` is then
+``d/dt q(x) + f(x) = b(t)`` with each local row scatter-added into the
+matching global row (ground rows are dropped).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+
+class Device(ABC):
+    """Base class for all circuit devices.
+
+    Parameters
+    ----------
+    name:
+        Unique device identifier within a circuit.
+    ports:
+        Node names this device connects to, in device-defined order.
+    """
+
+    #: Labels of internal unknowns; override in subclasses that have any.
+    internal_names: tuple = ()
+
+    def __init__(self, name, ports):
+        if not name:
+            raise DeviceError("device name must be a non-empty string")
+        self.name = str(name)
+        self.ports = tuple(str(p) for p in ports)
+        if len(self.ports) == 0:
+            raise DeviceError(f"device {self.name!r} must have at least one port")
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def n_ports(self):
+        """Number of terminals."""
+        return len(self.ports)
+
+    @property
+    def n_internal(self):
+        """Number of internal unknowns."""
+        return len(self.internal_names)
+
+    @property
+    def n_local(self):
+        """Length of the local unknown vector (and of the local rows)."""
+        return self.n_ports + self.n_internal
+
+    # -- stamping ------------------------------------------------------------
+
+    def q_local(self, u):
+        """Local charge/flux contributions (length ``n_local``); default 0."""
+        return np.zeros(self.n_local)
+
+    @abstractmethod
+    def f_local(self, u):
+        """Local static contributions (length ``n_local``)."""
+
+    def b_local(self, t):
+        """Local source contributions at time ``t``; default 0."""
+        return np.zeros(self.n_local)
+
+    def dq_local(self, u):
+        """Jacobian of :meth:`q_local` w.r.t. ``u``; default 0."""
+        return np.zeros((self.n_local, self.n_local))
+
+    @abstractmethod
+    def df_local(self, u):
+        """Jacobian of :meth:`f_local` w.r.t. ``u``."""
+
+    def __repr__(self):
+        ports = ", ".join(self.ports)
+        return f"{type(self).__name__}({self.name!r}, ports=({ports}))"
+
+
+class TwoTerminalStatic(Device):
+    """Helper base for memoryless two-terminal elements.
+
+    Subclasses provide the branch current ``i(v)`` and its derivative for
+    the branch voltage ``v = v(port_0) - v(port_1)``; the KCL rows follow
+    the passive sign convention (current flows in at port 0, out at port 1).
+    """
+
+    def __init__(self, name, node_a, node_b):
+        super().__init__(name, (node_a, node_b))
+
+    @abstractmethod
+    def current(self, v):
+        """Branch current as a function of branch voltage."""
+
+    @abstractmethod
+    def conductance(self, v):
+        """Derivative ``di/dv`` of :meth:`current`."""
+
+    def f_local(self, u):
+        i = self.current(u[0] - u[1])
+        return np.array([i, -i])
+
+    def df_local(self, u):
+        g = self.conductance(u[0] - u[1])
+        return np.array([[g, -g], [-g, g]])

@@ -1,0 +1,38 @@
+"""Linear capacitor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.devices.base import Device
+from repro.errors import DeviceError
+
+
+class Capacitor(Device):
+    """Linear capacitor between ``node_a`` and ``node_b``.
+
+    Contributes charge ``C * (v_a - v_b)`` to the KCL rows of its terminals.
+    """
+
+    def __init__(self, name, node_a, node_b, capacitance):
+        super().__init__(name, (node_a, node_b))
+        capacitance = float(capacitance)
+        if not capacitance > 0:
+            raise DeviceError(
+                f"capacitor {name!r} needs positive capacitance, got {capacitance!r}"
+            )
+        self.capacitance = capacitance
+
+    def q_local(self, u):
+        charge = self.capacitance * (u[0] - u[1])
+        return np.array([charge, -charge])
+
+    def dq_local(self, u):
+        c = self.capacitance
+        return np.array([[c, -c], [-c, c]])
+
+    def f_local(self, u):
+        return np.zeros(2)
+
+    def df_local(self, u):
+        return np.zeros((2, 2))

@@ -1,0 +1,65 @@
+"""Linear controlled sources (VCCS, VCVS)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.devices.base import Device
+
+
+class VCCS(Device):
+    """Voltage-controlled current source.
+
+    Drives current ``gm * (v_cp - v_cn)`` from ``out_p`` to ``out_n``.
+    Ports: ``(out_p, out_n, ctrl_p, ctrl_n)``.
+    """
+
+    def __init__(self, name, out_p, out_n, ctrl_p, ctrl_n, gm):
+        super().__init__(name, (out_p, out_n, ctrl_p, ctrl_n))
+        self.gm = float(gm)
+
+    def f_local(self, u):
+        i = self.gm * (u[2] - u[3])
+        return np.array([i, -i, 0.0, 0.0])
+
+    def df_local(self, u):
+        gm = self.gm
+        return np.array(
+            [
+                [0.0, 0.0, gm, -gm],
+                [0.0, 0.0, -gm, gm],
+                [0.0, 0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0, 0.0],
+            ]
+        )
+
+
+class VCVS(Device):
+    """Voltage-controlled voltage source ``v(out_p) - v(out_n) = mu * v_ctrl``.
+
+    Adds a branch-current unknown like an independent voltage source.
+    Ports: ``(out_p, out_n, ctrl_p, ctrl_n)``.
+    """
+
+    internal_names = ("i",)
+
+    def __init__(self, name, out_p, out_n, ctrl_p, ctrl_n, mu):
+        super().__init__(name, (out_p, out_n, ctrl_p, ctrl_n))
+        self.mu = float(mu)
+
+    def f_local(self, u):
+        i = u[4]
+        kvl = (u[0] - u[1]) - self.mu * (u[2] - u[3])
+        return np.array([i, -i, 0.0, 0.0, kvl])
+
+    def df_local(self, u):
+        mu = self.mu
+        return np.array(
+            [
+                [0.0, 0.0, 0.0, 0.0, 1.0],
+                [0.0, 0.0, 0.0, 0.0, -1.0],
+                [0.0, 0.0, 0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0, 0.0, 0.0],
+                [1.0, -1.0, -mu, mu, 0.0],
+            ]
+        )

@@ -1,0 +1,48 @@
+"""Linear inductor (adds a branch-current unknown)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.devices.base import Device
+from repro.errors import DeviceError
+
+
+class Inductor(Device):
+    """Linear inductor between ``node_a`` and ``node_b``.
+
+    The branch current ``i`` (flowing from ``node_a`` to ``node_b``) is an
+    internal unknown; its constitutive row is ``d/dt (L i) - (v_a - v_b) = 0``.
+    """
+
+    internal_names = ("i",)
+
+    def __init__(self, name, node_a, node_b, inductance):
+        super().__init__(name, (node_a, node_b))
+        inductance = float(inductance)
+        if not inductance > 0:
+            raise DeviceError(
+                f"inductor {name!r} needs positive inductance, got {inductance!r}"
+            )
+        self.inductance = inductance
+
+    def q_local(self, u):
+        # Rows: [kcl_a, kcl_b, branch]; only the branch row carries flux.
+        return np.array([0.0, 0.0, self.inductance * u[2]])
+
+    def dq_local(self, u):
+        jac = np.zeros((3, 3))
+        jac[2, 2] = self.inductance
+        return jac
+
+    def f_local(self, u):
+        return np.array([u[2], -u[2], -(u[0] - u[1])])
+
+    def df_local(self, u):
+        return np.array(
+            [
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, -1.0],
+                [-1.0, 1.0, 0.0],
+            ]
+        )

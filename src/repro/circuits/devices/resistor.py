@@ -1,0 +1,31 @@
+"""Linear resistor."""
+
+from __future__ import annotations
+
+from repro.circuits.devices.base import TwoTerminalStatic
+from repro.errors import DeviceError
+
+
+class Resistor(TwoTerminalStatic):
+    """Ohmic resistor between ``node_a`` and ``node_b``.
+
+    Parameters
+    ----------
+    resistance:
+        Resistance in ohms; must be positive and finite.
+    """
+
+    def __init__(self, name, node_a, node_b, resistance):
+        super().__init__(name, node_a, node_b)
+        resistance = float(resistance)
+        if not resistance > 0:
+            raise DeviceError(
+                f"resistor {name!r} needs positive resistance, got {resistance!r}"
+            )
+        self.resistance = resistance
+
+    def current(self, v):
+        return v / self.resistance
+
+    def conductance(self, v):
+        return 1.0 / self.resistance

@@ -1,0 +1,61 @@
+"""Independent sources."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.devices.base import Device
+from repro.circuits.waveforms import as_waveform
+
+
+class CurrentSource(Device):
+    """Independent current source driving ``waveform(t)`` from node_a to node_b.
+
+    The source current leaves ``node_a`` and enters ``node_b``; with the
+    library's form ``d/dt q + f = b`` it appears purely in the right-hand
+    side: ``b[a] = -J(t)``, ``b[b] = +J(t)``.
+    """
+
+    def __init__(self, name, node_a, node_b, waveform):
+        super().__init__(name, (node_a, node_b))
+        self.waveform = as_waveform(waveform)
+
+    def f_local(self, u):
+        return np.zeros(2)
+
+    def df_local(self, u):
+        return np.zeros((2, 2))
+
+    def b_local(self, t):
+        value = float(self.waveform(t))
+        return np.array([-value, value])
+
+
+class VoltageSource(Device):
+    """Independent voltage source enforcing ``v_a - v_b = E(t)``.
+
+    Adds a branch-current unknown ``i`` (flowing from ``node_a`` through the
+    source to ``node_b``); rows are the two KCL stamps plus the KVL row
+    ``v_a - v_b = E(t)``.
+    """
+
+    internal_names = ("i",)
+
+    def __init__(self, name, node_a, node_b, waveform):
+        super().__init__(name, (node_a, node_b))
+        self.waveform = as_waveform(waveform)
+
+    def f_local(self, u):
+        return np.array([u[2], -u[2], u[0] - u[1]])
+
+    def df_local(self, u):
+        return np.array(
+            [
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, -1.0],
+                [1.0, -1.0, 0.0],
+            ]
+        )
+
+    def b_local(self, t):
+        return np.array([0.0, 0.0, float(self.waveform(t))])

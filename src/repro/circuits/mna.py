@@ -1,0 +1,125 @@
+"""MNA assembly: compile a :class:`~repro.circuits.netlist.Circuit` to a DAE.
+
+Unknown ordering: node voltages in order of first appearance, then each
+device's internal unknowns in device insertion order.  Equation rows match
+the unknowns one-for-one (KCL per node, constitutive row per internal
+unknown), so the assembled system is square by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.netlist import GROUND_NAMES
+from repro.dae.base import SemiExplicitDAE
+
+
+class _DeviceSlot:
+    """Precomputed scatter/gather maps for one device."""
+
+    __slots__ = ("device", "columns", "rows")
+
+    def __init__(self, device, columns, rows):
+        self.device = device
+        # Global unknown index per local unknown; -1 means ground (v = 0).
+        self.columns = columns
+        # Global equation row per local row; -1 means the dropped ground row.
+        self.rows = rows
+
+
+class CircuitDAE(SemiExplicitDAE):
+    """The compiled ``d/dt q(x) + f(x) = b(t)`` system of a circuit.
+
+    Build with :meth:`repro.circuits.netlist.Circuit.to_dae`.
+    """
+
+    def __init__(self, circuit):
+        self.circuit = circuit
+        node_names = circuit.node_names()
+        node_index = {name: i for i, name in enumerate(node_names)}
+
+        names = [f"v({name})" for name in node_names]
+        slots = []
+        next_index = len(node_names)
+        for device in circuit.devices:
+            columns = []
+            rows = []
+            for port in device.ports:
+                if port in GROUND_NAMES:
+                    columns.append(-1)
+                    rows.append(-1)
+                else:
+                    columns.append(node_index[port])
+                    rows.append(node_index[port])
+            for label in device.internal_names:
+                columns.append(next_index)
+                rows.append(next_index)
+                names.append(f"{device.name}.{label}")
+                next_index += 1
+            slots.append(
+                _DeviceSlot(
+                    device,
+                    np.asarray(columns, dtype=int),
+                    np.asarray(rows, dtype=int),
+                )
+            )
+
+        self._slots = slots
+        self.n = next_index
+        self.variable_names = tuple(names)
+
+    # -- gather/scatter helpers --------------------------------------------------
+
+    @staticmethod
+    def _gather(x, columns):
+        """Local unknown vector for a device; ground columns read 0."""
+        local = np.zeros(columns.size)
+        mask = columns >= 0
+        local[mask] = x[columns[mask]]
+        return local
+
+    def _accumulate_vector(self, evaluate):
+        out = np.zeros(self.n)
+        for slot in self._slots:
+            local = evaluate(slot)
+            mask = slot.rows >= 0
+            np.add.at(out, slot.rows[mask], local[mask])
+        return out
+
+    def _accumulate_matrix(self, evaluate, x):
+        out = np.zeros((self.n, self.n))
+        for slot in self._slots:
+            local = evaluate(slot.device, self._gather(x, slot.columns))
+            row_mask = slot.rows >= 0
+            col_mask = slot.columns >= 0
+            rows = slot.rows[row_mask]
+            cols = slot.columns[col_mask]
+            block = local[np.ix_(row_mask, col_mask)]
+            out[np.ix_(rows, cols)] += block
+        return out
+
+    # -- DAE interface -----------------------------------------------------------
+
+    def q(self, x):
+        x = np.asarray(x, dtype=float)
+        return self._accumulate_vector(
+            lambda slot: slot.device.q_local(self._gather(x, slot.columns))
+        )
+
+    def f(self, x):
+        x = np.asarray(x, dtype=float)
+        return self._accumulate_vector(
+            lambda slot: slot.device.f_local(self._gather(x, slot.columns))
+        )
+
+    def b(self, t):
+        t = float(t)
+        return self._accumulate_vector(lambda slot: slot.device.b_local(t))
+
+    def dq_dx(self, x):
+        x = np.asarray(x, dtype=float)
+        return self._accumulate_matrix(lambda dev, u: dev.dq_local(u), x)
+
+    def df_dx(self, x):
+        x = np.asarray(x, dtype=float)
+        return self._accumulate_matrix(lambda dev, u: dev.df_local(u), x)

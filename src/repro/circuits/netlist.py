@@ -1,0 +1,108 @@
+"""Netlist container and node bookkeeping."""
+
+from __future__ import annotations
+
+from repro.circuits.devices.base import Device
+from repro.errors import NetlistError
+
+#: Node names treated as the ground reference (voltage fixed to 0).
+GROUND_NAMES = frozenset({"0", "gnd", "GND", "ground"})
+
+
+class Circuit:
+    """An ordered collection of devices sharing named nodes.
+
+    Nodes are created implicitly by the devices that reference them; the
+    ground node (any name in :data:`GROUND_NAMES`) is the voltage reference
+    and carries no unknown or KCL row.
+
+    Parameters
+    ----------
+    title:
+        Optional human-readable description.
+    """
+
+    def __init__(self, title=""):
+        self.title = str(title)
+        self._devices = []
+        self._names = set()
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, device):
+        """Add a device; returns the circuit for chaining.
+
+        Raises
+        ------
+        NetlistError
+            On duplicate device names or non-:class:`Device` arguments.
+        """
+        if not isinstance(device, Device):
+            raise NetlistError(
+                f"Circuit.add expects a Device, got {type(device).__name__}"
+            )
+        if device.name in self._names:
+            raise NetlistError(f"duplicate device name {device.name!r}")
+        self._names.add(device.name)
+        self._devices.append(device)
+        return self
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def devices(self):
+        """Devices in insertion order (read-only view)."""
+        return tuple(self._devices)
+
+    def device(self, name):
+        """Look up a device by name."""
+        for dev in self._devices:
+            if dev.name == name:
+                return dev
+        raise NetlistError(f"no device named {name!r}")
+
+    def node_names(self):
+        """Non-ground node names in order of first appearance."""
+        seen = []
+        for dev in self._devices:
+            for port in dev.ports:
+                if port not in GROUND_NAMES and port not in seen:
+                    seen.append(port)
+        return tuple(seen)
+
+    def has_ground(self):
+        """Whether any device references the ground node."""
+        return any(
+            port in GROUND_NAMES for dev in self._devices for port in dev.ports
+        )
+
+    def validate(self):
+        """Check structural well-formedness.
+
+        Raises
+        ------
+        NetlistError
+            If the circuit is empty or floats with no ground reference.
+        """
+        if not self._devices:
+            raise NetlistError("circuit has no devices")
+        if not self.has_ground():
+            raise NetlistError(
+                "circuit has no ground node; name one terminal '0' or 'gnd'"
+            )
+
+    def to_dae(self):
+        """Compile to a :class:`repro.circuits.mna.CircuitDAE`."""
+        from repro.circuits.mna import CircuitDAE
+
+        self.validate()
+        return CircuitDAE(self)
+
+    def __len__(self):
+        return len(self._devices)
+
+    def __repr__(self):
+        return (
+            f"Circuit({self.title!r}, devices={len(self._devices)}, "
+            f"nodes={len(self.node_names())})"
+        )

@@ -1,0 +1,190 @@
+"""Time-dependent source waveforms.
+
+Waveforms are callables ``t -> value`` with a few extras (period metadata
+where meaningful) so sources can be inspected by the multi-time engines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.constants import TWO_PI
+from repro.errors import ValidationError
+from repro.utils.validation import as_1d_array, check_positive
+
+
+class Waveform(ABC):
+    """A scalar function of time; vectorised over numpy arrays."""
+
+    #: Period of the waveform, or ``None`` when aperiodic.
+    period = None
+
+    @abstractmethod
+    def __call__(self, t):
+        """Value at time(s) ``t``."""
+
+
+class DC(Waveform):
+    """Constant value."""
+
+    def __init__(self, value):
+        self.value = float(value)
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        return np.full_like(t, self.value) if t.ndim else self.value
+
+    def __repr__(self):
+        return f"DC({self.value!r})"
+
+
+class Sine(Waveform):
+    """Sinusoid ``offset + amplitude * sin(2*pi*frequency*(t - delay) + phase)``."""
+
+    def __init__(self, amplitude=1.0, frequency=1.0, offset=0.0, phase=0.0,
+                 delay=0.0):
+        check_positive(frequency, "frequency")
+        self.amplitude = float(amplitude)
+        self.frequency = float(frequency)
+        self.offset = float(offset)
+        self.phase = float(phase)
+        self.delay = float(delay)
+        self.period = 1.0 / self.frequency
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        value = self.offset + self.amplitude * np.sin(
+            TWO_PI * self.frequency * (t - self.delay) + self.phase
+        )
+        return value if value.ndim else float(value)
+
+    def __repr__(self):
+        return (
+            f"Sine(amplitude={self.amplitude!r}, frequency={self.frequency!r}, "
+            f"offset={self.offset!r}, phase={self.phase!r}, delay={self.delay!r})"
+        )
+
+
+class Cosine(Sine):
+    """Cosine convenience: ``Sine`` with a +pi/2 phase."""
+
+    def __init__(self, amplitude=1.0, frequency=1.0, offset=0.0, delay=0.0):
+        super().__init__(
+            amplitude=amplitude,
+            frequency=frequency,
+            offset=offset,
+            phase=np.pi / 2.0,
+            delay=delay,
+        )
+
+
+class PiecewiseLinear(Waveform):
+    """Piecewise-linear interpolation through ``(times, values)`` breakpoints.
+
+    Values are held constant outside the breakpoint range.
+    """
+
+    def __init__(self, times, values):
+        self.times = as_1d_array(times, "times")
+        self.values = as_1d_array(values, "values")
+        if self.times.size != self.values.size:
+            raise ValidationError(
+                f"times and values must have equal length, got "
+                f"{self.times.size} vs {self.values.size}"
+            )
+        if self.times.size < 2:
+            raise ValidationError("PiecewiseLinear needs at least two breakpoints")
+        if np.any(np.diff(self.times) <= 0):
+            raise ValidationError("times must be strictly increasing")
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        value = np.interp(t, self.times, self.values)
+        return value if value.ndim else float(value)
+
+
+class Pulse(Waveform):
+    """Periodic trapezoidal pulse (SPICE-style ``PULSE``).
+
+    Parameters
+    ----------
+    low, high:
+        Levels outside and inside the pulse.
+    delay:
+        Time of the first rising edge.
+    rise, fall:
+        Edge durations (must be positive).
+    width:
+        Time spent at ``high``.
+    period:
+        Repetition period; must cover rise + width + fall.
+    """
+
+    def __init__(self, low=0.0, high=1.0, delay=0.0, rise=1e-9, fall=1e-9,
+                 width=1e-6, period=2e-6):
+        check_positive(rise, "rise")
+        check_positive(fall, "fall")
+        check_positive(width, "width")
+        check_positive(period, "period")
+        if rise + width + fall > period:
+            raise ValidationError(
+                "pulse period must cover rise + width + fall "
+                f"({rise + width + fall:g} > {period:g})"
+            )
+        self.low = float(low)
+        self.high = float(high)
+        self.delay = float(delay)
+        self.rise = float(rise)
+        self.fall = float(fall)
+        self.width = float(width)
+        self.period = float(period)
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        local = np.mod(t - self.delay, self.period)
+        value = np.select(
+            [
+                local < self.rise,
+                local < self.rise + self.width,
+                local < self.rise + self.width + self.fall,
+            ],
+            [
+                self.low + (self.high - self.low) * local / self.rise,
+                self.high,
+                self.high
+                - (self.high - self.low)
+                * (local - self.rise - self.width)
+                / self.fall,
+            ],
+            default=self.low,
+        )
+        return value if value.ndim else float(value)
+
+
+class CallableWaveform(Waveform):
+    """Adapter wrapping an arbitrary function of time."""
+
+    def __init__(self, func, period=None):
+        if not callable(func):
+            raise ValidationError("CallableWaveform needs a callable")
+        self._func = func
+        self.period = period
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        if t.ndim:
+            return np.asarray([self._func(float(ti)) for ti in t.ravel()]).reshape(
+                t.shape
+            )
+        return float(self._func(float(t)))
+
+
+def as_waveform(value):
+    """Coerce numbers and callables into :class:`Waveform` instances."""
+    if isinstance(value, Waveform):
+        return value
+    if callable(value):
+        return CallableWaveform(value)
+    return DC(float(value))

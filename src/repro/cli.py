@@ -1,0 +1,229 @@
+"""Command-line interface: regenerate the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro vco --variant vacuum     # Figs 7-9 series
+    python -m repro vco --variant air        # Figs 10-11 series
+    python -m repro fm                        # §3 signal-representation story
+    python -m repro phase-error               # Fig 12 + speedup (slow)
+    python -m repro info                      # calibration summary
+
+Each command prints the same text tables the benchmark harness produces
+and optionally writes CSV via ``--csv DIR``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args):
+    """Print the calibrated VCO parameters and tuning anchors."""
+    from repro.circuits.library import F_NOMINAL, T_NOMINAL, VcoParams
+    from repro.utils import format_table
+
+    for name, params in (("vacuum", VcoParams.vacuum()),
+                         ("air", VcoParams.air())):
+        rows = [
+            ["tank inductance [H]", params.inductance],
+            ["varactor C0 [F]", params.c0],
+            ["negative conductance g1 [S]", params.g1],
+            ["cubic coefficient g3 [S/V^2]", params.g3],
+            ["plate mass [kg]", params.mass],
+            ["spring constant [N/m]", params.stiffness],
+            ["damping [N s/m]", params.damping],
+            ["actuation gain [N/V^2]", params.force_gain],
+            ["control offset / amplitude [V]",
+             f"{params.control_offset} / {params.control_amplitude}"],
+            ["control period [s]", params.control_period],
+            ["static f(1.5 V) [MHz]", params.static_frequency(1.5) / 1e6],
+        ]
+        print(format_table(["parameter", "value"], rows,
+                           title=f"MEMS VCO — {name} calibration"))
+        print()
+    print(f"nominal oscillation: {F_NOMINAL/1e6:.3f} MHz "
+          f"(period {T_NOMINAL*1e6:.4f} us)")
+    return 0
+
+
+def _cmd_vco(args):
+    """Run a WaMPDE envelope of the chosen VCO variant; print Fig 7/10."""
+    from repro.circuits.library import MemsVcoDae, T_NOMINAL, VcoParams
+    from repro.utils import ascii_plot, format_table, write_csv
+    from repro.wampde import (
+        oscillator_initial_condition,
+        solve_wampde_envelope,
+    )
+
+    if args.variant == "vacuum":
+        params, horizon, steps = VcoParams.vacuum(), 60e-6, 600
+    else:
+        params, horizon, steps = VcoParams.air(), 3e-3, 1200
+    if args.horizon:
+        horizon = float(args.horizon)
+    if args.steps:
+        steps = int(args.steps)
+
+    unforced = MemsVcoDae(params, constant_control=True)
+    samples, f0 = oscillator_initial_condition(
+        unforced, num_t1=args.num_t1, period_guess=T_NOMINAL
+    )
+    print(f"free-running: {f0/1e6:.4f} MHz")
+    forced = MemsVcoDae(params)
+    env = solve_wampde_envelope(forced, samples, f0, 0.0, horizon, steps)
+
+    idx = np.linspace(0, env.t2.size - 1, 13).astype(int)
+    print(format_table(
+        ["t2 [s]", "local frequency [MHz]"],
+        [[env.t2[i], env.omega[i] / 1e6] for i in idx],
+        title=f"{args.variant} VCO — local frequency "
+              f"(paper Fig {'7' if args.variant == 'vacuum' else '10'})",
+    ))
+    print(ascii_plot(env.t2, env.omega / 1e6, ylabel="f [MHz]"))
+    amplitude = env.bivariate("v(tank)").amplitude_vs_t2()
+    print(f"amplitude variation: {amplitude.min():.3f}..{amplitude.max():.3f} V")
+    if args.csv:
+        path = write_csv(
+            f"{args.csv}/vco_{args.variant}_frequency.csv",
+            ["t2_s", "frequency_hz"], [env.t2, env.omega],
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_fm(args):
+    """Print the §3 representation-cost story (Figs 1-6)."""
+    from repro.signals import (
+        bivariate_sample_count,
+        fm_unwarped_bivariate,
+        fm_warped_bivariate,
+        grid_undulation_count,
+        reconstruction_error_two_tone,
+        transient_sample_count,
+    )
+    from repro.signals.fm import F2_PAPER, K_PAPER
+    from repro.utils import format_table
+
+    t2 = np.linspace(0.0, 1.0 / F2_PAPER, 801, endpoint=False)
+    unwarped = fm_unwarped_bivariate(0.0, t2[:, None]).reshape(-1, 1)
+    warped = fm_warped_bivariate(np.linspace(0, 1, 31)[None, :],
+                                 t2[:, None])
+    rows = [
+        ["two-tone: direct samples (Fig 1)", transient_sample_count()],
+        ["two-tone: bivariate samples (Fig 2)", bivariate_sample_count()],
+        ["two-tone: recovery error from 15x15",
+         reconstruction_error_two_tone(15)],
+        ["FM: xhat1 extrema along t2 (Fig 5)",
+         grid_undulation_count(unwarped, axis=0)],
+        ["FM: xhat2 extrema along t2 (Fig 6)",
+         grid_undulation_count(warped, axis=0)],
+        ["FM: k/(2 pi)", K_PAPER / (2 * np.pi)],
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title="multi-time representation costs (paper §3)"))
+    return 0
+
+
+def _cmd_phase_error(args):
+    """Fig 12 comparison + the speedup headline (takes ~1 minute)."""
+    from repro.analysis import phase_error_vs_reference
+    from repro.circuits.library import MemsVcoDae, T_NOMINAL, VcoParams
+    from repro.transient import TransientOptions, simulate_transient
+    from repro.utils import WallTimer, format_table
+    from repro.wampde import (
+        oscillator_initial_condition,
+        solve_wampde_envelope,
+    )
+
+    params = VcoParams.air()
+    horizon = float(args.horizon) if args.horizon else 0.3e-3
+    unforced = MemsVcoDae(params, constant_control=True)
+    samples, f0 = oscillator_initial_condition(
+        unforced, num_t1=25, period_guess=T_NOMINAL
+    )
+    forced = MemsVcoDae(params)
+
+    with WallTimer() as ref_timer:
+        reference = simulate_transient(
+            forced, samples[0], 0.0, horizon,
+            TransientOptions(integrator="trap", dt=T_NOMINAL / 1000),
+        )
+    rows = []
+    for pts in (50, 100):
+        with WallTimer() as timer:
+            run = simulate_transient(
+                forced, samples[0], 0.0, horizon,
+                TransientOptions(integrator="trap", dt=T_NOMINAL / pts),
+            )
+        _t, err = phase_error_vs_reference(
+            run.t, run["v(tank)"], reference.t, reference["v(tank)"]
+        )
+        rows.append([f"transient {pts}/cycle", timer.elapsed,
+                     float(np.abs(err).max())])
+    with WallTimer() as timer:
+        env = solve_wampde_envelope(
+            forced, samples, f0, 0.0, horizon,
+            max(int(120 * horizon / params.control_period), 40),
+        )
+    times = np.linspace(0.0, horizon, 40000)
+    rec = env.reconstruct("v(tank)", times)
+    _t, err = phase_error_vs_reference(
+        times, rec, reference.t, reference["v(tank)"]
+    )
+    rows.append(["WaMPDE", timer.elapsed, float(np.abs(err).max())])
+    rows.append(["transient 1000/cycle (reference)", ref_timer.elapsed, 0.0])
+    print(format_table(
+        ["method", "wall time [s]", "peak phase error [cycles]"], rows,
+        title=f"Fig 12 over {horizon*1e3:.2f} ms",
+    ))
+    print(f"speedup at matched accuracy: {ref_timer.elapsed/timer.elapsed:.0f}x")
+    return 0
+
+
+def build_parser():
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Multi-Time Simulation of "
+                    "Voltage-Controlled Oscillators' (DAC 1999)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the calibrated VCO parameters")
+
+    vco = sub.add_parser("vco", help="WaMPDE envelope of the paper's VCO")
+    vco.add_argument("--variant", choices=("vacuum", "air"),
+                     default="vacuum")
+    vco.add_argument("--horizon", help="t2 window in seconds")
+    vco.add_argument("--steps", help="number of t2 steps")
+    vco.add_argument("--num-t1", dest="num_t1", type=int, default=25,
+                     help="odd t1 sample count (harmonics = (N-1)/2)")
+    vco.add_argument("--csv", help="directory for CSV output")
+
+    sub.add_parser("fm", help="§3 signal-representation story")
+
+    pe = sub.add_parser("phase-error", help="Fig 12 + speedup (slow)")
+    pe.add_argument("--horizon", help="window in seconds (default 0.3 ms)")
+
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "vco": _cmd_vco,
+    "fm": _cmd_fm,
+    "phase-error": _cmd_phase_error,
+}
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Physical and numerical constants used across the library."""
+
+from __future__ import annotations
+
+import math
+
+#: 2*pi, used everywhere frequencies and angular frequencies are converted.
+TWO_PI = 2.0 * math.pi
+
+#: Vacuum permittivity [F/m]; used by parallel-plate varactor helpers.
+EPSILON_0 = 8.8541878128e-12
+
+#: Boltzmann constant [J/K]; used by the diode model.
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge [C]; used by the diode model.
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Default thermal voltage k*T/q at 300 K [V].
+THERMAL_VOLTAGE_300K = BOLTZMANN * 300.0 / ELEMENTARY_CHARGE
+
+#: Default absolute tolerance for Newton iterations on circuit residuals.
+DEFAULT_NEWTON_ATOL = 1e-10
+
+#: Default relative tolerance for Newton iterations.
+DEFAULT_NEWTON_RTOL = 1e-9
+
+#: Default maximum Newton iterations.
+DEFAULT_NEWTON_MAXITER = 50

@@ -1,0 +1,32 @@
+"""Differential-algebraic equation abstraction.
+
+Everything this library simulates is expressed in the charge-oriented
+semi-explicit form used by the paper (its eq. 12)::
+
+    d/dt q(x(t)) + f(x(t)) = b(t)
+
+:class:`~repro.dae.base.SemiExplicitDAE` is the contract consumed by the
+transient, steady-state, MPDE and WaMPDE engines.  Circuits built with
+:mod:`repro.circuits` compile to this interface; manufactured systems with
+known closed-form solutions live in :mod:`repro.dae.manufactured` for
+verifying integrator orders and solver correctness.
+"""
+
+from repro.dae.base import SemiExplicitDAE, FunctionDAE
+from repro.dae.scaled import ScaledDAE
+from repro.dae.manufactured import (
+    LinearRCDae,
+    HarmonicOscillatorDae,
+    VanDerPolDae,
+    ForcedDecayDae,
+)
+
+__all__ = [
+    "SemiExplicitDAE",
+    "FunctionDAE",
+    "ScaledDAE",
+    "LinearRCDae",
+    "HarmonicOscillatorDae",
+    "VanDerPolDae",
+    "ForcedDecayDae",
+]

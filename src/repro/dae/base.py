@@ -1,0 +1,150 @@
+"""Base classes for charge-oriented DAE systems."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class SemiExplicitDAE(ABC):
+    """A system ``d/dt q(x) + f(x) = b(t)`` with analytic Jacobians.
+
+    Subclasses implement the five single-point methods; the ``*_batch``
+    variants have generic loop implementations and may be overridden with
+    vectorised versions for speed (the multi-time solvers evaluate the
+    system at every collocation point of a grid each Newton iteration).
+
+    Attributes
+    ----------
+    n:
+        Number of unknowns (and equations).
+    variable_names:
+        Human-readable unknown labels, length ``n``.
+    """
+
+    #: Number of unknowns; subclasses must set this in ``__init__``.
+    n: int
+
+    #: Labels for the unknowns; subclasses must set this in ``__init__``.
+    variable_names: tuple
+
+    @abstractmethod
+    def q(self, x):
+        """Charge/flux-like state vector ``q(x)`` (length ``n``)."""
+
+    @abstractmethod
+    def f(self, x):
+        """Resistive/static vector ``f(x)`` (length ``n``)."""
+
+    @abstractmethod
+    def b(self, t):
+        """Forcing vector ``b(t)`` (length ``n``)."""
+
+    @abstractmethod
+    def dq_dx(self, x):
+        """Jacobian of :meth:`q` — dense ``(n, n)`` array."""
+
+    @abstractmethod
+    def df_dx(self, x):
+        """Jacobian of :meth:`f` — dense ``(n, n)`` array."""
+
+    # -- batched evaluation ------------------------------------------------
+
+    def q_batch(self, states):
+        """Apply :meth:`q` row-wise to ``states`` of shape ``(m, n)``."""
+        states = np.asarray(states, dtype=float)
+        return np.stack([self.q(row) for row in states])
+
+    def f_batch(self, states):
+        """Apply :meth:`f` row-wise to ``states`` of shape ``(m, n)``."""
+        states = np.asarray(states, dtype=float)
+        return np.stack([self.f(row) for row in states])
+
+    def b_batch(self, times):
+        """Apply :meth:`b` to each entry of 1-D ``times`` → ``(m, n)``."""
+        times = np.asarray(times, dtype=float).ravel()
+        return np.stack([self.b(t) for t in times])
+
+    def dq_dx_batch(self, states):
+        """Stack of :meth:`dq_dx` blocks, shape ``(m, n, n)``."""
+        states = np.asarray(states, dtype=float)
+        return np.stack([self.dq_dx(row) for row in states])
+
+    def df_dx_batch(self, states):
+        """Stack of :meth:`df_dx` blocks, shape ``(m, n, n)``."""
+        states = np.asarray(states, dtype=float)
+        return np.stack([self.df_dx(row) for row in states])
+
+    # -- conveniences -------------------------------------------------------
+
+    def residual(self, x, xdot_q, t):
+        """Residual ``xdot_q + f(x) - b(t)`` where ``xdot_q ≈ d/dt q(x)``.
+
+        Integrators supply their discretisation of ``d/dt q`` and reuse this
+        to keep sign conventions in one place.
+        """
+        return np.asarray(xdot_q, dtype=float) + self.f(x) - self.b(t)
+
+    def variable_index(self, name):
+        """Index of the unknown called ``name``.
+
+        Raises
+        ------
+        KeyError
+            If no unknown has that label.
+        """
+        try:
+            return self.variable_names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"unknown variable {name!r}; have {list(self.variable_names)}"
+            ) from None
+
+
+class FunctionDAE(SemiExplicitDAE):
+    """A :class:`SemiExplicitDAE` assembled from plain callables.
+
+    Useful for tests and small manufactured problems.
+
+    Parameters
+    ----------
+    n:
+        System size.
+    q, f, b:
+        Callables with the base-class semantics.
+    dq_dx, df_dx:
+        Callables returning dense ``(n, n)`` Jacobians.
+    variable_names:
+        Optional labels; defaults to ``x0..x{n-1}``.
+    """
+
+    def __init__(self, n, q, f, b, dq_dx, df_dx, variable_names=None):
+        self.n = int(n)
+        self._q = q
+        self._f = f
+        self._b = b
+        self._dq_dx = dq_dx
+        self._df_dx = df_dx
+        if variable_names is None:
+            variable_names = tuple(f"x{i}" for i in range(self.n))
+        if len(variable_names) != self.n:
+            raise ValueError(
+                f"expected {self.n} variable names, got {len(variable_names)}"
+            )
+        self.variable_names = tuple(variable_names)
+
+    def q(self, x):
+        return np.asarray(self._q(np.asarray(x, dtype=float)), dtype=float)
+
+    def f(self, x):
+        return np.asarray(self._f(np.asarray(x, dtype=float)), dtype=float)
+
+    def b(self, t):
+        return np.asarray(self._b(float(t)), dtype=float)
+
+    def dq_dx(self, x):
+        return np.asarray(self._dq_dx(np.asarray(x, dtype=float)), dtype=float)
+
+    def df_dx(self, x):
+        return np.asarray(self._df_dx(np.asarray(x, dtype=float)), dtype=float)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, sign, range, ...)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative method failed to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual_norm:
+        Norm of the residual at the last iterate, if known.
+    """
+
+    def __init__(self, message, iterations=None, residual_norm=None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual_norm = residual_norm
+
+
+class SingularJacobianError(ConvergenceError):
+    """The Jacobian was singular (or numerically unusable) during a solve."""
+
+
+class NetlistError(ReproError):
+    """The netlist is malformed (unknown node, duplicate device, ...)."""
+
+
+class DeviceError(ReproError):
+    """A device was constructed or evaluated with invalid parameters."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulation engine failed (step-size underflow, blow-up, ...)."""
+
+
+class PhaseConditionError(ReproError):
+    """A WaMPDE phase condition is inconsistent with the current solution."""

@@ -1,0 +1,32 @@
+"""Numerical linear algebra and nonlinear solvers.
+
+This package hosts the Newton–Raphson kernel shared by every engine in the
+library (DC, transient, shooting, harmonic balance, MPDE, WaMPDE), helpers
+for bordered sparse systems (a square core plus extra rows/columns, used by
+the WaMPDE's frequency unknown + phase condition), and Jacobian verification
+utilities used throughout the test suite.
+"""
+
+from repro.linalg.newton import NewtonOptions, NewtonResult, newton_solve
+from repro.linalg.bordered import BorderedSystem
+from repro.linalg.sparse_tools import (
+    block_diagonal_expand,
+    kron_diffmat,
+    as_csr,
+)
+from repro.linalg.gmres import GmresLinearSolver, DirectLinearSolver
+from repro.linalg.jacobian_check import finite_difference_jacobian, jacobian_error
+
+__all__ = [
+    "NewtonOptions",
+    "NewtonResult",
+    "newton_solve",
+    "BorderedSystem",
+    "block_diagonal_expand",
+    "kron_diffmat",
+    "as_csr",
+    "GmresLinearSolver",
+    "DirectLinearSolver",
+    "finite_difference_jacobian",
+    "jacobian_error",
+]

@@ -1,0 +1,89 @@
+"""Bordered sparse systems.
+
+The WaMPDE introduces one scalar unknown (the local frequency ``omega``) and
+one scalar equation (the phase condition) on top of the circuit collocation
+block.  The resulting Jacobian is a *bordered* matrix::
+
+        [ A   b ] [ u     ]   [ r ]
+        [ c^T d ] [ alpha ] = [ s ]
+
+``BorderedSystem`` assembles this once per Newton iteration and solves it as
+a single sparse LU; for the problem sizes in this library (a few hundred to
+a few thousand unknowns) that is both robust and fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import SingularJacobianError
+
+
+class BorderedSystem:
+    """A square sparse core bordered by extra columns and rows.
+
+    Parameters
+    ----------
+    core:
+        Sparse or dense ``(n, n)`` matrix ``A``.
+    columns:
+        ``(n, k)`` array of border columns ``b``.
+    rows:
+        ``(k, n)`` array of border rows ``c^T``.
+    corner:
+        ``(k, k)`` array ``d`` coupling the border unknowns.
+    """
+
+    def __init__(self, core, columns, rows, corner):
+        core = sp.csr_matrix(core)
+        columns = np.atleast_2d(np.asarray(columns, dtype=float))
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        corner = np.atleast_2d(np.asarray(corner, dtype=float))
+        if columns.shape[0] != core.shape[0]:
+            columns = columns.T
+        if rows.shape[1] != core.shape[1]:
+            rows = rows.T
+        n = core.shape[0]
+        k = columns.shape[1]
+        if core.shape != (n, n):
+            raise ValueError(f"core must be square, got {core.shape}")
+        if columns.shape != (n, k) or rows.shape != (k, n) or corner.shape != (k, k):
+            raise ValueError(
+                "inconsistent border shapes: "
+                f"core {core.shape}, columns {columns.shape}, "
+                f"rows {rows.shape}, corner {corner.shape}"
+            )
+        self.core = core
+        self.columns = columns
+        self.rows = rows
+        self.corner = corner
+        self.size = n + k
+        self.border_size = k
+
+    def assemble(self):
+        """Return the full ``(n+k, n+k)`` sparse matrix in CSC form."""
+        return sp.bmat(
+            [
+                [self.core, sp.csr_matrix(self.columns)],
+                [sp.csr_matrix(self.rows), sp.csr_matrix(self.corner)],
+            ],
+            format="csc",
+        )
+
+    def solve(self, rhs):
+        """Solve the bordered system for the stacked right-hand side."""
+        rhs = np.asarray(rhs, dtype=float).ravel()
+        if rhs.size != self.size:
+            raise ValueError(
+                f"rhs has length {rhs.size}, expected {self.size}"
+            )
+        matrix = self.assemble()
+        solution = spla.spsolve(matrix, rhs)
+        if not np.all(np.isfinite(solution)):
+            raise SingularJacobianError(
+                "bordered solve produced non-finite values "
+                f"(matrix size {self.size})"
+            )
+        return solution

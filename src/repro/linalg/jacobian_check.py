@@ -1,0 +1,69 @@
+"""Finite-difference Jacobian verification.
+
+Every analytic Jacobian in the library (device stamps, transient step
+residuals, WaMPDE collocation blocks) is validated against these helpers in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def finite_difference_jacobian(func, x, eps=None):
+    """Central-difference Jacobian of ``func`` at ``x``.
+
+    Parameters
+    ----------
+    func:
+        Callable ``x -> F(x)`` returning a 1-D array.
+    x:
+        Evaluation point (1-D array).
+    eps:
+        Step size; defaults to ``sqrt(machine eps) * max(1, |x_i|)`` per
+        component.
+
+    Returns
+    -------
+    numpy.ndarray
+        Dense ``(m, n)`` Jacobian estimate.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    f0 = np.asarray(func(x), dtype=float).ravel()
+    jac = np.empty((f0.size, x.size))
+    base_eps = np.sqrt(np.finfo(float).eps)
+    for i in range(x.size):
+        step = eps if eps is not None else base_eps * max(1.0, abs(x[i]))
+        x_plus = x.copy()
+        x_minus = x.copy()
+        x_plus[i] += step
+        x_minus[i] -= step
+        f_plus = np.asarray(func(x_plus), dtype=float).ravel()
+        f_minus = np.asarray(func(x_minus), dtype=float).ravel()
+        jac[:, i] = (f_plus - f_minus) / (2.0 * step)
+    return jac
+
+
+def jacobian_error(analytic, numeric):
+    """Relative infinity-norm discrepancy between two Jacobians.
+
+    Accepts sparse or dense inputs; the scale is the larger of the two
+    matrices' norms (or 1 for all-zero Jacobians).
+    """
+    if sp.issparse(analytic):
+        analytic = analytic.toarray()
+    if sp.issparse(numeric):
+        numeric = numeric.toarray()
+    analytic = np.asarray(analytic, dtype=float)
+    numeric = np.asarray(numeric, dtype=float)
+    if analytic.shape != numeric.shape:
+        raise ValueError(
+            f"shape mismatch: analytic {analytic.shape} vs numeric {numeric.shape}"
+        )
+    scale = max(
+        np.linalg.norm(analytic, ord=np.inf),
+        np.linalg.norm(numeric, ord=np.inf),
+        1.0,
+    )
+    return np.linalg.norm(analytic - numeric, ord=np.inf) / scale

@@ -1,0 +1,187 @@
+"""Damped Newton–Raphson for square nonlinear systems.
+
+The solver is deliberately simple and predictable: full Newton steps with a
+residual-monotonicity line search (step halving).  Every engine in this
+library — DC operating point, transient time steps, shooting, harmonic
+balance, MPDE and WaMPDE collocation — funnels through this one kernel, so
+its convergence reporting is uniform everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.constants import (
+    DEFAULT_NEWTON_ATOL,
+    DEFAULT_NEWTON_MAXITER,
+    DEFAULT_NEWTON_RTOL,
+)
+from repro.errors import ConvergenceError, SingularJacobianError
+
+
+@dataclass
+class NewtonOptions:
+    """Tuning knobs for :func:`newton_solve`.
+
+    Attributes
+    ----------
+    atol:
+        Absolute tolerance on the residual infinity-norm.
+    rtol:
+        Relative tolerance on the Newton update (per component, relative to
+        the iterate).
+    max_iterations:
+        Iteration budget before raising/reporting failure.
+    max_step_halvings:
+        Line-search depth; 0 disables damping.
+    raise_on_failure:
+        When True (default) a non-convergent solve raises
+        :class:`repro.errors.ConvergenceError`; when False the best iterate
+        is returned with ``converged=False``.
+    """
+
+    atol: float = DEFAULT_NEWTON_ATOL
+    rtol: float = DEFAULT_NEWTON_RTOL
+    max_iterations: int = DEFAULT_NEWTON_MAXITER
+    max_step_halvings: int = 12
+    raise_on_failure: bool = True
+
+
+@dataclass
+class NewtonResult:
+    """Outcome of a Newton solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    converged:
+        Whether both residual and update tests passed.
+    iterations:
+        Newton iterations performed.
+    residual_norm:
+        Infinity-norm of the final residual.
+    residual_history:
+        Residual norm per iteration (including the initial guess).
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    residual_history: list = field(default_factory=list)
+
+
+def _default_linear_solve(jacobian, rhs):
+    """Solve ``jacobian @ dx = rhs`` by dense or sparse LU."""
+    if sp.issparse(jacobian):
+        return spla.spsolve(sp.csc_matrix(jacobian), rhs)
+    return np.linalg.solve(np.asarray(jacobian, dtype=float), rhs)
+
+
+def newton_solve(residual, jacobian, x0, options=None, linear_solver=None):
+    """Solve ``residual(x) = 0`` starting from ``x0``.
+
+    Parameters
+    ----------
+    residual:
+        Callable ``x -> F(x)`` returning a 1-D array.
+    jacobian:
+        Callable ``x -> dF/dx`` returning a dense array or scipy sparse
+        matrix of shape ``(n, n)``.
+    x0:
+        Initial guess (1-D, length n).
+    options:
+        :class:`NewtonOptions`; defaults are suitable for circuit residuals.
+    linear_solver:
+        Optional callable ``(J, rhs) -> dx`` replacing the default LU solve
+        (e.g. :class:`repro.linalg.gmres.GmresLinearSolver`).
+
+    Returns
+    -------
+    NewtonResult
+
+    Raises
+    ------
+    ConvergenceError
+        If the iteration stalls and ``options.raise_on_failure`` is True.
+    SingularJacobianError
+        If the linear solve produces non-finite updates.
+    """
+    opts = options or NewtonOptions()
+    solve = linear_solver or _default_linear_solve
+
+    x = np.array(x0, dtype=float).ravel()
+    f = np.asarray(residual(x), dtype=float).ravel()
+    if f.size != x.size:
+        raise ValueError(
+            f"residual returned length {f.size} for iterate of length {x.size}"
+        )
+    norm = float(np.linalg.norm(f, ord=np.inf))
+    history = [norm]
+
+    for iteration in range(1, opts.max_iterations + 1):
+        if norm <= opts.atol:
+            return NewtonResult(x, True, iteration - 1, norm, history)
+
+        jac = jacobian(x)
+        try:
+            dx = np.asarray(solve(jac, -f), dtype=float).ravel()
+        except (RuntimeError, np.linalg.LinAlgError) as exc:
+            # scipy raises RuntimeError on singular sparse LU; numpy raises
+            # LinAlgError on singular dense solves.
+            raise SingularJacobianError(
+                f"linear solve failed at Newton iteration {iteration}: {exc}",
+                iterations=iteration,
+                residual_norm=norm,
+            ) from exc
+        if not np.all(np.isfinite(dx)):
+            raise SingularJacobianError(
+                f"non-finite Newton update at iteration {iteration} "
+                f"(residual norm {norm:.3e})",
+                iterations=iteration,
+                residual_norm=norm,
+            )
+
+        # Line search: halve the step until the residual norm decreases
+        # (or accept the full step if damping is disabled).
+        step = 1.0
+        accepted = False
+        for _ in range(opts.max_step_halvings + 1):
+            x_trial = x + step * dx
+            f_trial = np.asarray(residual(x_trial), dtype=float).ravel()
+            norm_trial = float(np.linalg.norm(f_trial, ord=np.inf))
+            if np.isfinite(norm_trial) and (norm_trial < norm or norm <= opts.atol):
+                accepted = True
+                break
+            step *= 0.5
+        if not accepted:
+            # Accept the last (smallest) damped step anyway; Newton may still
+            # escape a locally non-monotone region.
+            x_trial = x + step * dx
+            f_trial = np.asarray(residual(x_trial), dtype=float).ravel()
+            norm_trial = float(np.linalg.norm(f_trial, ord=np.inf))
+
+        update_small = np.all(
+            np.abs(step * dx) <= opts.rtol * np.maximum(np.abs(x_trial), 1.0)
+        )
+        x, f, norm = x_trial, f_trial, norm_trial
+        history.append(norm)
+
+        if norm <= opts.atol or (update_small and np.isfinite(norm)):
+            converged = norm <= max(opts.atol, history[0] * 1e-6) or update_small
+            if converged:
+                return NewtonResult(x, True, iteration, norm, history)
+
+    if opts.raise_on_failure:
+        raise ConvergenceError(
+            f"Newton failed to converge in {opts.max_iterations} iterations "
+            f"(residual norm {norm:.3e})",
+            iterations=opts.max_iterations,
+            residual_norm=norm,
+        )
+    return NewtonResult(x, False, opts.max_iterations, norm, history)

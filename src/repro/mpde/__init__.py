@@ -1,0 +1,29 @@
+"""The (unwarped) MPDE — the non-autonomous ancestor of the WaMPDE.
+
+The Multirate Partial Differential Equation [BWLBG96, Roy97, Roy99]
+replaces a DAE driven by widely separated rates with
+
+    dq(xhat)/dt1 + dq(xhat)/dt2 + f(xhat) = bhat(t1, t2)
+
+where ``bhat`` is a bivariate form of the forcing.  It captures
+AM-quasiperiodicity compactly (paper Figs 1-2) but *cannot* represent FM
+from autonomous components (paper §3, Fig 5) — that limitation is exactly
+what the WaMPDE's warping fixes, and the two solvers here make the
+contrast measurable.
+"""
+
+from repro.mpde.forcing import BivariateForcing, additive_two_tone_forcing
+from repro.mpde.quasiperiodic import (
+    MpdeQuasiperiodicResult,
+    solve_mpde_quasiperiodic,
+)
+from repro.mpde.envelope import MpdeEnvelopeResult, solve_mpde_envelope
+
+__all__ = [
+    "BivariateForcing",
+    "additive_two_tone_forcing",
+    "MpdeQuasiperiodicResult",
+    "solve_mpde_quasiperiodic",
+    "MpdeEnvelopeResult",
+    "solve_mpde_envelope",
+]

@@ -1,0 +1,172 @@
+"""MPDE envelope: time-step in t2, spectral collocation in t1.
+
+Identical in structure to the WaMPDE envelope but without warping — the
+t1 axis has the *fixed* period of the fast forcing, there is no frequency
+unknown and no phase condition.  Useful for envelope-modulated
+(AM-transient) responses of driven circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.linalg.newton import NewtonOptions, newton_solve
+from repro.linalg.sparse_tools import block_diagonal_expand, kron_diffmat
+from repro.spectral.diffmat import fourier_differentiation_matrix
+from repro.spectral.grid import collocation_grid
+from repro.utils.validation import check_odd
+from repro.wampde.bivariate import BivariateWaveform
+
+
+@dataclass
+class MpdeEnvelopeOptions:
+    """Configuration for :func:`solve_mpde_envelope`."""
+
+    integrator: str = "trap"
+    newton: NewtonOptions = field(
+        default_factory=lambda: NewtonOptions(atol=1e-9, max_iterations=30)
+    )
+    store_every: int = 1
+
+
+class MpdeEnvelopeResult:
+    """MPDE envelope output: ``xhat`` samples marching along t2.
+
+    Attributes
+    ----------
+    t2:
+        Stored slow-time points.
+    samples:
+        Shape ``(m, N0, n)``.
+    """
+
+    def __init__(self, t2, samples, period1, variable_names, stats=None):
+        self.t2 = np.asarray(t2, dtype=float)
+        self.samples = np.asarray(samples, dtype=float)
+        self.period1 = float(period1)
+        self.variable_names = tuple(variable_names)
+        self.stats = dict(stats or {})
+
+    def bivariate(self, key):
+        """Bivariate waveform of one variable."""
+        if isinstance(key, str):
+            key = self.variable_names.index(key)
+        return BivariateWaveform(
+            self.t2,
+            self.samples[:, :, key],
+            name=self.variable_names[key],
+            t1_period=self.period1,
+        )
+
+    def reconstruct(self, key, times):
+        """Univariate ``x(t) = xhat(t mod T1, t)``."""
+        times = np.asarray(times, dtype=float)
+        waveform = self.bivariate(key)
+        return waveform(np.mod(times, self.period1), times)
+
+
+def solve_mpde_envelope(dae, forcing, initial_samples, t2_start, t2_stop,
+                        num_steps, options=None):
+    """March the MPDE in t2 from initial t1-cycle data.
+
+    Parameters
+    ----------
+    dae:
+        System providing ``q``/``f``; ``forcing`` replaces its ``b``.
+    forcing:
+        :class:`~repro.mpde.forcing.BivariateForcing`; only its t1-period
+        and values at the stepped ``t2`` matter here.
+    initial_samples:
+        ``(N0, n)`` t1-cycle at ``t2_start``.
+    t2_start, t2_stop, num_steps:
+        Uniform slow-time stepping window.
+
+    Returns
+    -------
+    MpdeEnvelopeResult
+    """
+    opts = options or MpdeEnvelopeOptions()
+    initial_samples = np.asarray(initial_samples, dtype=float)
+    if initial_samples.ndim != 2:
+        raise SimulationError(
+            f"initial_samples must be (N0, n), got {initial_samples.shape}"
+        )
+    n0, n = initial_samples.shape
+    check_odd(n0, "N0 (t1 samples)")
+    if n != dae.n:
+        raise SimulationError(
+            f"initial_samples has {n} variables, DAE has {dae.n}"
+        )
+    if opts.integrator not in ("trap", "be"):
+        raise SimulationError(
+            f"integrator must be 'trap' or 'be', got {opts.integrator!r}"
+        )
+    use_trap = opts.integrator == "trap"
+
+    t1_grid = collocation_grid(n0, forcing.period1)
+    d_big = kron_diffmat(
+        fourier_differentiation_matrix(n0, forcing.period1), n, ordering="point"
+    )
+    h = (t2_stop - t2_start) / num_steps
+
+    def b_at(t2_value):
+        return np.stack([forcing(t1, t2_value) for t1 in t1_grid]).ravel()
+
+    def fast_terms(states, t2_value):
+        q_flat = dae.q_batch(states).ravel()
+        f_flat = dae.f_batch(states).ravel()
+        return d_big @ q_flat + f_flat - b_at(t2_value), q_flat
+
+    x_samples = initial_samples.copy()
+    t2 = float(t2_start)
+    rhs_old, q_old = fast_terms(x_samples, t2)
+
+    stored_t2 = [t2]
+    stored = [x_samples.copy()]
+    stats = {"steps": 0, "newton_iterations": 0}
+    since_store = 0
+
+    for step in range(num_steps):
+        t2_new = t2_start + (step + 1) * h
+        b_new = b_at(t2_new)
+
+        def residual(z):
+            states = z.reshape(n0, n)
+            q_flat = dae.q_batch(states).ravel()
+            f_flat = dae.f_batch(states).ravel()
+            fast = d_big @ q_flat + f_flat - b_new
+            if use_trap:
+                return (q_flat - q_old) / h + 0.5 * (fast + rhs_old)
+            return (q_flat - q_old) / h + fast
+
+        def jacobian(z):
+            states = z.reshape(n0, n)
+            dq = block_diagonal_expand(dae.dq_dx_batch(states))
+            df = block_diagonal_expand(dae.df_dx_batch(states))
+            beta = 0.5 if use_trap else 1.0
+            return (dq / h + beta * (d_big @ dq + df)).tocsc()
+
+        result = newton_solve(
+            residual, jacobian, x_samples.ravel(), options=opts.newton
+        )
+        stats["newton_iterations"] += result.iterations
+        x_samples = result.x.reshape(n0, n)
+        t2 = t2_new
+        rhs_old, q_old = fast_terms(x_samples, t2)
+        stats["steps"] += 1
+        since_store += 1
+        if since_store >= opts.store_every or step == num_steps - 1:
+            stored_t2.append(t2)
+            stored.append(x_samples.copy())
+            since_store = 0
+
+    return MpdeEnvelopeResult(
+        np.asarray(stored_t2),
+        np.asarray(stored),
+        forcing.period1,
+        dae.variable_names,
+        stats,
+    )

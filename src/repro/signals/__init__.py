@@ -1,0 +1,44 @@
+"""Signal toolkit for the paper's §3 examples (Figs 1-6).
+
+Closed-form two-tone AM and prototypical FM signals, their unwarped and
+warped bivariate representations, and the sampling-cost analysis that
+motivates the whole multi-time approach.
+"""
+
+from repro.signals.multitone import (
+    two_tone_signal,
+    two_tone_bivariate,
+    transient_sample_count,
+    bivariate_sample_count,
+)
+from repro.signals.fm import (
+    fm_signal,
+    fm_instantaneous_frequency,
+    fm_unwarped_bivariate,
+    fm_warped_bivariate,
+    fm_warping_phi,
+    fm_alternative_bivariate,
+    fm_alternative_phi,
+)
+from repro.signals.cost import (
+    undulation_count,
+    grid_undulation_count,
+    reconstruction_error_two_tone,
+)
+
+__all__ = [
+    "two_tone_signal",
+    "two_tone_bivariate",
+    "transient_sample_count",
+    "bivariate_sample_count",
+    "fm_signal",
+    "fm_instantaneous_frequency",
+    "fm_unwarped_bivariate",
+    "fm_warped_bivariate",
+    "fm_warping_phi",
+    "fm_alternative_bivariate",
+    "fm_alternative_phi",
+    "undulation_count",
+    "grid_undulation_count",
+    "reconstruction_error_two_tone",
+]

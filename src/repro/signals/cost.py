@@ -1,0 +1,78 @@
+"""Representation-cost measurements for multi-time forms.
+
+Quantifies the paper's §3 claims: the bivariate form of an AM signal needs
+far fewer samples (Fig 2 vs Fig 1), while the *unwarped* bivariate form of
+an FM signal undulates ~``k/(2 pi)`` times along t2 and cannot be sampled
+compactly (Fig 5) — unlike its warped counterpart (Fig 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signals.multitone import two_tone_bivariate, two_tone_signal
+from repro.utils.validation import as_1d_array
+
+
+def undulation_count(values):
+    """Number of sign changes of the derivative along a sampled line.
+
+    A direct, discretisation-robust proxy for "how many undulations" a
+    waveform has — each full oscillation contributes two extrema.
+    """
+    values = as_1d_array(values, "values")
+    diffs = np.diff(values)
+    signs = np.sign(diffs)
+    nonzero = signs[signs != 0]
+    if nonzero.size < 2:
+        return 0
+    return int(np.sum(nonzero[1:] != nonzero[:-1]))
+
+
+def grid_undulation_count(grid_values, axis=0):
+    """Maximum undulation count over all grid lines along ``axis``.
+
+    ``grid_values`` is a 2-D array; for the paper's Fig 5 vs Fig 6
+    comparison pass the bivariate samples and ``axis=0`` (t2 direction).
+    """
+    grid_values = np.asarray(grid_values, dtype=float)
+    if grid_values.ndim != 2:
+        raise ValueError(f"grid_values must be 2-D, got {grid_values.shape}")
+    lines = grid_values.T if axis == 0 else grid_values
+    return max(undulation_count(line) for line in lines)
+
+
+def reconstruction_error_two_tone(points_per_axis, period1=0.02, period2=1.0,
+                                  num_eval=2000):
+    """Error of reconstructing ``y(t)`` from a sampled bivariate grid.
+
+    Samples ``yhat`` on a ``points_per_axis x points_per_axis`` bi-periodic
+    grid, rebuilds the univariate signal along the diagonal path through
+    trigonometric interpolation, and returns the max abs error against the
+    closed form.  Demonstrates quantitatively that ~15 points per axis
+    (225 total) suffice where direct sampling needs 750.
+    """
+    from repro.spectral.fourier import samples_to_coefficients
+    from repro.spectral.grid import collocation_grid, harmonic_indices
+
+    n = int(points_per_axis)
+    if n % 2 != 1:
+        raise ValueError(f"points_per_axis must be odd, got {n}")
+    grid1 = collocation_grid(n, period1)
+    grid2 = collocation_grid(n, period2)
+    values = two_tone_bivariate(
+        grid1[None, :], grid2[:, None], period1, period2
+    )
+    # 2-D trigonometric interpolation via separable FFTs.
+    coeffs = samples_to_coefficients(
+        samples_to_coefficients(values, axis=1), axis=0
+    )
+    idx = harmonic_indices(n)
+
+    t = np.linspace(0.0, period2, num_eval)
+    phase1 = np.exp(2j * np.pi * np.multiply.outer(t / period1, idx))
+    phase2 = np.exp(2j * np.pi * np.multiply.outer(t / period2, idx))
+    # y(t) = sum_{ij} C[i, j] e^{2 pi i t/T2} e^{2 pi j t/T1}
+    reconstructed = np.einsum("ti,ij,tj->t", phase2, coeffs, phase1).real
+    exact = two_tone_signal(t, period1, period2)
+    return float(np.max(np.abs(reconstructed - exact)))

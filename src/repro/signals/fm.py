@@ -1,0 +1,94 @@
+"""The prototypical FM signal and its bivariate forms (paper §3, eqs. 3-11).
+
+    x(t) = cos(2 pi f0 t + k cos(2 pi f2 t)),   f0 >> f2
+
+* ``xhat1`` (eq. 5): the *unwarped* bivariate form — bi-periodic but with
+  ~k/(2 pi) undulations along t2, impossible to sample compactly (Fig 5).
+* ``xhat2`` (eq. 6) + ``phi`` (eq. 7): the *warped* form — a plain cosine
+  in ``t1`` with all FM absorbed into the warping; compact (Fig 6).
+* ``xhat3``/``phi3`` (eq. 11): the alternative obtained from the
+  derivative phase condition of eq. (9), demonstrating the
+  order-``f2`` ambiguity of the local frequency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import TWO_PI
+from repro.utils.validation import check_positive
+
+#: The paper's FM example parameters (Fig 4).
+F0_PAPER = 1e6
+F2_PAPER = 20e3
+K_PAPER = 8.0 * np.pi
+
+
+def fm_signal(t, f0=F0_PAPER, f2=F2_PAPER, k=K_PAPER):
+    """FM waveform ``x(t)`` of paper eq. (3)."""
+    check_positive(f0, "f0")
+    check_positive(f2, "f2")
+    t = np.asarray(t, dtype=float)
+    return np.cos(TWO_PI * f0 * t + k * np.cos(TWO_PI * f2 * t))
+
+
+def fm_instantaneous_frequency(t, f0=F0_PAPER, f2=F2_PAPER, k=K_PAPER):
+    """Instantaneous frequency ``f(t) = f0 - k f2 sin(2 pi f2 t)`` (eq. 4)."""
+    t = np.asarray(t, dtype=float)
+    return f0 - k * f2 * np.sin(TWO_PI * f2 * t)
+
+
+def fm_unwarped_bivariate(t1, t2, f0=F0_PAPER, f2=F2_PAPER, k=K_PAPER):
+    """Unwarped bivariate ``xhat1(t1, t2)`` of paper eq. (5).
+
+    ``x(t) = xhat1(t, t)``; periodic in ``t1`` (period ``1/f0``) and ``t2``
+    (period ``1/f2``), but with ~``k/(2 pi)`` undulations along ``t2``.
+    """
+    t1 = np.asarray(t1, dtype=float)
+    t2 = np.asarray(t2, dtype=float)
+    return np.cos(TWO_PI * f0 * t1 + k * np.cos(TWO_PI * f2 * t2))
+
+
+def fm_warped_bivariate(t1, t2=None):
+    """Warped bivariate ``xhat2(t1, t2) = cos(2 pi t1)`` of paper eq. (6).
+
+    Constant along ``t2`` (the argument is accepted for signature symmetry
+    and broadcasting).  ``t1`` is the *warped* time in cycles.
+    """
+    t1 = np.asarray(t1, dtype=float)
+    value = np.cos(TWO_PI * t1)
+    if t2 is not None:
+        value = np.broadcast_arrays(value, np.asarray(t2, dtype=float))[0]
+    return value
+
+
+def fm_warping_phi(t, f0=F0_PAPER, f2=F2_PAPER, k=K_PAPER):
+    """Warping function ``phi(t) = f0 t + (k/2 pi) cos(2 pi f2 t)`` (eq. 7).
+
+    Its derivative is exactly :func:`fm_instantaneous_frequency`, and
+    ``x(t) = xhat2(phi(t), t)`` (paper eq. 8).
+    """
+    t = np.asarray(t, dtype=float)
+    return f0 * t + (k / TWO_PI) * np.cos(TWO_PI * f2 * t)
+
+
+def fm_alternative_bivariate(t1, t2, f2=F2_PAPER):
+    """Alternative warped form ``xhat3(t1, t2) = cos(2 pi t1 + 2 pi f2 t2)``.
+
+    Paper eq. (11), produced by the derivative phase condition of eq. (9).
+    Still compactly sampleable: exactly one undulation along each axis.
+    """
+    t1 = np.asarray(t1, dtype=float)
+    t2 = np.asarray(t2, dtype=float)
+    return np.cos(TWO_PI * t1 + TWO_PI * f2 * t2)
+
+
+def fm_alternative_phi(t, f0=F0_PAPER, f2=F2_PAPER, k=K_PAPER):
+    """Alternative warping ``phi3(t) = f0 t + (k/2 pi) cos(2 pi f2 t) - f2 t``.
+
+    Paper eq. (11).  Note ``d phi3/dt`` differs from the instantaneous
+    frequency by exactly ``-f2`` — the order-``f2`` ambiguity of any local
+    frequency definition (§3 discussion).
+    """
+    t = np.asarray(t, dtype=float)
+    return (f0 - f2) * t + (k / TWO_PI) * np.cos(TWO_PI * f2 * t)

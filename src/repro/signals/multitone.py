@@ -1,0 +1,65 @@
+"""Two-tone quasiperiodic signals (paper §3, eqs. 1-2, Figs 1-3).
+
+The running example::
+
+    y(t) = sin(2 pi t / T1) * sin(2 pi t / T2),  T1 = 0.02 s, T2 = 1 s
+
+and its bi-periodic bivariate form
+
+    yhat(t1, t2) = sin(2 pi t1 / T1) * sin(2 pi t2 / T2)
+
+with ``y(t) = yhat(t, t)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import TWO_PI
+from repro.utils.validation import check_positive
+
+#: The paper's fast period (50 Hz tone).
+T1_PAPER = 0.02
+#: The paper's slow period (1 Hz tone).
+T2_PAPER = 1.0
+#: Points per fast sinusoid used for the paper's Fig 1 (750 samples total).
+POINTS_PER_CYCLE_PAPER = 15
+
+
+def two_tone_signal(t, period1=T1_PAPER, period2=T2_PAPER):
+    """The univariate two-tone signal ``y(t)`` of paper eq. (1)."""
+    check_positive(period1, "period1")
+    check_positive(period2, "period2")
+    t = np.asarray(t, dtype=float)
+    return np.sin(TWO_PI * t / period1) * np.sin(TWO_PI * t / period2)
+
+
+def two_tone_bivariate(t1, t2, period1=T1_PAPER, period2=T2_PAPER):
+    """The bivariate form ``yhat(t1, t2)`` of paper eq. (2).
+
+    Bi-periodic: ``yhat(t1 + T1, t2 + T2) = yhat(t1, t2)``; setting
+    ``t1 = t2 = t`` recovers :func:`two_tone_signal`.
+    """
+    check_positive(period1, "period1")
+    check_positive(period2, "period2")
+    t1 = np.asarray(t1, dtype=float)
+    t2 = np.asarray(t2, dtype=float)
+    return np.sin(TWO_PI * t1 / period1) * np.sin(TWO_PI * t2 / period2)
+
+
+def transient_sample_count(period1=T1_PAPER, period2=T2_PAPER,
+                           points_per_cycle=POINTS_PER_CYCLE_PAPER):
+    """Samples needed to resolve one slow period by brute-force sampling.
+
+    Paper §3: "If each fast sinusoid is sampled at n points, the total
+    number of time-steps needed for one period of the slow modulation is
+    n * T2 / T1" — 750 for the paper's numbers.
+    """
+    check_positive(period1, "period1")
+    check_positive(period2, "period2")
+    return int(round(points_per_cycle * period2 / period1))
+
+
+def bivariate_sample_count(points_per_cycle=POINTS_PER_CYCLE_PAPER):
+    """Samples for the bivariate grid: ``n x n`` (225 for the paper)."""
+    return int(points_per_cycle) ** 2

@@ -1,0 +1,36 @@
+"""Spectral (Fourier) kernel for periodic collocation.
+
+All multi-time solvers in this library discretise periodic time axes on
+uniform grids of an odd number of points ``N = 2M + 1`` and manipulate the
+corresponding degree-``M`` trigonometric interpolants.  Odd ``N`` avoids the
+ambiguous Nyquist mode, so differentiation and interpolation are *exact* on
+the represented trigonometric space.
+"""
+
+from repro.spectral.grid import collocation_grid, harmonic_indices
+from repro.spectral.fourier import (
+    fourier_coefficients,
+    fourier_synthesis,
+    coefficients_to_samples,
+    samples_to_coefficients,
+)
+from repro.spectral.diffmat import fourier_differentiation_matrix, spectral_derivative
+from repro.spectral.interpolation import (
+    trig_interpolate,
+    TrigInterpolant,
+    BiTrigInterpolant,
+)
+
+__all__ = [
+    "collocation_grid",
+    "harmonic_indices",
+    "fourier_coefficients",
+    "fourier_synthesis",
+    "coefficients_to_samples",
+    "samples_to_coefficients",
+    "fourier_differentiation_matrix",
+    "spectral_derivative",
+    "trig_interpolate",
+    "TrigInterpolant",
+    "BiTrigInterpolant",
+]

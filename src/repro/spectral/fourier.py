@@ -1,0 +1,99 @@
+"""Conversions between periodic samples and Fourier coefficients.
+
+Conventions
+-----------
+A real (or complex) signal sampled at ``N = 2M + 1`` uniform points over one
+period ``P`` is represented by the degree-``M`` trigonometric interpolant
+
+    x(t) = sum_{i=-M}^{M} X_i * exp(1j * 2*pi*i * t / P)
+
+``samples_to_coefficients`` returns ``X_i`` in *centered* order (index ``-M``
+first, matching :func:`repro.spectral.grid.harmonic_indices`);
+``coefficients_to_samples`` inverts it exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_odd
+
+
+def samples_to_coefficients(samples, axis=-1):
+    """Fourier coefficients (centered order) of uniformly sampled data.
+
+    Parameters
+    ----------
+    samples:
+        Array of samples on a :func:`collocation_grid`; the periodic axis is
+        selected by ``axis`` and must have odd length.
+    axis:
+        Axis holding the periodic samples.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex coefficients, same shape as ``samples``, centered order.
+    """
+    samples = np.asarray(samples)
+    check_odd(samples.shape[axis], "number of samples")
+    coeffs = np.fft.fft(samples, axis=axis) / samples.shape[axis]
+    return np.fft.fftshift(coeffs, axes=axis)
+
+
+def coefficients_to_samples(coefficients, axis=-1, real=True):
+    """Inverse of :func:`samples_to_coefficients`.
+
+    Parameters
+    ----------
+    coefficients:
+        Centered-order Fourier coefficients (odd length along ``axis``).
+    axis:
+        Axis holding the harmonics.
+    real:
+        When True, the imaginary part (which is round-off for coefficients
+        of a real signal) is discarded.
+    """
+    coefficients = np.asarray(coefficients, dtype=complex)
+    check_odd(coefficients.shape[axis], "number of coefficients")
+    shifted = np.fft.ifftshift(coefficients, axes=axis)
+    samples = np.fft.ifft(shifted, axis=axis) * coefficients.shape[axis]
+    if real:
+        return samples.real
+    return samples
+
+
+def fourier_coefficients(samples, axis=-1):
+    """Alias of :func:`samples_to_coefficients` (descriptive public name)."""
+    return samples_to_coefficients(samples, axis=axis)
+
+
+def fourier_synthesis(coefficients, times, period=1.0):
+    """Evaluate the trigonometric interpolant at arbitrary ``times``.
+
+    Parameters
+    ----------
+    coefficients:
+        1-D centered-order coefficients (odd length ``2M + 1``).
+    times:
+        Scalar or array of evaluation times.
+    period:
+        Period of the represented signal.
+
+    Returns
+    -------
+    numpy.ndarray
+        Real part of the interpolant at ``times`` (shape of ``times``).
+    """
+    coefficients = np.asarray(coefficients, dtype=complex)
+    if coefficients.ndim != 1:
+        raise ValueError(
+            f"fourier_synthesis expects 1-D coefficients, got shape "
+            f"{coefficients.shape}"
+        )
+    num = check_odd(coefficients.size, "number of coefficients")
+    half = num // 2
+    indices = np.arange(-half, half + 1)
+    times = np.asarray(times, dtype=float)
+    phases = np.exp(2j * np.pi * np.multiply.outer(times, indices) / period)
+    return (phases @ coefficients).real

@@ -1,0 +1,29 @@
+"""Collocation grids and harmonic index bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_odd, check_positive
+
+
+def collocation_grid(num_samples, period=1.0):
+    """Uniform periodic collocation grid of ``num_samples`` (odd) points.
+
+    Points lie on ``[0, period)``; the endpoint is excluded because it is
+    identified with 0.
+    """
+    check_odd(num_samples, "num_samples")
+    check_positive(period, "period")
+    return period * np.arange(num_samples) / num_samples
+
+
+def harmonic_indices(num_samples):
+    """Signed harmonic indices ``-M .. M`` in *centered* order.
+
+    For ``num_samples = 2M + 1`` returns ``[-M, ..., -1, 0, 1, ..., M]``.
+    This is the ordering used by :func:`samples_to_coefficients`.
+    """
+    order = check_odd(num_samples, "num_samples")
+    half = order // 2
+    return np.arange(-half, half + 1)

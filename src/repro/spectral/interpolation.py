@@ -1,0 +1,117 @@
+"""Trigonometric (band-limited) interpolation of periodic samples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spectral.fourier import fourier_synthesis, samples_to_coefficients
+from repro.utils.validation import check_odd, check_positive
+
+
+def trig_interpolate(samples, times, period=1.0):
+    """Evaluate the trigonometric interpolant of ``samples`` at ``times``.
+
+    ``samples`` must lie on the odd-length collocation grid for ``period``.
+    The result agrees with ``samples`` exactly at grid points and is the
+    unique degree-``M`` trigonometric polynomial through them.
+    """
+    coeffs = samples_to_coefficients(np.asarray(samples, dtype=float))
+    return fourier_synthesis(coeffs, times, period=period)
+
+
+class BiTrigInterpolant:
+    """Trigonometric interpolation on a bi-periodic tensor grid.
+
+    Exact (spectral) in *both* axes — the right evaluator for bi-periodic
+    MPDE/WaMPDE quasiperiodic solutions, where linear interpolation along
+    the slow axis would dominate the error budget.
+
+    Parameters
+    ----------
+    samples:
+        Grid values of shape ``(N2, N1)`` (odd sizes): ``samples[i2, i1]``
+        is the value at ``(t1 = i1*P1/N1, t2 = i2*P2/N2)``.
+    period1, period2:
+        Axis periods.
+    """
+
+    def __init__(self, samples, period1=1.0, period2=1.0):
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2:
+            raise ValueError(
+                f"BiTrigInterpolant expects 2-D samples, got {samples.shape}"
+            )
+        check_odd(samples.shape[0], "N2 (rows)")
+        check_odd(samples.shape[1], "N1 (columns)")
+        check_positive(period1, "period1")
+        check_positive(period2, "period2")
+        self.period1 = float(period1)
+        self.period2 = float(period2)
+        # 2-D Fourier coefficients, centered order on both axes.
+        self._coefficients = samples_to_coefficients(
+            samples_to_coefficients(samples, axis=1), axis=0
+        )
+        half1 = samples.shape[1] // 2
+        half2 = samples.shape[0] // 2
+        self._idx1 = np.arange(-half1, half1 + 1)
+        self._idx2 = np.arange(-half2, half2 + 1)
+
+    def __call__(self, t1, t2):
+        """Evaluate at broadcastable ``t1``/``t2`` (wrapped periodically)."""
+        t1 = np.asarray(t1, dtype=float)
+        t2 = np.asarray(t2, dtype=float)
+        t1b, t2b = np.broadcast_arrays(t1, t2)
+        phase1 = np.exp(
+            2j * np.pi * np.multiply.outer(t1b.ravel() / self.period1, self._idx1)
+        )
+        phase2 = np.exp(
+            2j * np.pi * np.multiply.outer(t2b.ravel() / self.period2, self._idx2)
+        )
+        values = np.einsum(
+            "ti,ij,tj->t", phase2, self._coefficients, phase1
+        ).real
+        result = values.reshape(t1b.shape)
+        return result if result.ndim else float(result)
+
+
+class TrigInterpolant:
+    """Callable trigonometric interpolant of one period of samples.
+
+    Precomputes Fourier coefficients once so repeated evaluations (e.g. along
+    a warped path) stay cheap.
+
+    Parameters
+    ----------
+    samples:
+        1-D array of odd length on the collocation grid.
+    period:
+        Period of the underlying signal.
+    """
+
+    def __init__(self, samples, period=1.0):
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 1:
+            raise ValueError(
+                f"TrigInterpolant expects 1-D samples, got shape {samples.shape}"
+            )
+        check_odd(samples.size, "number of samples")
+        check_positive(period, "period")
+        self.period = float(period)
+        self._coefficients = samples_to_coefficients(samples)
+
+    @property
+    def coefficients(self):
+        """Centered-order Fourier coefficients of the interpolant."""
+        return self._coefficients.copy()
+
+    def __call__(self, times):
+        """Evaluate the interpolant at scalar or array ``times``."""
+        return fourier_synthesis(self._coefficients, times, period=self.period)
+
+    def derivative(self, times):
+        """Evaluate the first derivative of the interpolant at ``times``."""
+        num = self._coefficients.size
+        half = num // 2
+        indices = np.arange(-half, half + 1)
+        dcoeffs = self._coefficients * (2j * np.pi * indices / self.period)
+        return fourier_synthesis(dcoeffs, times, period=self.period)

@@ -1,0 +1,42 @@
+"""Steady-state analyses: DC, periodic shooting, harmonic balance.
+
+These are the boundary-value baselines the paper reviews in §2: fine for
+*unforced* oscillators in periodic steady state, but unable to represent
+FM-quasiperiodic responses (they would need impractically many time points
+or harmonics — see the Fig 5 discussion).  Here they serve two roles:
+
+* baselines for the comparison benches, and
+* initialisers for the WaMPDE envelope (paper §4.1: "a natural initial
+  condition is the solution of (12) with no forcing").
+"""
+
+from repro.steadystate.dc import dc_operating_point, DcOptions
+from repro.steadystate.shooting import (
+    ShootingResult,
+    shooting_periodic,
+    shooting_autonomous,
+    estimate_period_from_transient,
+)
+from repro.steadystate.harmonic_balance import (
+    HBResult,
+    harmonic_balance_forced,
+    harmonic_balance_autonomous,
+)
+from repro.steadystate.entrainment import find_locked_orbit, stretch_cycle
+from repro.steadystate.sweep import FrequencySweepResult, oscillator_frequency_sweep
+
+__all__ = [
+    "dc_operating_point",
+    "DcOptions",
+    "ShootingResult",
+    "shooting_periodic",
+    "shooting_autonomous",
+    "estimate_period_from_transient",
+    "HBResult",
+    "harmonic_balance_forced",
+    "harmonic_balance_autonomous",
+    "find_locked_orbit",
+    "stretch_cycle",
+    "FrequencySweepResult",
+    "oscillator_frequency_sweep",
+]

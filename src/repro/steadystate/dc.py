@@ -1,0 +1,109 @@
+"""DC operating point: solve ``f(x) = b(t0)`` with all dynamics frozen."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.linalg.newton import NewtonOptions, newton_solve
+
+
+@dataclass
+class DcOptions:
+    """Configuration for :func:`dc_operating_point`.
+
+    Attributes
+    ----------
+    newton:
+        Newton options for the direct attempt.
+    gmin_steps:
+        Number of gmin-stepping continuation stages tried if the direct
+        solve fails (0 disables).
+    gmin_start:
+        Initial shunt conductance for gmin stepping.
+    source_steps:
+        Number of source-stepping stages tried if gmin stepping also fails.
+    """
+
+    newton: NewtonOptions = field(
+        default_factory=lambda: NewtonOptions(raise_on_failure=False)
+    )
+    gmin_steps: int = 8
+    gmin_start: float = 1e-2
+    source_steps: int = 8
+
+
+def _solve_once(dae, x0, t0, gmin, source_scale, newton_options):
+    """One Newton attempt with shunt gmin and scaled sources."""
+    b0 = source_scale * dae.b(t0)
+
+    def residual(x):
+        return dae.f(x) + gmin * x - b0
+
+    def jacobian(x):
+        jac = np.asarray(dae.df_dx(x), dtype=float)
+        if gmin:
+            jac = jac + gmin * np.eye(dae.n)
+        return jac
+
+    return newton_solve(residual, jacobian, x0, options=newton_options)
+
+
+def dc_operating_point(dae, t0=0.0, x0=None, options=None):
+    """Find ``x`` with ``f(x) = b(t0)`` (the quiescent point of the DAE).
+
+    Tries a direct Newton solve first, then gmin stepping, then source
+    stepping — the standard SPICE escalation ladder.
+
+    Returns
+    -------
+    numpy.ndarray
+        The operating point.
+
+    Raises
+    ------
+    ConvergenceError
+        If every strategy fails.
+    """
+    opts = options or DcOptions()
+    x = np.zeros(dae.n) if x0 is None else np.array(x0, dtype=float).ravel()
+
+    result = _solve_once(dae, x, t0, 0.0, 1.0, opts.newton)
+    if result.converged:
+        return result.x
+
+    # gmin stepping: solve with a large shunt conductance, then relax it.
+    if opts.gmin_steps > 0:
+        x_cont = x.copy()
+        gmins = np.geomspace(opts.gmin_start, 1e-12, opts.gmin_steps)
+        ok = True
+        for gmin in gmins:
+            result = _solve_once(dae, x_cont, t0, float(gmin), 1.0, opts.newton)
+            if not result.converged:
+                ok = False
+                break
+            x_cont = result.x
+        if ok:
+            result = _solve_once(dae, x_cont, t0, 0.0, 1.0, opts.newton)
+            if result.converged:
+                return result.x
+
+    # Source stepping: ramp b from 0 to full strength.
+    if opts.source_steps > 0:
+        x_cont = np.zeros(dae.n)
+        ok = True
+        for scale in np.linspace(0.0, 1.0, opts.source_steps + 1)[1:]:
+            result = _solve_once(dae, x_cont, t0, 0.0, float(scale), opts.newton)
+            if not result.converged:
+                ok = False
+                break
+            x_cont = result.x
+        if ok:
+            return x_cont
+
+    raise ConvergenceError(
+        "DC operating point failed: direct Newton, gmin stepping and source "
+        "stepping all diverged"
+    )

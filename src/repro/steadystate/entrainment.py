@@ -1,0 +1,115 @@
+"""Entrainment (mode-locking) detection via forced harmonic balance.
+
+Paper §4.1: a mode-locked (entrained) oscillator's response "has the same
+period as the external forcing" — i.e. it *is* a stable periodic solution
+of the forced system.  Period multiplication (frequency division) is the
+same phenomenon with the response period a multiple of the forcing's.
+
+:func:`find_locked_orbit` searches for such a solution: forced HB seeded
+from a free-running cycle (retried over initial phase shifts, since the
+locked phase offset relative to the injection is unknown a priori),
+filtered by amplitude (to discard the small non-oscillating response
+branch) and verified for *stability* by stroboscopic transient sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.linalg.newton import NewtonOptions
+from repro.steadystate.harmonic_balance import harmonic_balance_forced
+from repro.transient.engine import TransientOptions, simulate_transient
+from repro.utils.validation import check_positive
+
+
+def stretch_cycle(base_cycle, num_samples):
+    """Resample one oscillation cycle onto a different odd-length grid.
+
+    Used to seed period-multiplied solves: one free-running cycle
+    stretched across the longer response period reshapes well under
+    Newton (seeding with repeated cycles tends to fall onto the
+    unentrained branch).
+    """
+    base_cycle = np.asarray(base_cycle, dtype=float)
+    num = base_cycle.shape[0]
+    return np.array(
+        [base_cycle[int(i * num / num_samples) % num]
+         for i in range(num_samples)]
+    )
+
+
+def find_locked_orbit(dae, period, base_cycle, min_peak_to_peak=2.0,
+                      variable=0, phase_step=3, num_samples=None,
+                      stability_periods=40, stability_tolerance=0.1,
+                      newton_options=None):
+    """Search for a stable ``period``-periodic large-amplitude orbit.
+
+    Parameters
+    ----------
+    dae:
+        The forced system (its ``b`` must be ``period``-periodic — for a
+        divide-by-N search pass ``period = N / f_injection``).
+    period:
+        Target response period.
+    base_cycle:
+        ``(N, n)`` free-running cycle used (phase-rolled and, if
+        ``num_samples`` differs, stretched) as the initial guess.
+    min_peak_to_peak:
+        Amplitude threshold separating the entrained oscillation from the
+        small forced response of the off state.
+    variable:
+        Variable used for the amplitude/stability tests.
+    phase_step:
+        Granularity of the initial-phase retry loop (1 = try every shift).
+    num_samples:
+        Collocation size for the HB solve; defaults to the guess's length.
+    stability_periods:
+        Length of the verification transient, in response periods.
+    stability_tolerance:
+        Allowed stroboscopic drift of the verification transient.
+
+    Returns
+    -------
+    HBResult or None
+        The locked solution, or ``None`` when no stable entrained orbit
+        was found (the oscillator is not locked at this period).
+    """
+    check_positive(period, "period")
+    base_cycle = np.asarray(base_cycle, dtype=float)
+    num = base_cycle.shape[0]
+    if num_samples is None:
+        num_samples = num
+    options = newton_options or NewtonOptions(
+        atol=1e-9, max_iterations=30, raise_on_failure=False
+    )
+
+    for shift in range(0, num, max(int(phase_step), 1)):
+        rolled = np.roll(base_cycle, shift, axis=0)
+        guess = (
+            rolled if num_samples == num
+            else stretch_cycle(rolled, num_samples)
+        )
+        try:
+            solution = harmonic_balance_forced(
+                dae, period, num_samples=num_samples, initial=guess,
+                newton_options=options,
+            )
+        except ConvergenceError:
+            continue
+        trace = solution.samples[:, variable]
+        if trace.max() - trace.min() < min_peak_to_peak:
+            continue
+        probe = simulate_transient(
+            dae, solution.samples[0], 0.0, stability_periods * period,
+            TransientOptions(integrator="trap", dt=period / 300),
+        )
+        strobe_times = (
+            np.arange(stability_periods - 6, stability_periods) * period
+        )
+        strobe = probe.sample(strobe_times, variable)
+        if np.max(
+            np.abs(strobe - solution.samples[0, variable])
+        ) < stability_tolerance:
+            return solution
+    return None

@@ -1,0 +1,219 @@
+"""Harmonic balance by pseudo-spectral time collocation.
+
+Instead of the classical frequency-domain bookkeeping, we solve the periodic
+problem on an odd uniform time grid with the spectral differentiation matrix
+— mathematically identical to harmonic balance with the same number of
+harmonics (the discrete Fourier transform is a bijection between the two
+representations), but every device evaluation stays in the time domain where
+nonlinearities are cheap.  This is the standard "mixed frequency-time"
+trick the paper alludes to in §4.1.
+
+* :func:`harmonic_balance_forced` — period known (driven circuits).
+* :func:`harmonic_balance_autonomous` — period unknown; adds the frequency
+  unknown and a :mod:`repro.phase_conditions` anchor, i.e. exactly the
+  ``N1 = 1`` special case of the WaMPDE quasiperiodic system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConvergenceError
+from repro.linalg.bordered import BorderedSystem
+from repro.linalg.newton import NewtonOptions, newton_solve
+from repro.linalg.sparse_tools import block_diagonal_expand, kron_diffmat
+from repro.phase_conditions import as_phase_condition
+from repro.spectral.diffmat import fourier_differentiation_matrix
+from repro.spectral.grid import collocation_grid
+from repro.spectral.interpolation import TrigInterpolant
+from repro.utils.validation import check_odd, check_positive
+
+
+@dataclass
+class HBResult:
+    """Solution of a harmonic-balance problem.
+
+    Attributes
+    ----------
+    samples:
+        Steady-state waveform samples, shape ``(N, n)``; row ``j`` is the
+        state at phase ``j/N`` of the period.
+    period:
+        Oscillation period (the forcing period for forced problems).
+    frequency:
+        ``1 / period`` [Hz].
+    newton_iterations:
+        Newton iterations used.
+    """
+
+    samples: np.ndarray
+    period: float
+    newton_iterations: int
+
+    @property
+    def frequency(self):
+        return 1.0 / self.period
+
+    @property
+    def num_samples(self):
+        return self.samples.shape[0]
+
+    def interpolant(self, variable):
+        """Trigonometric interpolant of one variable over the period."""
+        return TrigInterpolant(self.samples[:, variable], period=self.period)
+
+    def evaluate(self, times):
+        """All variables evaluated at arbitrary ``times`` (trig interp)."""
+        times = np.asarray(times, dtype=float)
+        columns = [
+            self.interpolant(k)(times) for k in range(self.samples.shape[1])
+        ]
+        return np.stack(columns, axis=-1)
+
+
+def _stack(samples):
+    """(N, n) grid -> point-major stacked vector."""
+    return np.asarray(samples, dtype=float).ravel()
+
+
+def _unstack(vector, num_samples, n_vars):
+    return np.asarray(vector, dtype=float).reshape(num_samples, n_vars)
+
+
+def harmonic_balance_forced(dae, period, num_samples=31, initial=None,
+                            newton_options=None):
+    """Periodic steady state of a forced system via time collocation.
+
+    Parameters
+    ----------
+    dae:
+        The system; its ``b(t)`` must be ``period``-periodic for the result
+        to be meaningful.
+    period:
+        Forcing period.
+    num_samples:
+        Odd collocation count (2M+1 → M harmonics).
+    initial:
+        Optional ``(N, n)`` starting waveform (e.g. transient samples).
+
+    Returns
+    -------
+    HBResult
+    """
+    check_positive(period, "period")
+    num = check_odd(num_samples, "num_samples")
+    n = dae.n
+    grid = collocation_grid(num, period)
+    b_grid = dae.b_batch(grid)
+    d_big = kron_diffmat(
+        fourier_differentiation_matrix(num, period), n, ordering="point"
+    )
+
+    def residual(vec):
+        states = _unstack(vec, num, n)
+        q_flat = _stack(dae.q_batch(states))
+        f_flat = _stack(dae.f_batch(states))
+        return d_big @ q_flat + f_flat - b_grid.ravel()
+
+    def jacobian(vec):
+        states = _unstack(vec, num, n)
+        dq = block_diagonal_expand(dae.dq_dx_batch(states))
+        df = block_diagonal_expand(dae.df_dx_batch(states))
+        return (d_big @ dq + df).tocsc()
+
+    if initial is None:
+        x0 = np.zeros((num, n))
+    else:
+        x0 = np.asarray(initial, dtype=float)
+        if x0.shape != (num, n):
+            raise ValueError(
+                f"initial must have shape {(num, n)}, got {x0.shape}"
+            )
+    opts = newton_options or NewtonOptions(atol=1e-9, max_iterations=60)
+    result = newton_solve(residual, jacobian, _stack(x0), options=opts)
+    return HBResult(_unstack(result.x, num, n), float(period), result.iterations)
+
+
+def harmonic_balance_autonomous(dae, frequency_guess, initial,
+                                phase_condition="fourier",
+                                phase_variable=0, num_samples=31,
+                                newton_options=None, forcing_time=0.0):
+    """Limit cycle *and* frequency of an autonomous oscillator.
+
+    Works in normalised time ``t1 in [0, 1)`` where the waveform has period
+    1; the physical problem is ``nu * d/dt1 q(xhat) + f(xhat) = b`` with the
+    frequency ``nu`` unknown.  One phase-condition row (see
+    :mod:`repro.phase_conditions`) closes the system; the Jacobian is a
+    :class:`~repro.linalg.bordered.BorderedSystem`.
+
+    Parameters
+    ----------
+    dae:
+        Autonomous system; ``b`` is evaluated at ``forcing_time`` and held
+        constant (pass the unforced variant of a forced circuit).
+    frequency_guess:
+        Starting frequency [Hz].
+    initial:
+        ``(N, n)`` starting waveform on the normalised grid — autonomous HB
+        has no useful zero initial guess (zero is the unstable equilibrium),
+        so this argument is required; transient samples work well.
+    phase_condition:
+        Spec accepted by :func:`repro.phase_conditions.as_phase_condition`.
+    phase_variable:
+        Variable the default phase condition applies to.
+
+    Returns
+    -------
+    HBResult
+        With ``period = 1 / nu`` and samples on the normalised grid.
+    """
+    check_positive(frequency_guess, "frequency_guess")
+    num = check_odd(num_samples, "num_samples")
+    n = dae.n
+    condition = as_phase_condition(phase_condition, variable=phase_variable)
+    phase_row = condition.gradient(num, n)
+
+    b_const = np.tile(dae.b(forcing_time), num)
+    d_big = kron_diffmat(
+        fourier_differentiation_matrix(num, period=1.0), n, ordering="point"
+    )
+
+    initial = np.asarray(initial, dtype=float)
+    if initial.shape != (num, n):
+        raise ValueError(f"initial must have shape {(num, n)}, got {initial.shape}")
+
+    def residual(vec):
+        states = _unstack(vec[:-1], num, n)
+        nu = vec[-1]
+        q_flat = _stack(dae.q_batch(states))
+        f_flat = _stack(dae.f_batch(states))
+        core = nu * (d_big @ q_flat) + f_flat - b_const
+        return np.concatenate([core, [condition.residual(states)]])
+
+    def jacobian(vec):
+        states = _unstack(vec[:-1], num, n)
+        nu = vec[-1]
+        dq = block_diagonal_expand(dae.dq_dx_batch(states))
+        df = block_diagonal_expand(dae.df_dx_batch(states))
+        core = (nu * (d_big @ dq) + df).tocsr()
+        dq_flat = _stack(dae.q_batch(states))
+        freq_column = d_big @ dq_flat
+        bordered = BorderedSystem(
+            core, freq_column[:, None], phase_row[None, :], np.zeros((1, 1))
+        )
+        return bordered.assemble()
+
+    z0 = np.concatenate([_stack(initial), [float(frequency_guess)]])
+    opts = newton_options or NewtonOptions(atol=1e-9, max_iterations=80)
+    result = newton_solve(residual, jacobian, z0, options=opts)
+    nu = float(result.x[-1])
+    if nu <= 0:
+        raise ConvergenceError(
+            f"autonomous HB converged to non-positive frequency {nu:g}; "
+            "the initial waveform probably collapsed to the DC equilibrium"
+        )
+    samples = _unstack(result.x[:-1], num, n)
+    return HBResult(samples, 1.0 / nu, result.iterations)

@@ -1,0 +1,209 @@
+"""Periodic steady state by shooting.
+
+Shooting finds a fixed point of the period map ``Phi_T(x0) = x(T; x0)``:
+
+* forced systems (period ``T`` known from the input): solve
+  ``Phi_T(x0) - x0 = 0`` in ``x0``;
+* autonomous oscillators (period unknown — paper §2's [AT72, Ske80, TKW95]
+  setting): solve the bordered system in ``(x0, T)`` with a Poincaré
+  anchor ``x0[k] = const`` removing the phase ambiguity.
+
+Sensitivities are obtained by forward finite differences on the flow; for
+the small systems in this library that is both simple and robust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.linalg.newton import NewtonOptions, newton_solve
+from repro.transient.engine import TransientOptions, simulate_transient
+from repro.transient.events import zero_crossings
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ShootingResult:
+    """Outcome of a shooting solve.
+
+    Attributes
+    ----------
+    x0:
+        Point on the periodic orbit (the solution at phase 0).
+    period:
+        Oscillation period (input value for forced problems).
+    monodromy:
+        Final ``(n, n)`` period-map Jacobian ``d Phi / d x0`` — its
+        eigenvalues are the Floquet multipliers.
+    newton_iterations:
+        Outer Newton iterations performed.
+    """
+
+    x0: np.ndarray
+    period: float
+    monodromy: np.ndarray
+    newton_iterations: int
+
+    def floquet_multipliers(self):
+        """Eigenvalues of the monodromy matrix."""
+        return np.linalg.eigvals(self.monodromy)
+
+    def sample_orbit(self, dae, num_samples, steps_per_period=400,
+                     integrator="trap"):
+        """Integrate one period and return states on a uniform phase grid.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(num_samples, n)``; row ``j`` is the state at
+            ``t = j * period / num_samples``.
+        """
+        options = TransientOptions(
+            integrator=integrator, dt=self.period / steps_per_period
+        )
+        result = simulate_transient(dae, self.x0, 0.0, self.period, options)
+        times = self.period * np.arange(num_samples) / num_samples
+        return result.sample(times)
+
+
+def _flow(dae, x0, t0, period, steps_per_period, integrator):
+    """State after integrating one period from ``x0``."""
+    options = TransientOptions(
+        integrator=integrator, dt=period / steps_per_period, store_every=10**9
+    )
+    result = simulate_transient(dae, x0, t0, t0 + period, options)
+    return result.final_state()
+
+
+def estimate_period_from_transient(result, key=0, skip_fraction=0.5):
+    """Estimate an oscillation period from rising zero crossings.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.transient.results.TransientResult` that has reached
+        steady oscillation.
+    key:
+        Variable whose zero crossings define the period.
+    skip_fraction:
+        Fraction of the record discarded as startup transient.
+
+    Returns
+    -------
+    float
+        Median spacing between consecutive rising crossings.
+    """
+    y = result.column(key)
+    t = result.t
+    start = t[0] + skip_fraction * (t[-1] - t[0])
+    mask = t >= start
+    crossings = zero_crossings(t[mask], y[mask] - np.mean(y[mask]), direction=+1)
+    if crossings.size < 3:
+        raise ConvergenceError(
+            "not enough zero crossings to estimate a period; "
+            "simulate longer or pick another variable"
+        )
+    return float(np.median(np.diff(crossings)))
+
+
+def shooting_periodic(dae, x0_guess, period, t0=0.0, steps_per_period=400,
+                      integrator="trap", newton_options=None):
+    """Periodic steady state of a *forced* system with known period.
+
+    Returns
+    -------
+    ShootingResult
+    """
+    check_positive(period, "period")
+    x0_guess = np.array(x0_guess, dtype=float).ravel()
+    n = dae.n
+    monodromy_holder = {}
+
+    def residual(x0):
+        return _flow(dae, x0, t0, period, steps_per_period, integrator) - x0
+
+    def jacobian(x0):
+        base = _flow(dae, x0, t0, period, steps_per_period, integrator)
+        mono = np.empty((n, n))
+        for j in range(n):
+            step = 1e-7 * max(1.0, abs(x0[j]))
+            x_pert = x0.copy()
+            x_pert[j] += step
+            mono[:, j] = (
+                _flow(dae, x_pert, t0, period, steps_per_period, integrator)
+                - base
+            ) / step
+        monodromy_holder["m"] = mono
+        return mono - np.eye(n)
+
+    opts = newton_options or NewtonOptions(atol=1e-10, max_iterations=30)
+    result = newton_solve(residual, jacobian, x0_guess, options=opts)
+    return ShootingResult(
+        result.x,
+        float(period),
+        monodromy_holder.get("m", np.eye(n)),
+        result.iterations,
+    )
+
+
+def shooting_autonomous(dae, x0_guess, period_guess, anchor_index=0,
+                        anchor_value=None, t0=0.0, steps_per_period=400,
+                        integrator="trap", newton_options=None):
+    """Limit cycle and period of an *autonomous* oscillator.
+
+    Unknowns are ``(x0, T)``; the extra equation is the Poincaré anchor
+    ``x0[anchor_index] = anchor_value`` (default: the guess's value), which
+    removes the time-shift ambiguity exactly as the paper's phase condition
+    does for the WaMPDE.
+
+    Returns
+    -------
+    ShootingResult
+    """
+    check_positive(period_guess, "period_guess")
+    x0_guess = np.array(x0_guess, dtype=float).ravel()
+    n = dae.n
+    anchor = (
+        float(x0_guess[anchor_index]) if anchor_value is None else float(anchor_value)
+    )
+    monodromy_holder = {}
+
+    def residual(z):
+        x0, period = z[:n], abs(z[n])
+        gap = _flow(dae, x0, t0, period, steps_per_period, integrator) - x0
+        return np.concatenate([gap, [x0[anchor_index] - anchor]])
+
+    def jacobian(z):
+        x0, period = z[:n], abs(z[n])
+        base = _flow(dae, x0, t0, period, steps_per_period, integrator)
+        jac = np.zeros((n + 1, n + 1))
+        mono = np.empty((n, n))
+        for j in range(n):
+            step = 1e-7 * max(1.0, abs(x0[j]))
+            x_pert = x0.copy()
+            x_pert[j] += step
+            mono[:, j] = (
+                _flow(dae, x_pert, t0, period, steps_per_period, integrator)
+                - base
+            ) / step
+        monodromy_holder["m"] = mono
+        jac[:n, :n] = mono - np.eye(n)
+        dt_step = 1e-7 * period
+        jac[:n, n] = (
+            _flow(dae, x0, t0, period + dt_step, steps_per_period, integrator)
+            - base
+        ) / dt_step
+        jac[n, anchor_index] = 1.0
+        return jac
+
+    opts = newton_options or NewtonOptions(atol=1e-9, max_iterations=30)
+    z0 = np.concatenate([x0_guess, [period_guess]])
+    result = newton_solve(residual, jacobian, z0, options=opts)
+    x0 = result.x[:n]
+    period = float(abs(result.x[n]))
+    return ShootingResult(
+        x0, period, monodromy_holder.get("m", np.eye(n)), result.iterations
+    )

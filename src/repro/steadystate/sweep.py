@@ -1,0 +1,125 @@
+"""Oscillator frequency sweeps by harmonic-balance continuation.
+
+Computes tuning curves — free-running frequency (and amplitude) versus a
+circuit parameter, e.g. the VCO's control voltage — by solving the
+autonomous HB problem at each parameter value, *seeded from the previous
+solution* (natural continuation).  Only the first point pays for the
+full DC→transient→HB initialisation pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.steadystate.harmonic_balance import harmonic_balance_autonomous
+
+
+@dataclass
+class FrequencySweepResult:
+    """Tuning curve from :func:`oscillator_frequency_sweep`.
+
+    Attributes
+    ----------
+    values:
+        Parameter values actually solved (in sweep order).
+    frequencies:
+        Free-running frequency at each value [Hz].
+    amplitudes:
+        Peak-to-peak amplitude of the observed variable at each value.
+    """
+
+    values: np.ndarray
+    frequencies: np.ndarray
+    amplitudes: np.ndarray
+
+
+def oscillator_frequency_sweep(dae_factory, values, period_guess,
+                               num_t1=25, variable=0,
+                               phase_condition="fourier"):
+    """Free-running frequency versus a swept parameter.
+
+    Parameters
+    ----------
+    dae_factory:
+        Callable ``value -> SemiExplicitDAE`` building the *unforced*
+        oscillator at one parameter value (e.g.
+        ``lambda vc: MemsVcoDae(replace(params, control_offset=vc),
+        constant_control=True)``).
+    values:
+        Parameter values; swept in the given order, each HB solve seeded
+        from the previous solution.
+    period_guess:
+        Rough oscillation period at ``values[0]`` (for the initial
+        settle-transient).
+    num_t1:
+        Odd collocation count.
+    variable:
+        Variable used for the phase condition and amplitude report.
+
+    Returns
+    -------
+    FrequencySweepResult
+
+    Raises
+    ------
+    ConvergenceError
+        If continuation fails at some value (message names the value).
+    """
+    # Imported here: the initial-condition pipeline lives in repro.wampde,
+    # which itself imports repro.steadystate (module-level import would be
+    # circular).
+    from repro.wampde.initial_condition import oscillator_initial_condition
+
+    values = np.asarray(values, dtype=float)
+    if values.size < 1:
+        raise ValueError("sweep needs at least one parameter value")
+
+    frequencies = np.empty(values.size)
+    amplitudes = np.empty(values.size)
+
+    samples, frequency = oscillator_initial_condition(
+        dae_factory(float(values[0])),
+        num_t1=num_t1,
+        period_guess=period_guess,
+        phase_condition=phase_condition,
+        phase_variable=variable,
+    )
+    def solve_at(value, seed_samples, seed_frequency, depth=0,
+                 from_value=None):
+        """HB at one value; on failure, bisect the continuation step."""
+        dae = dae_factory(float(value))
+        try:
+            return harmonic_balance_autonomous(
+                dae,
+                frequency_guess=seed_frequency,
+                initial=seed_samples,
+                phase_condition=phase_condition,
+                phase_variable=variable,
+                num_samples=num_t1,
+            )
+        except ConvergenceError as exc:
+            if depth >= 6 or from_value is None or from_value == value:
+                raise ConvergenceError(
+                    f"frequency sweep failed at parameter value "
+                    f"{value!r}: {exc}"
+                ) from exc
+            midpoint = 0.5 * (from_value + value)
+            mid = solve_at(midpoint, seed_samples, seed_frequency,
+                           depth + 1, from_value)
+            return solve_at(value, mid.samples, mid.frequency,
+                            depth + 1, midpoint)
+
+    previous_value = None
+    for i, value in enumerate(values):
+        hb = solve_at(float(value), samples, frequency,
+                      from_value=previous_value)
+        samples, frequency = hb.samples, hb.frequency
+        previous_value = float(value)
+        frequencies[i] = frequency
+        trace = samples[:, variable]
+        amplitudes[i] = float(trace.max() - trace.min())
+
+    return FrequencySweepResult(values.copy(), frequencies, amplitudes)

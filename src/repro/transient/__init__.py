@@ -1,0 +1,30 @@
+"""Transient (initial-value) simulation of DAE systems.
+
+This is the conventional "numerical ODE methods" baseline the paper compares
+against: implicit one/two-step integration of ``d/dt q(x) + f(x) = b(t)``
+with a Newton solve per time step.  Its well-known weakness on oscillators —
+unbounded phase-error growth (paper §2) — is exactly what the Fig 12 bench
+measures.
+"""
+
+from repro.transient.integrators import (
+    BackwardEuler,
+    Trapezoidal,
+    Bdf2,
+    INTEGRATORS,
+)
+from repro.transient.engine import TransientOptions, simulate_transient
+from repro.transient.results import TransientResult
+from repro.transient.events import zero_crossings, rising_level_crossings
+
+__all__ = [
+    "BackwardEuler",
+    "Trapezoidal",
+    "Bdf2",
+    "INTEGRATORS",
+    "TransientOptions",
+    "simulate_transient",
+    "TransientResult",
+    "zero_crossings",
+    "rising_level_crossings",
+]

@@ -1,0 +1,208 @@
+"""Transient simulation driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.linalg.newton import NewtonOptions, newton_solve
+from repro.transient.integrators import get_integrator
+from repro.transient.results import TransientResult
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class TransientOptions:
+    """Configuration for :func:`simulate_transient`.
+
+    Attributes
+    ----------
+    integrator:
+        ``"be"``, ``"trap"`` or ``"bdf2"`` (or an Integrator instance).
+    dt:
+        Fixed step size (required when ``adaptive`` is False).
+    adaptive:
+        Enable proportional step control from a predictor-corrector error
+        estimate.
+    rtol, atol:
+        Local-error weights for the adaptive controller.
+    dt_min, dt_max:
+        Step bounds for the adaptive controller.
+    newton:
+        Options for the per-step Newton solve.
+    max_steps:
+        Hard limit on accepted steps (guards against runaway loops).
+    store_every:
+        Keep every k-th accepted point (1 = keep all).
+    """
+
+    integrator: object = "trap"
+    dt: float | None = None
+    adaptive: bool = False
+    rtol: float = 1e-6
+    atol: float = 1e-9
+    dt_min: float = 1e-18
+    dt_max: float = np.inf
+    newton: NewtonOptions = field(
+        default_factory=lambda: NewtonOptions(raise_on_failure=False)
+    )
+    max_steps: int = 20_000_000
+    store_every: int = 1
+
+
+def simulate_transient(dae, x0, t_start, t_stop, options=None):
+    """Integrate ``d/dt q(x) + f(x) = b(t)`` from ``t_start`` to ``t_stop``.
+
+    Parameters
+    ----------
+    dae:
+        A :class:`~repro.dae.base.SemiExplicitDAE`.
+    x0:
+        Initial state; assumed consistent (use
+        :func:`repro.steadystate.dc.dc_operating_point` to get one).
+    t_start, t_stop:
+        Simulation window, ``t_stop > t_start``.
+    options:
+        :class:`TransientOptions`.
+
+    Returns
+    -------
+    TransientResult
+    """
+    opts = options or TransientOptions()
+    integrator = get_integrator(opts.integrator)
+    if not t_stop > t_start:
+        raise SimulationError(
+            f"t_stop must exceed t_start, got [{t_start}, {t_stop}]"
+        )
+    if not opts.adaptive:
+        if opts.dt is None:
+            raise SimulationError("fixed-step transient requires options.dt")
+        check_positive(opts.dt, "options.dt")
+
+    x = np.array(x0, dtype=float).ravel()
+    if x.size != dae.n:
+        raise SimulationError(
+            f"initial state has length {x.size}, DAE has {dae.n} unknowns"
+        )
+
+    t = float(t_start)
+    dt = float(opts.dt) if opts.dt is not None else (t_stop - t_start) / 1000.0
+    if opts.adaptive:
+        # The first step has no predictor and therefore no error control;
+        # start tiny and let the controller grow the step geometrically.
+        dt = min(dt, (t_stop - t_start) * 1e-6)
+        dt = max(dt, opts.dt_min)
+
+    # History entries: (t, x, q, f - b) — integrators consume these.
+    history = [(t, x.copy(), dae.q(x), dae.f(x) - dae.b(t))]
+
+    stored_t = [t]
+    stored_x = [x.copy()]
+    stats = {
+        "steps": 0,
+        "rejected_steps": 0,
+        "newton_iterations": 0,
+        "newton_failures": 0,
+    }
+    accepted_since_store = 0
+
+    while t < t_stop - 1e-15 * max(abs(t_stop), 1.0):
+        dt = min(dt, t_stop - t)
+        t_new = t + dt
+        alpha, rhs_const, beta = integrator.residual_terms(dae, history, t_new)
+        b_new = dae.b(t_new)
+
+        def residual(x_trial):
+            return (
+                alpha * dae.q(x_trial)
+                + rhs_const
+                + beta * (dae.f(x_trial) - b_new)
+            )
+
+        def jacobian(x_trial):
+            return alpha * dae.dq_dx(x_trial) + beta * dae.df_dx(x_trial)
+
+        result = newton_solve(residual, jacobian, x, options=opts.newton)
+        stats["newton_iterations"] += result.iterations
+
+        if not result.converged:
+            stats["newton_failures"] += 1
+            dt *= 0.5
+            if dt < opts.dt_min:
+                raise SimulationError(
+                    f"step size underflow at t={t:.6e} "
+                    f"(Newton failed, dt={dt:.3e})"
+                )
+            continue
+
+        x_new = result.x
+
+        if opts.adaptive:
+            x_pred = _predict(history, t_new)
+            if x_pred is not None:
+                scale = opts.atol + opts.rtol * np.maximum(
+                    np.abs(x_new), np.abs(x)
+                )
+                err = float(
+                    np.sqrt(np.mean(((x_new - x_pred) / scale) ** 2))
+                )
+                # The predictor is itself order >= 1 accurate; treat the
+                # discrepancy as the local error of the lower order.
+                if err > 1.0:
+                    stats["rejected_steps"] += 1
+                    dt = max(
+                        dt * max(0.2, 0.9 * err ** (-1.0 / (integrator.order + 1))),
+                        opts.dt_min,
+                    )
+                    if dt <= opts.dt_min:
+                        raise SimulationError(
+                            f"step size underflow at t={t:.6e} (LTE control)"
+                        )
+                    continue
+                growth = 0.9 * err ** (-1.0 / (integrator.order + 1)) if err > 0 else 5.0
+                dt_next = dt * min(5.0, max(0.2, growth))
+            else:
+                dt_next = dt
+        else:
+            dt_next = dt
+
+        # Accept the step.
+        t = t_new
+        x = x_new
+        history.append((t, x.copy(), dae.q(x), dae.f(x) - dae.b(t)))
+        if len(history) > max(integrator.steps, 2) + 1:
+            history.pop(0)
+
+        stats["steps"] += 1
+        accepted_since_store += 1
+        if accepted_since_store >= opts.store_every or t >= t_stop:
+            stored_t.append(t)
+            stored_x.append(x.copy())
+            accepted_since_store = 0
+
+        dt = min(dt_next, opts.dt_max)
+        if stats["steps"] >= opts.max_steps:
+            raise SimulationError(
+                f"exceeded max_steps={opts.max_steps} at t={t:.6e}"
+            )
+
+    return TransientResult(
+        np.asarray(stored_t),
+        np.asarray(stored_x),
+        dae.variable_names,
+        stats,
+    )
+
+
+def _predict(history, t_new):
+    """Linear extrapolation from the last two accepted points (or None)."""
+    if len(history) < 2:
+        return None
+    (t1, x1, _q1, _fb1), (t2, x2, _q2, _fb2) = history[-2], history[-1]
+    if t2 == t1:
+        return None
+    slope = (x2 - x1) / (t2 - t1)
+    return x2 + slope * (t_new - t2)

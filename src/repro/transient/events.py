@@ -1,0 +1,51 @@
+"""Post-hoc event extraction from sampled waveforms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_1d_array
+
+
+def zero_crossings(t, y, direction=+1):
+    """Times where ``y`` crosses zero, found by linear interpolation.
+
+    Parameters
+    ----------
+    t, y:
+        Equal-length sample arrays; ``t`` must be increasing.
+    direction:
+        ``+1`` for rising crossings only, ``-1`` for falling only,
+        ``0`` for both.
+
+    Returns
+    -------
+    numpy.ndarray
+        Crossing times, possibly empty.  Exact zeros at sample points are
+        reported once.
+    """
+    t = as_1d_array(t, "t")
+    y = as_1d_array(y, "y")
+    if t.size != y.size:
+        raise ValueError(f"t and y must have equal length, got {t.size} vs {y.size}")
+    if t.size < 2:
+        return np.array([])
+
+    y_left = y[:-1]
+    y_right = y[1:]
+    crosses = (y_left * y_right < 0) | ((y_left == 0) & (y_right != 0))
+    if direction > 0:
+        crosses &= y_right > y_left
+    elif direction < 0:
+        crosses &= y_right < y_left
+
+    idx = np.nonzero(crosses)[0]
+    if idx.size == 0:
+        return np.array([])
+    frac = y_left[idx] / (y_left[idx] - y_right[idx])
+    return t[idx] + frac * (t[idx + 1] - t[idx])
+
+
+def rising_level_crossings(t, y, level):
+    """Times where ``y`` rises through ``level``."""
+    return zero_crossings(t, np.asarray(y, dtype=float) - level, direction=+1)

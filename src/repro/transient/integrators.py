@@ -1,0 +1,132 @@
+"""Implicit integration formulas for charge-oriented DAEs.
+
+Each integrator turns one time step into a nonlinear residual
+
+    R(x_new) = (d/dt q)|_discrete + f(x_new) - b(t_new) = 0
+
+plus its Jacobian, to be solved by Newton.  The discrete ``d/dt q`` uses
+only charges ``q`` (never raw states), the standard charge-conserving
+formulation for circuit DAEs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Integrator(ABC):
+    """One-step (or two-step) implicit formula.
+
+    Attributes
+    ----------
+    order:
+        Classical order of accuracy.
+    steps:
+        Number of history points required (1 for BE/TRAP, 2 for BDF2).
+    """
+
+    order: int
+    steps: int
+    name: str
+
+    @abstractmethod
+    def residual_terms(self, dae, history, t_new, dt_ratio=1.0):
+        """Return ``(alpha, rhs_const, beta)`` describing the step residual.
+
+        The step residual has the canonical affine-in-``q``/`f`` form::
+
+            R(x) = alpha * q(x) + rhs_const + beta * (f(x) - b(t_new))
+
+        where ``alpha`` [1/s] multiplies the new charge, ``rhs_const`` is a
+        constant vector collecting history terms (including any weighted old
+        ``f - b``), and ``beta`` weights the new static terms (1 for BE/BDF2,
+        1/2 for trapezoidal).
+
+        Parameters
+        ----------
+        dae:
+            The :class:`~repro.dae.base.SemiExplicitDAE`.
+        history:
+            List of ``(t, x, q, fb)`` tuples, newest last, where ``fb`` is
+            ``f(x) - b(t)`` at that point (needed by trapezoidal).
+        t_new:
+            Time being stepped to.
+        dt_ratio:
+            Unused by one-step methods; BDF2 uses the actual history times.
+        """
+
+
+class BackwardEuler(Integrator):
+    """First-order, L-stable; heavily damps both error and real dynamics."""
+
+    order = 1
+    steps = 1
+    name = "be"
+
+    def residual_terms(self, dae, history, t_new, dt_ratio=1.0):
+        t_old, _x_old, q_old, _fb_old = history[-1]
+        dt = t_new - t_old
+        alpha = 1.0 / dt
+        rhs_const = -q_old / dt
+        return alpha, rhs_const, 1.0
+
+
+class Trapezoidal(Integrator):
+    """Second-order, A-stable; the workhorse for oscillatory circuits."""
+
+    order = 2
+    steps = 1
+    name = "trap"
+
+    def residual_terms(self, dae, history, t_new, dt_ratio=1.0):
+        t_old, _x_old, q_old, fb_old = history[-1]
+        dt = t_new - t_old
+        alpha = 1.0 / dt
+        rhs_const = -q_old / dt + 0.5 * fb_old
+        return alpha, rhs_const, 0.5
+
+
+class Bdf2(Integrator):
+    """Second-order BDF (Gear-2), variable-step form; L-stable-ish.
+
+    Falls back to backward Euler while only one history point exists.
+    """
+
+    order = 2
+    steps = 2
+    name = "bdf2"
+
+    def residual_terms(self, dae, history, t_new, dt_ratio=1.0):
+        if len(history) < 2:
+            return BackwardEuler().residual_terms(dae, history, t_new)
+        (t2, _x2, q2, _), (t1, _x1, q1, _) = history[-2], history[-1]
+        # Derivative of the quadratic through (t2,q2),(t1,q1),(t_new,q_new)
+        # evaluated at t_new.
+        d_new = (2.0 * t_new - t1 - t2) / ((t_new - t1) * (t_new - t2))
+        d_1 = (t_new - t2) / ((t1 - t_new) * (t1 - t2))
+        d_2 = (t_new - t1) / ((t2 - t_new) * (t2 - t1))
+        alpha = d_new
+        rhs_const = d_1 * q1 + d_2 * q2
+        return alpha, rhs_const, 1.0
+
+
+#: Registry of integrators by short name.
+INTEGRATORS = {
+    "be": BackwardEuler,
+    "trap": Trapezoidal,
+    "bdf2": Bdf2,
+}
+
+
+def get_integrator(spec):
+    """Coerce a name or instance into an :class:`Integrator`."""
+    if isinstance(spec, Integrator):
+        return spec
+    try:
+        return INTEGRATORS[str(spec).lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown integrator {spec!r}; choose from {sorted(INTEGRATORS)}"
+        ) from None

@@ -1,0 +1,79 @@
+"""Containers for transient simulation output."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transient.events import zero_crossings
+
+
+class TransientResult:
+    """Time series produced by :func:`repro.transient.engine.simulate_transient`.
+
+    Attributes
+    ----------
+    t:
+        Accepted time points, shape ``(m,)`` (includes the initial point).
+    x:
+        States at those points, shape ``(m, n)``.
+    variable_names:
+        Labels matching the state columns.
+    stats:
+        Dict of counters (steps, newton iterations, rejected steps, ...).
+    """
+
+    def __init__(self, t, x, variable_names, stats=None):
+        self.t = np.asarray(t, dtype=float)
+        self.x = np.asarray(x, dtype=float)
+        if self.x.shape[0] != self.t.size:
+            raise ValueError(
+                f"time axis has {self.t.size} points but states have "
+                f"{self.x.shape[0]} rows"
+            )
+        self.variable_names = tuple(variable_names)
+        self.stats = dict(stats or {})
+
+    @property
+    def n(self):
+        """Number of state variables."""
+        return self.x.shape[1]
+
+    def __len__(self):
+        return self.t.size
+
+    def column(self, key):
+        """A single variable's trace, by name or index."""
+        if isinstance(key, str):
+            key = self.variable_names.index(key)
+        return self.x[:, key]
+
+    def __getitem__(self, key):
+        return self.column(key)
+
+    def sample(self, times, key=None):
+        """Linear interpolation of one variable (or all) at ``times``.
+
+        Parameters
+        ----------
+        times:
+            Where to sample; must lie within the simulated range.
+        key:
+            Variable name/index; ``None`` returns shape ``(len(times), n)``.
+        """
+        times = np.asarray(times, dtype=float)
+        if key is not None:
+            return np.interp(times, self.t, self.column(key))
+        return np.stack(
+            [np.interp(times, self.t, self.x[:, j]) for j in range(self.n)],
+            axis=-1,
+        )
+
+    def crossing_times(self, key, level=0.0, direction=+1):
+        """Times where a variable crosses ``level`` (linear interpolation)."""
+        return zero_crossings(
+            self.t, self.column(key) - level, direction=direction
+        )
+
+    def final_state(self):
+        """State at the last accepted time point."""
+        return self.x[-1].copy()

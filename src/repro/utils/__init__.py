@@ -1,0 +1,34 @@
+"""Shared utilities: argument validation, timing, grids, text output."""
+
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+    check_odd,
+    as_1d_array,
+    as_2d_array,
+)
+from repro.utils.timing import WallTimer
+from repro.utils.grids import uniform_grid, periodic_grid, log_grid
+from repro.utils.tables import format_table
+from repro.utils.ascii_plot import ascii_plot
+from repro.utils.csvio import write_csv, read_csv
+
+__all__ = [
+    "check_finite",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_odd",
+    "as_1d_array",
+    "as_2d_array",
+    "WallTimer",
+    "uniform_grid",
+    "periodic_grid",
+    "log_grid",
+    "format_table",
+    "ascii_plot",
+    "write_csv",
+    "read_csv",
+]

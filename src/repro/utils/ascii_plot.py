@@ -1,0 +1,70 @@
+"""Minimal ASCII line plots, for eyeballing waveforms in a terminal.
+
+The paper's figures are line plots and surfaces; without matplotlib, the
+examples and benches use these character plots to show *shape* (FM density
+changes, settling, amplitude modulation) directly in the console.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_1d_array
+
+
+def ascii_plot(x, y, width=72, height=16, title=None, xlabel=None, ylabel=None):
+    """Render ``y`` versus ``x`` as an ASCII line plot.
+
+    Parameters
+    ----------
+    x, y:
+        1-D arrays of equal length.
+    width, height:
+        Character-cell dimensions of the plotting area.
+    title, xlabel, ylabel:
+        Optional annotations.
+
+    Returns
+    -------
+    str
+        Multi-line string; print it to display the plot.
+    """
+    x = as_1d_array(x, "x")
+    y = as_1d_array(y, "y")
+    if x.size != y.size:
+        raise ValueError(f"x and y must have equal length, got {x.size} vs {y.size}")
+    if x.size == 0:
+        return "(empty plot)"
+
+    x_min, x_max = float(np.min(x)), float(np.max(x))
+    y_min, y_max = float(np.min(y)), float(np.max(y))
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    cols = np.clip(((x - x_min) / x_span * (width - 1)).round().astype(int), 0, width - 1)
+    rows = np.clip(((y - y_min) / y_span * (height - 1)).round().astype(int), 0, height - 1)
+    for col, row in zip(cols, rows):
+        grid[height - 1 - row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    label = f"{y_max:.4g}"
+    pad = max(len(label), len(f"{y_min:.4g}"))
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = f"{y_max:.4g}".rjust(pad)
+        elif i == height - 1:
+            prefix = f"{y_min:.4g}".rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(prefix + " |" + "".join(row_chars))
+    lines.append(" " * pad + " +" + "-" * width)
+    footer = f"{x_min:.4g}".ljust(width // 2) + f"{x_max:.4g}".rjust(width - width // 2)
+    lines.append(" " * (pad + 2) + footer)
+    if xlabel:
+        lines.append(" " * (pad + 2) + xlabel.center(width))
+    if ylabel:
+        lines.insert(1 if title else 0, f"[y: {ylabel}]")
+    return "\n".join(lines)

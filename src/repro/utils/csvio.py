@@ -1,0 +1,59 @@
+"""Tiny CSV writer/reader used by benches to persist figure data."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+
+def write_csv(path, headers, columns):
+    """Write named columns to ``path`` as CSV.
+
+    Parameters
+    ----------
+    path:
+        Output file path; parent directories are created.
+    headers:
+        Sequence of column names.
+    columns:
+        Sequence of equal-length 1-D arrays, one per header.
+    """
+    columns = [np.asarray(col).ravel() for col in columns]
+    if len(headers) != len(columns):
+        raise ValueError(
+            f"got {len(headers)} headers but {len(columns)} columns"
+        )
+    lengths = {col.size for col in columns}
+    if len(lengths) > 1:
+        raise ValueError(f"columns have unequal lengths: {sorted(lengths)}")
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in zip(*columns):
+            writer.writerow([repr(float(cell)) for cell in row])
+    return path
+
+
+def read_csv(path):
+    """Read a CSV written by :func:`write_csv`.
+
+    Returns
+    -------
+    tuple
+        ``(headers, columns)`` where ``columns`` is a list of float arrays.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        headers = next(reader)
+        rows = [[float(cell) for cell in row] for row in reader if row]
+    if rows:
+        columns = [np.array(col) for col in zip(*rows)]
+    else:
+        columns = [np.array([]) for _ in headers]
+    return headers, columns

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The benchmark harness reports the same rows/series the paper's figures show;
+since the environment has no plotting library, results are printed as aligned
+text tables (and optionally written to CSV via :mod:`repro.utils.csvio`).
+"""
+
+from __future__ import annotations
+
+import numbers
+
+
+def _format_cell(value, float_format):
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, numbers.Integral):
+        return str(int(value))
+    if isinstance(value, numbers.Real):
+        return float_format.format(float(value))
+    return str(value)
+
+
+def format_table(headers, rows, float_format="{:.6g}", title=None):
+    """Render ``rows`` (sequences) under ``headers`` as an aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Sequence of column names.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)`` cells.
+    float_format:
+        :meth:`str.format` spec applied to real-valued cells.
+    title:
+        Optional title printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table, ending without a trailing newline.
+    """
+    headers = [str(h) for h in headers]
+    text_rows = []
+    for row in rows:
+        cells = [_format_cell(cell, float_format) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(headers)} columns"
+            )
+        text_rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in text_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells):
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(cells) for cells in text_rows)
+    return "\n".join(lines)

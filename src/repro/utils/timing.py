@@ -1,0 +1,35 @@
+"""Wall-clock timing helper used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class WallTimer:
+    """Context manager measuring elapsed wall-clock time in seconds.
+
+    Example
+    -------
+    >>> with WallTimer() as timer:
+    ...     sum(range(1000))
+    499500
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self._start = None
+        self.elapsed = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.elapsed = time.perf_counter() - self._start
+        return False
+
+    def restart(self):
+        """Reset the start time; useful for manual lap timing."""
+        self._start = time.perf_counter()
+        self.elapsed = 0.0

@@ -1,0 +1,51 @@
+"""The WaMPDE — the paper's core contribution.
+
+The Warped Multirate Partial Differential Equation (paper eq. 16)::
+
+    omega(t2) * dq(xhat)/dt1 + dq(xhat)/dt2 + f(xhat) = b(t2)
+
+is solved here in two regimes:
+
+* :func:`~repro.wampde.envelope.solve_wampde_envelope` — initial conditions
+  in ``t2``, time-stepping with spectral collocation along the warped
+  ``t1`` axis (the method behind the paper's Figs 7-12);
+* :func:`~repro.wampde.quasiperiodic.solve_wampde_quasiperiodic` — periodic
+  boundary conditions in ``t2`` (paper §4.1), capturing FM- and
+  AM-quasiperiodicity, mode locking and period multiplication.
+
+Supporting pieces: :class:`~repro.wampde.bivariate.BivariateWaveform`
+(the ``xhat(t1, t2)`` container), :class:`~repro.wampde.warping.WarpingFunction`
+(``phi(t) = int_0^t omega``), univariate reconstruction along the warped
+path (paper eq. 15), and oscillator initialisation.
+"""
+
+from repro.wampde.bivariate import BivariateWaveform
+from repro.wampde.warping import WarpingFunction, sawtooth_path
+from repro.wampde.envelope import (
+    WampdeEnvelopeOptions,
+    WampdeEnvelopeResult,
+    solve_wampde_envelope,
+    solve_wampde_envelope_adaptive,
+)
+from repro.wampde.quasiperiodic import (
+    WampdeQuasiperiodicResult,
+    solve_wampde_quasiperiodic,
+    envelope_to_quasiperiodic_guess,
+)
+from repro.wampde.initial_condition import oscillator_initial_condition
+from repro.wampde.reconstruct import reconstruct_univariate
+
+__all__ = [
+    "BivariateWaveform",
+    "WarpingFunction",
+    "sawtooth_path",
+    "WampdeEnvelopeOptions",
+    "WampdeEnvelopeResult",
+    "solve_wampde_envelope",
+    "solve_wampde_envelope_adaptive",
+    "WampdeQuasiperiodicResult",
+    "solve_wampde_quasiperiodic",
+    "envelope_to_quasiperiodic_guess",
+    "oscillator_initial_condition",
+    "reconstruct_univariate",
+]

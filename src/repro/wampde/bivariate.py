@@ -1,0 +1,153 @@
+"""The bivariate waveform ``xhat(t1, t2)`` (paper Figs 2, 6, 8, 11).
+
+Storage is a grid: odd ``N0`` uniform samples along the (periodic, warped)
+``t1`` axis at each of ``N2`` slow-time points.  Evaluation is spectral
+(trigonometric) along ``t1`` and linear along ``t2`` — matching how the
+envelope solver computes the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.spectral.fourier import samples_to_coefficients
+from repro.spectral.grid import collocation_grid, harmonic_indices
+from repro.utils.validation import as_1d_array, as_2d_array
+
+
+class BivariateWaveform:
+    """One variable's ``xhat(t1, t2)`` on a (t1 x t2) grid.
+
+    Parameters
+    ----------
+    t2:
+        Slow-time grid, strictly increasing, shape ``(N2,)``.
+    samples:
+        Grid values, shape ``(N2, N0)`` with odd ``N0``; row ``i`` holds the
+        t1-samples at ``t2[i]``.
+    name:
+        Variable label (for reports).
+    t1_period:
+        Period along ``t1`` (1.0 for the warped/normalised axis).
+    """
+
+    def __init__(self, t2, samples, name="x", t1_period=1.0):
+        self.t2 = as_1d_array(t2, "t2")
+        self.samples = as_2d_array(samples, "samples")
+        if self.samples.shape[0] != self.t2.size:
+            raise ValidationError(
+                f"samples has {self.samples.shape[0]} rows but t2 has "
+                f"{self.t2.size} points"
+            )
+        if np.any(np.diff(self.t2) <= 0):
+            raise ValidationError("t2 must be strictly increasing")
+        if self.samples.shape[1] % 2 != 1:
+            raise ValidationError(
+                f"N0 (t1 samples) must be odd, got {self.samples.shape[1]}"
+            )
+        if not t1_period > 0:
+            raise ValidationError(f"t1_period must be positive, got {t1_period!r}")
+        self.name = str(name)
+        self.t1_period = float(t1_period)
+        # Fourier coefficients per t2 row (centered order), shape (N2, N0).
+        self._coefficients = samples_to_coefficients(self.samples, axis=1)
+        self._indices = harmonic_indices(self.samples.shape[1])
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def num_t1(self):
+        """Number of t1 samples (odd)."""
+        return self.samples.shape[1]
+
+    @property
+    def num_t2(self):
+        """Number of t2 grid points."""
+        return self.t2.size
+
+    def t1_grid(self):
+        """The t1 collocation grid on ``[0, t1_period)``."""
+        return collocation_grid(self.num_t1, self.t1_period)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def _row_weights(self, t2_points):
+        """Indices and interpolation weights along t2 (clamped ends)."""
+        t2_points = np.asarray(t2_points, dtype=float)
+        clipped = np.clip(t2_points, self.t2[0], self.t2[-1])
+        idx = np.clip(
+            np.searchsorted(self.t2, clipped, side="right") - 1,
+            0,
+            self.t2.size - 2,
+        )
+        span = self.t2[idx + 1] - self.t2[idx]
+        theta = (clipped - self.t2[idx]) / span
+        return idx, theta
+
+    def __call__(self, t1, t2):
+        """Evaluate ``xhat`` at broadcastable ``t1``/``t2`` arrays.
+
+        ``t1`` is wrapped modulo ``t1_period``; ``t2`` is clamped to the
+        stored range.
+        """
+        t1 = np.asarray(t1, dtype=float)
+        t2 = np.asarray(t2, dtype=float)
+        t1b, t2b = np.broadcast_arrays(t1, t2)
+        flat_t1 = t1b.ravel()
+        flat_t2 = t2b.ravel()
+
+        idx, theta = self._row_weights(flat_t2)
+        coeff = (
+            (1.0 - theta)[:, None] * self._coefficients[idx]
+            + theta[:, None] * self._coefficients[idx + 1]
+        )
+        phases = np.exp(
+            2j
+            * np.pi
+            * np.multiply.outer(flat_t1 / self.t1_period, self._indices)
+        )
+        values = np.einsum("ij,ij->i", phases, coeff).real
+        result = values.reshape(t1b.shape)
+        return result if result.ndim else float(result)
+
+    def grid_values(self, t1_points, t2_points):
+        """Evaluate on the tensor grid ``t1_points x t2_points``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(len(t2_points), len(t1_points))``.
+        """
+        t1_points = as_1d_array(t1_points, "t1_points")
+        t2_points = as_1d_array(t2_points, "t2_points")
+        return self(t1_points[None, :], t2_points[:, None])
+
+    # -- summaries used by the figure benches --------------------------------------
+
+    def amplitude_vs_t2(self, oversample=8):
+        """Peak-to-peak amplitude of the t1-waveform at each stored t2.
+
+        Extrema are located on an ``oversample``-times-refined grid through
+        the trigonometric interpolant, so they do not depend on whether the
+        collocation points happen to hit the peaks.
+        """
+        fine = np.linspace(
+            0.0, self.t1_period, oversample * self.num_t1, endpoint=False
+        )
+        phases = np.exp(
+            2j * np.pi * np.multiply.outer(fine / self.t1_period, self._indices)
+        )
+        values = (self._coefficients @ phases.T).real
+        return values.max(axis=1) - values.min(axis=1)
+
+    def fundamental_magnitude_vs_t2(self):
+        """|first harmonic| of the t1-waveform at each stored t2."""
+        fundamental = self._coefficients[:, self.num_t1 // 2 + 1]
+        return 2.0 * np.abs(fundamental)
+
+    def __repr__(self):
+        return (
+            f"BivariateWaveform({self.name!r}, N2={self.num_t2}, "
+            f"N0={self.num_t1}, t2 in [{self.t2[0]:.3g}, {self.t2[-1]:.3g}])"
+        )

@@ -1,0 +1,302 @@
+"""WaMPDE with periodic boundary conditions in the slow time (paper §4.1).
+
+Solves for ``xhat(t1, t2)`` that is (1, T2)-periodic together with the
+T2-periodic local frequency ``omega(t2)`` — the representation that
+captures FM- and AM-quasiperiodicity, mode locking (``omega`` constant and
+equal to the forcing frequency) and period multiplication (``omega`` a
+submultiple) as special cases, per the paper's §4.1 discussion.
+
+Discretisation: spectral collocation on an odd ``N0 x N1`` tensor grid
+(both axes periodic), one phase-condition row per t2 point, Newton on the
+full coupled system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import SimulationError
+from repro.linalg.bordered import BorderedSystem
+from repro.linalg.newton import NewtonOptions, newton_solve
+from repro.linalg.sparse_tools import block_diagonal_expand, kron_diffmat
+from repro.phase_conditions import as_phase_condition
+from repro.spectral.diffmat import fourier_differentiation_matrix
+from repro.spectral.grid import collocation_grid
+from repro.utils.validation import check_odd, check_positive
+from repro.wampde.bivariate import BivariateWaveform
+from repro.wampde.warping import WarpingFunction
+
+
+@dataclass
+class WampdeQuasiperiodicOptions:
+    """Configuration for :func:`solve_wampde_quasiperiodic`."""
+
+    phase_condition: object = "fourier"
+    phase_variable: int = 0
+    newton: NewtonOptions = field(
+        default_factory=lambda: NewtonOptions(atol=1e-8, max_iterations=60)
+    )
+
+
+class WampdeQuasiperiodicResult:
+    """Bi-periodic WaMPDE solution.
+
+    Attributes
+    ----------
+    t2:
+        Slow-time collocation grid on ``[0, T2)``, shape ``(N1,)``.
+    period2:
+        Slow period ``T2``.
+    omega:
+        T2-periodic local frequency at the grid points [Hz].
+    samples:
+        Solution grid, shape ``(N1, N0, n)``.
+    variable_names:
+        Labels for the trailing axis.
+    newton_iterations:
+        Newton iterations used.
+    """
+
+    def __init__(self, t2, period2, omega, samples, variable_names,
+                 newton_iterations):
+        self.t2 = np.asarray(t2, dtype=float)
+        self.period2 = float(period2)
+        self.omega = np.asarray(omega, dtype=float)
+        self.samples = np.asarray(samples, dtype=float)
+        self.variable_names = tuple(variable_names)
+        self.newton_iterations = int(newton_iterations)
+
+    @property
+    def mean_frequency(self):
+        """The constant part ``omega_0`` of eq. (21) [Hz]."""
+        return float(np.mean(self.omega))
+
+    def frequency_modulation_depth(self):
+        """Peak deviation of ``omega`` from its mean, normalised [—]."""
+        mean = self.mean_frequency
+        if mean == 0:
+            return float("inf")
+        return float(np.max(np.abs(self.omega - mean)) / abs(mean))
+
+    def is_mode_locked(self, forcing_frequency, rtol=1e-3):
+        """Entrainment test: omega constant and equal to the forcing rate."""
+        return (
+            self.frequency_modulation_depth() < rtol
+            and abs(self.mean_frequency - forcing_frequency)
+            < rtol * forcing_frequency
+        )
+
+    def bivariate(self, key):
+        """Bivariate waveform with the t2 axis extended one wrap point."""
+        if isinstance(key, str):
+            key = self.variable_names.index(key)
+        t2_ext = np.concatenate([self.t2, [self.period2]])
+        data = np.vstack([self.samples[:, :, key], self.samples[:1, :, key]])
+        return BivariateWaveform(t2_ext, data, name=self.variable_names[key])
+
+    def warping(self, num_periods=1, phi0=0.0):
+        """Warping function over ``num_periods`` repetitions of T2."""
+        knots = [self.t2 + m * self.period2 for m in range(num_periods)]
+        knots.append(np.array([num_periods * self.period2]))
+        times = np.concatenate(knots)
+        omegas = np.concatenate(
+            [np.tile(self.omega, num_periods), [self.omega[0]]]
+        )
+        return WarpingFunction(times, omegas, phi0=phi0)
+
+    def reconstruct(self, key, times):
+        """Univariate ``x(t)`` over any time range (uses T2-periodicity)."""
+        times = np.asarray(times, dtype=float)
+        num_periods = int(np.ceil(times.max() / self.period2)) + 1
+        warping = self.warping(num_periods=num_periods)
+        waveform = self.bivariate(key)
+        t1 = np.mod(warping.phi(times), 1.0)
+        t2 = np.mod(times, self.period2)
+        return waveform(t1, t2)
+
+
+def envelope_to_quasiperiodic_guess(envelope_result, period2, num_t2,
+                                    tail_start=None):
+    """Build a quasiperiodic initial guess from a settled envelope run.
+
+    The natural continuation strategy: after an envelope simulation has
+    settled into its T2-periodic steady response, resample its last
+    forcing period onto the quasiperiodic collocation grid.  Newton on
+    the bi-periodic BVP then typically converges in a couple of
+    iterations (cold starts from a t2-constant guess often fail for
+    strongly modulated oscillators).
+
+    Parameters
+    ----------
+    envelope_result:
+        A :class:`repro.wampde.envelope.WampdeEnvelopeResult` whose tail
+        is (close to) T2-periodic.
+    period2:
+        The forcing period T2.
+    num_t2:
+        Odd collocation count of the target quasiperiodic solve.
+    tail_start:
+        Absolute t2 where the sampled period begins; defaults to the last
+        full forcing period, aligned to a multiple of T2 so the forcing
+        phase of the guess matches the collocation grid.
+
+    Returns
+    -------
+    tuple
+        ``(initial_samples, omega0)`` shaped for
+        :func:`solve_wampde_quasiperiodic`.
+    """
+    check_positive(period2, "period2")
+    n1 = check_odd(num_t2, "num_t2")
+    t2 = envelope_result.t2
+    if tail_start is None:
+        periods_in = int(np.floor((t2[-1] - t2[0]) / period2))
+        if periods_in < 1:
+            raise SimulationError(
+                "envelope run is shorter than one forcing period; cannot "
+                "extract a periodic tail"
+            )
+        tail_start = t2[0] + (periods_in - 1) * period2
+    grid = collocation_grid(n1, period2)
+    samples = np.empty(
+        (n1,) + envelope_result.samples.shape[1:], dtype=float
+    )
+    omegas = np.empty(n1)
+    for i, tau in enumerate(grid):
+        t_abs = min(tail_start + tau, t2[-1])
+        row = int(np.clip(np.searchsorted(t2, t_abs), 0, t2.size - 1))
+        samples[i] = envelope_result.samples[row]
+        omegas[i] = envelope_result.local_frequency(t_abs)
+    return samples, omegas
+
+
+def solve_wampde_quasiperiodic(dae, period2, initial_samples, omega0,
+                               num_t2=15, options=None):
+    """Solve the bi-periodic WaMPDE boundary-value problem.
+
+    Parameters
+    ----------
+    dae:
+        Forced autonomous system; ``b(t)`` must be ``period2``-periodic.
+    period2:
+        The forcing (slow) period T2.
+    initial_samples:
+        Starting guess: either ``(N0, n)`` — replicated across t2 — or a
+        full ``(N1, N0, n)`` grid.  Use the unforced oscillator's HB
+        solution.
+    omega0:
+        Starting local frequency [Hz] (scalar or length-``N1``).
+    num_t2:
+        Odd number of t2 collocation points ``N1``.
+    options:
+        :class:`WampdeQuasiperiodicOptions`.
+
+    Returns
+    -------
+    WampdeQuasiperiodicResult
+    """
+    opts = options or WampdeQuasiperiodicOptions()
+    check_positive(period2, "period2")
+    n1 = check_odd(num_t2, "num_t2")
+
+    initial_samples = np.asarray(initial_samples, dtype=float)
+    if initial_samples.ndim == 2:
+        initial_samples = np.broadcast_to(
+            initial_samples[None], (n1,) + initial_samples.shape
+        ).copy()
+    if initial_samples.ndim != 3 or initial_samples.shape[0] != n1:
+        raise SimulationError(
+            f"initial_samples must be (N0, n) or ({n1}, N0, n), got "
+            f"{initial_samples.shape}"
+        )
+    _, n0, n = initial_samples.shape
+    check_odd(n0, "N0 (t1 samples)")
+    if n != dae.n:
+        raise SimulationError(
+            f"initial_samples has {n} variables, DAE has {dae.n}"
+        )
+
+    omega0 = np.asarray(omega0, dtype=float).ravel()
+    if omega0.size == 1:
+        omega0 = np.full(n1, omega0[0])
+    if omega0.size != n1:
+        raise SimulationError(
+            f"omega0 must be scalar or length {n1}, got {omega0.size}"
+        )
+
+    condition = as_phase_condition(opts.phase_condition, opts.phase_variable)
+    phase_row_block = condition.gradient(n0, n)
+
+    t2_grid = collocation_grid(n1, period2)
+    block = n0 * n  # unknowns per t2 point
+    total = n1 * block
+
+    d1_big = kron_diffmat(
+        fourier_differentiation_matrix(n0, period=1.0), n, ordering="point"
+    )
+    d1_all = sp.kron(sp.identity(n1, format="csr"), d1_big, format="csr")
+    d2_all = kron_diffmat(
+        fourier_differentiation_matrix(n1, period=period2),
+        block,
+        ordering="point",
+    )
+    b_grid = np.stack([np.tile(dae.b(t), n0) for t in t2_grid])
+
+    def split(z):
+        states = z[:total].reshape(n1, n0, n)
+        omegas = z[total:]
+        return states, omegas
+
+    def residual(z):
+        states, omegas = split(z)
+        flat_states = states.reshape(n1 * n0, n)
+        q_flat = dae.q_batch(flat_states).ravel()
+        f_flat = dae.f_batch(flat_states).ravel()
+        omega_expand = np.repeat(omegas, block)
+        core = (
+            omega_expand * (d1_all @ q_flat)
+            + d2_all @ q_flat
+            + f_flat
+            - b_grid.ravel()
+        )
+        phase = np.array(
+            [condition.residual(states[i2]) for i2 in range(n1)]
+        )
+        return np.concatenate([core, phase])
+
+    def jacobian(z):
+        states, omegas = split(z)
+        flat_states = states.reshape(n1 * n0, n)
+        dq = block_diagonal_expand(dae.dq_dx_batch(flat_states))
+        df = block_diagonal_expand(dae.df_dx_batch(flat_states))
+        omega_expand = sp.diags(np.repeat(omegas, block))
+        core = (omega_expand @ (d1_all @ dq) + d2_all @ dq + df).tocsr()
+
+        q_flat = dae.q_batch(flat_states).ravel()
+        d1q = d1_all @ q_flat
+        columns = np.zeros((total, n1))
+        for i2 in range(n1):
+            sl = slice(i2 * block, (i2 + 1) * block)
+            columns[sl, i2] = d1q[sl]
+
+        rows = np.zeros((n1, total))
+        for i2 in range(n1):
+            rows[i2, i2 * block:(i2 + 1) * block] = phase_row_block
+
+        return BorderedSystem(
+            core, columns, rows, np.zeros((n1, n1))
+        ).assemble()
+
+    z0 = np.concatenate([initial_samples.ravel(), omega0])
+    result = newton_solve(residual, jacobian, z0, options=opts.newton)
+    states, omegas = split(result.x)
+    if np.any(omegas <= 0):
+        raise SimulationError(
+            "quasiperiodic WaMPDE converged to non-positive local frequency"
+        )
+    return WampdeQuasiperiodicResult(
+        t2_grid, period2, omegas, states, dae.variable_names, result.iterations
+    )

@@ -1,0 +1,147 @@
+"""Time warping: the map ``phi(t) = int_0^t omega(s) ds`` (paper eq. 17).
+
+``phi`` converts unwarped time into warped time (in *cycles*, because this
+library normalises the warped axis to period 1, so ``omega`` is the local
+frequency in Hz and ``d phi / d t`` is directly the paper's Fig 7/10
+y-axis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import as_1d_array
+
+
+class WarpingFunction:
+    """Piecewise-linear local frequency and its exact integral.
+
+    ``omega(t)`` is stored as samples on knots and interpolated linearly;
+    ``phi(t)`` is then piecewise quadratic and exactly consistent with the
+    interpolated ``omega`` (``phi' = omega`` everywhere).
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing knot times, shape ``(m,)``.
+    omega:
+        Local frequency at the knots [cycles per unit time], shape ``(m,)``.
+    phi0:
+        Warped time at ``times[0]`` (default 0).
+    """
+
+    def __init__(self, times, omega, phi0=0.0):
+        self.times = as_1d_array(times, "times")
+        self.omega_values = as_1d_array(omega, "omega")
+        if self.times.size != self.omega_values.size:
+            raise ValidationError(
+                f"times and omega must have equal length, got "
+                f"{self.times.size} vs {self.omega_values.size}"
+            )
+        if self.times.size < 2:
+            raise ValidationError("WarpingFunction needs at least two knots")
+        if np.any(np.diff(self.times) <= 0):
+            raise ValidationError("times must be strictly increasing")
+        # Cumulative trapezoid: exact integral of the linear interpolant.
+        spans = np.diff(self.times)
+        mids = 0.5 * (self.omega_values[:-1] + self.omega_values[1:])
+        self.phi_values = float(phi0) + np.concatenate(
+            [[0.0], np.cumsum(spans * mids)]
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    def omega(self, t):
+        """Local frequency at ``t`` (linear interpolation, clamped ends)."""
+        t = np.asarray(t, dtype=float)
+        return np.interp(t, self.times, self.omega_values)
+
+    def phi(self, t):
+        """Warped time ``phi(t)`` (piecewise quadratic, exact integral)."""
+        t = np.asarray(t, dtype=float)
+        t_clipped = np.clip(t, self.times[0], self.times[-1])
+        idx = np.clip(
+            np.searchsorted(self.times, t_clipped, side="right") - 1,
+            0,
+            self.times.size - 2,
+        )
+        t0 = self.times[idx]
+        w0 = self.omega_values[idx]
+        slope = (self.omega_values[idx + 1] - w0) / (self.times[idx + 1] - t0)
+        dt = t_clipped - t0
+        local = self.phi_values[idx] + w0 * dt + 0.5 * slope * dt**2
+        # Linear extension beyond the knot range using the edge frequencies.
+        below = t < self.times[0]
+        above = t > self.times[-1]
+        result = np.where(
+            below,
+            self.phi_values[0] + self.omega_values[0] * (t - self.times[0]),
+            np.where(
+                above,
+                self.phi_values[-1]
+                + self.omega_values[-1] * (t - self.times[-1]),
+                local,
+            ),
+        )
+        return result if result.ndim else float(result)
+
+    def __call__(self, t):
+        """Alias for :meth:`phi`."""
+        return self.phi(t)
+
+    def total_cycles(self):
+        """Warped-time span over the knot range (number of oscillations)."""
+        return float(self.phi_values[-1] - self.phi_values[0])
+
+    def invert(self, phi_target):
+        """Unwarped time at which ``phi(t) = phi_target`` (monotone case).
+
+        Requires strictly positive ``omega`` everywhere.
+        """
+        if np.any(self.omega_values <= 0):
+            raise ValidationError(
+                "invert requires strictly positive local frequency"
+            )
+        phi_target = np.asarray(phi_target, dtype=float)
+        idx = np.clip(
+            np.searchsorted(self.phi_values, phi_target, side="right") - 1,
+            0,
+            self.times.size - 2,
+        )
+        t0 = self.times[idx]
+        w0 = self.omega_values[idx]
+        slope = (self.omega_values[idx + 1] - w0) / (self.times[idx + 1] - t0)
+        dphi = phi_target - self.phi_values[idx]
+        # Solve 0.5*slope*dt^2 + w0*dt - dphi = 0 for dt >= 0.
+        with np.errstate(invalid="ignore", divide="ignore"):
+            quad = (np.sqrt(w0**2 + 2.0 * slope * dphi) - w0) / slope
+        linear = dphi / w0
+        dt = np.where(np.abs(slope) < 1e-300 * np.abs(w0) + 1e-30, linear, quad)
+        result = t0 + dt
+        return result if result.ndim else float(result)
+
+
+def sawtooth_path(times, periods):
+    """The multi-time evaluation path ``t_i = t mod T_i`` (paper Fig 3).
+
+    Parameters
+    ----------
+    times:
+        1-D times along the diagonal path.
+    periods:
+        Sequence of axis periods ``(T_1, ..., T_p)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(len(times), len(periods))``; column ``i`` is
+        ``times mod periods[i]``.
+    """
+    times = as_1d_array(times, "times")
+    columns = []
+    for period in periods:
+        if not period > 0:
+            raise ValidationError(f"periods must be positive, got {period!r}")
+        columns.append(np.mod(times, period))
+    return np.stack(columns, axis=-1)

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep hypothesis fast and deterministic in CI-like runs.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(20260612)
+
+
+@pytest.fixture
+def vdp():
+    """Weakly nonlinear van der Pol oscillator."""
+    from repro.dae import VanDerPolDae
+
+    return VanDerPolDae(mu=0.2)
+
+
+@pytest.fixture
+def lc():
+    """Unit harmonic (LC) oscillator."""
+    from repro.dae import HarmonicOscillatorDae
+
+    return HarmonicOscillatorDae()
+
+
+@pytest.fixture(scope="session")
+def vdp_limit_cycle():
+    """Converged limit cycle of the mu=0.2 van der Pol oscillator.
+
+    Session-scoped: shooting + HB are reused by many tests.
+    Returns ``(dae, hb_result)`` with 25 t1 samples.
+    """
+    import numpy as np
+
+    from repro.dae import VanDerPolDae
+    from repro.steadystate import (
+        estimate_period_from_transient,
+        harmonic_balance_autonomous,
+    )
+    from repro.transient import TransientOptions, simulate_transient
+
+    dae = VanDerPolDae(mu=0.2)
+    settle = simulate_transient(
+        dae, [2.0, 0.0], 0.0, 80.0,
+        TransientOptions(integrator="trap", dt=0.02),
+    )
+    period = estimate_period_from_transient(settle, key=0)
+    tail = settle.t[-1] - period
+    orbit = settle.sample(tail + period * np.arange(25) / 25)
+    hb = harmonic_balance_autonomous(
+        dae, 1.0 / period, orbit, num_samples=25
+    )
+    return dae, hb
+
+
+@pytest.fixture(scope="session")
+def vco_initial_condition():
+    """Initial condition of the paper's VCO (vacuum), session-cached."""
+    from repro.circuits.library import MemsVcoDae, T_NOMINAL, VcoParams
+    from repro.wampde import oscillator_initial_condition
+
+    params = VcoParams.vacuum()
+    unforced = MemsVcoDae(params, constant_control=True)
+    samples, f0 = oscillator_initial_condition(
+        unforced, num_t1=25, period_guess=T_NOMINAL
+    )
+    return params, samples, f0

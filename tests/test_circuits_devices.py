@@ -1,0 +1,261 @@
+"""Tests for device stamps: values and analytic-vs-numeric Jacobians."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.devices import (
+    VCCS,
+    VCVS,
+    Capacitor,
+    CubicConductance,
+    CurrentSource,
+    Diode,
+    Inductor,
+    MemsVaractor,
+    Resistor,
+    TanhNegativeConductance,
+    VoltageSource,
+)
+from repro.circuits.waveforms import DC, Sine
+from repro.errors import DeviceError
+from repro.linalg import finite_difference_jacobian, jacobian_error
+
+voltages = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+
+
+def check_device_jacobians(device, u):
+    """Assert analytic local Jacobians match finite differences at ``u``."""
+    u = np.asarray(u, dtype=float)
+    assert jacobian_error(
+        device.df_local(u), finite_difference_jacobian(device.f_local, u)
+    ) < 1e-6
+    assert jacobian_error(
+        device.dq_local(u), finite_difference_jacobian(device.q_local, u)
+    ) < 1e-6
+
+
+class TestResistor:
+    def test_ohms_law_stamp(self):
+        res = Resistor("R1", "a", "b", 100.0)
+        f = res.f_local(np.array([2.0, 1.0]))
+        np.testing.assert_allclose(f, [0.01, -0.01])
+
+    def test_current_conservation(self):
+        res = Resistor("R1", "a", "b", 50.0)
+        f = res.f_local(np.array([1.3, -0.2]))
+        assert np.isclose(f.sum(), 0.0)
+
+    def test_jacobians(self):
+        check_device_jacobians(Resistor("R1", "a", "b", 10.0), [0.5, -0.5])
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(DeviceError):
+            Resistor("R1", "a", "b", 0.0)
+
+
+class TestCapacitor:
+    def test_charge_stamp(self):
+        cap = Capacitor("C1", "a", "b", 1e-6)
+        q = cap.q_local(np.array([3.0, 1.0]))
+        np.testing.assert_allclose(q, [2e-6, -2e-6])
+
+    def test_no_static_current(self):
+        cap = Capacitor("C1", "a", "b", 1e-6)
+        np.testing.assert_allclose(cap.f_local(np.array([1.0, 0.0])), 0.0)
+
+    def test_jacobians(self):
+        check_device_jacobians(Capacitor("C1", "a", "b", 2e-6), [1.0, -1.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DeviceError):
+            Capacitor("C1", "a", "b", -1e-12)
+
+
+class TestInductor:
+    def test_internal_unknown(self):
+        ind = Inductor("L1", "a", "b", 1e-3)
+        assert ind.internal_names == ("i",)
+        assert ind.n_local == 3
+
+    def test_flux_and_kvl(self):
+        ind = Inductor("L1", "a", "b", 1e-3)
+        u = np.array([2.0, 0.5, 0.1])
+        np.testing.assert_allclose(ind.q_local(u), [0.0, 0.0, 1e-4])
+        np.testing.assert_allclose(ind.f_local(u), [0.1, -0.1, -1.5])
+
+    def test_jacobians(self):
+        check_device_jacobians(Inductor("L1", "a", "b", 1e-3), [1.0, 0.0, 0.2])
+
+
+class TestSources:
+    def test_current_source_rhs_sign(self):
+        src = CurrentSource("I1", "a", "b", DC(1e-3))
+        b = src.b_local(0.0)
+        np.testing.assert_allclose(b, [-1e-3, 1e-3])
+
+    def test_current_source_waveform(self):
+        src = CurrentSource("I1", "a", "b", Sine(amplitude=2.0, frequency=1.0))
+        assert np.isclose(src.b_local(0.25)[1], 2.0)
+
+    def test_voltage_source_kvl(self):
+        src = VoltageSource("V1", "a", "b", DC(5.0))
+        u = np.array([5.0, 0.0, 0.3])
+        f = src.f_local(u)
+        np.testing.assert_allclose(f, [0.3, -0.3, 5.0])
+        np.testing.assert_allclose(src.b_local(0.0), [0.0, 0.0, 5.0])
+
+    def test_voltage_source_jacobians(self):
+        check_device_jacobians(
+            VoltageSource("V1", "a", "b", DC(1.0)), [0.5, 0.1, -0.2]
+        )
+
+
+class TestNonlinearResistors:
+    def test_cubic_negative_region(self):
+        dev = CubicConductance("G1", "a", "b", g1=1.0, g3=1.0 / 3.0)
+        assert dev.conductance(0.0) < 0  # negative at origin
+        assert dev.conductance(2.0) > 0  # positive beyond
+
+    def test_cubic_amplitude_estimate(self):
+        dev = CubicConductance("G1", "a", "b", g1=1.0, g3=1.0 / 3.0)
+        assert np.isclose(dev.limit_cycle_amplitude_estimate(), 2.0)
+
+    @given(voltages)
+    def test_cubic_jacobians(self, v):
+        dev = CubicConductance("G1", "a", "b", g1=0.5, g3=0.2)
+        check_device_jacobians(dev, [v, 0.0])
+
+    def test_cubic_rejects_bad_coefficients(self):
+        with pytest.raises(DeviceError):
+            CubicConductance("G1", "a", "b", g1=-1.0, g3=1.0)
+
+    def test_tanh_negative_then_positive(self):
+        dev = TanhNegativeConductance("G2", "a", "b", gneg=2.0, gsat=0.5,
+                                      imax=1.0)
+        assert dev.conductance(0.0) == pytest.approx(-1.5)
+        assert dev.conductance(10.0) == pytest.approx(0.5, abs=1e-6)
+
+    @given(voltages)
+    def test_tanh_jacobians(self, v):
+        dev = TanhNegativeConductance("G2", "a", "b", gneg=2.0, gsat=0.5,
+                                      imax=1.0)
+        check_device_jacobians(dev, [v, -0.1])
+
+    def test_tanh_rejects_no_negative_region(self):
+        with pytest.raises(DeviceError):
+            TanhNegativeConductance("G2", "a", "b", gneg=0.5, gsat=1.0,
+                                    imax=1.0)
+
+
+class TestDiode:
+    def test_forward_current_positive(self):
+        dev = Diode("D1", "a", "b")
+        assert dev.current(0.7) > 1e-4
+
+    def test_reverse_saturation(self):
+        dev = Diode("D1", "a", "b", saturation_current=1e-14)
+        assert np.isclose(dev.current(-1.0), -1e-14, rtol=1e-6)
+
+    def test_limiting_is_continuous(self):
+        dev = Diode("D1", "a", "b")
+        v_limit = 40.0 * dev.thermal_voltage
+        below = dev.current(v_limit - 1e-9)
+        above = dev.current(v_limit + 1e-9)
+        assert np.isclose(below, above, rtol=1e-6)
+
+    def test_limited_region_finite(self):
+        dev = Diode("D1", "a", "b")
+        assert np.isfinite(dev.current(100.0))
+        assert np.isfinite(dev.conductance(100.0))
+
+    @given(st.floats(min_value=-2.0, max_value=0.9))
+    def test_jacobians(self, v):
+        check_device_jacobians(Diode("D1", "a", "b"), [v, 0.0])
+
+
+class TestControlledSources:
+    def test_vccs_stamp(self):
+        dev = VCCS("G1", "o1", "o2", "c1", "c2", gm=0.1)
+        f = dev.f_local(np.array([0.0, 0.0, 2.0, 1.0]))
+        np.testing.assert_allclose(f, [0.1, -0.1, 0.0, 0.0])
+
+    def test_vccs_jacobians(self):
+        check_device_jacobians(
+            VCCS("G1", "o1", "o2", "c1", "c2", gm=0.1), [0.1, 0.0, 1.0, -1.0]
+        )
+
+    def test_vcvs_kvl(self):
+        dev = VCVS("E1", "o1", "o2", "c1", "c2", mu=10.0)
+        u = np.array([5.0, 0.0, 0.5, 0.0, 0.01])
+        f = dev.f_local(u)
+        assert np.isclose(f[4], 0.0)  # 5 - 10*0.5 = 0
+
+    def test_vcvs_jacobians(self):
+        check_device_jacobians(
+            VCVS("E1", "o1", "o2", "c1", "c2", mu=3.0),
+            [1.0, 0.0, 0.4, 0.1, 0.02],
+        )
+
+
+class TestMemsVaractor:
+    def make(self, damping=1e-4):
+        return MemsVaractor(
+            "M1", "a", "b", control=DC(1.5), c0=100e-12, z_scale=1e-6,
+            mass=1e-9, damping=damping, stiffness=221.0, force_gain=4.5e-5,
+        )
+
+    def test_capacitance_decreases_with_displacement(self):
+        dev = self.make()
+        assert dev.capacitance(0.0) == pytest.approx(100e-12)
+        assert dev.capacitance(1e-6) < dev.capacitance(0.0)
+
+    def test_capacitance_even_in_z(self):
+        dev = self.make()
+        assert dev.capacitance(5e-7) == pytest.approx(dev.capacitance(-5e-7))
+
+    def test_dcapacitance_matches_fd(self):
+        dev = self.make()
+        z = 4e-7
+        step = 1e-13
+        fd = (dev.capacitance(z + step) - dev.capacitance(z - step)) / (2 * step)
+        assert np.isclose(dev.dcapacitance_dz(z), fd, rtol=1e-5)
+
+    def test_static_displacement_balances_spring(self):
+        dev = self.make()
+        z_eq = dev.static_displacement(1.5)
+        assert np.isclose(dev.stiffness * z_eq, dev.force_gain * 1.5**2)
+
+    def test_force_follows_square_of_control(self):
+        dev = MemsVaractor(
+            "M1", "a", "b", control=Sine(amplitude=1.0, frequency=1.0,
+                                         offset=1.0),
+            c0=1e-12, z_scale=1e-6, mass=1e-9, damping=1e-4, stiffness=100.0,
+            force_gain=2.0,
+        )
+        assert np.isclose(dev.force(0.25), 2.0 * 4.0)  # Vc=2 at t=0.25
+
+    def test_jacobians_at_operating_point(self):
+        dev = self.make()
+        # Typical operating values: volts, displacement ~0.5 um, velocity.
+        u = np.array([1.2, 0.0, 4.5e-7, 1e-3])
+        q_scale = np.array([1e-10, 1e-10, 1e-6, 1e-12])
+
+        def q_scaled(uu):
+            return dev.q_local(uu) / q_scale
+
+        analytic = dev.dq_local(u) / q_scale[:, None]
+        numeric = finite_difference_jacobian(q_scaled, u, eps=1e-9)
+        assert jacobian_error(analytic, numeric) < 1e-4
+        check_jac = jacobian_error(
+            dev.df_local(u), finite_difference_jacobian(dev.f_local, u)
+        )
+        assert check_jac < 1e-6
+
+    def test_rejects_negative_damping(self):
+        with pytest.raises(DeviceError):
+            self.make(damping=-1.0)
+
+    def test_internal_names(self):
+        assert self.make().internal_names == ("z", "u")

@@ -1,0 +1,110 @@
+"""Tests for source waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.waveforms import (
+    DC,
+    CallableWaveform,
+    Cosine,
+    PiecewiseLinear,
+    Pulse,
+    Sine,
+    as_waveform,
+)
+from repro.errors import ValidationError
+
+
+class TestDC:
+    def test_scalar_and_array(self):
+        wave = DC(2.5)
+        assert wave(0.0) == 2.5
+        np.testing.assert_allclose(wave(np.array([0.0, 1.0])), [2.5, 2.5])
+
+    def test_aperiodic(self):
+        assert DC(1.0).period is None
+
+
+class TestSine:
+    def test_amplitude_offset(self):
+        wave = Sine(amplitude=2.0, frequency=1.0, offset=1.0)
+        assert np.isclose(wave(0.25), 3.0)
+        assert np.isclose(wave(0.0), 1.0)
+
+    def test_period_metadata(self):
+        assert np.isclose(Sine(frequency=50.0).period, 0.02)
+
+    def test_delay_shifts(self):
+        wave = Sine(frequency=1.0, delay=0.25)
+        assert np.isclose(wave(0.5), Sine(frequency=1.0)(0.25))
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValidationError):
+            Sine(frequency=0.0)
+
+    def test_cosine_is_shifted_sine(self):
+        t = np.linspace(0, 1, 17)
+        np.testing.assert_allclose(
+            Cosine(frequency=2.0)(t), np.cos(4 * np.pi * t), atol=1e-12
+        )
+
+
+class TestPiecewiseLinear:
+    def test_interpolates(self):
+        wave = PiecewiseLinear([0.0, 1.0, 2.0], [0.0, 2.0, 0.0])
+        assert np.isclose(wave(0.5), 1.0)
+        assert np.isclose(wave(1.5), 1.0)
+
+    def test_clamps_outside(self):
+        wave = PiecewiseLinear([0.0, 1.0], [1.0, 3.0])
+        assert wave(-5.0) == 1.0
+        assert wave(5.0) == 3.0
+
+    def test_rejects_nonincreasing_times(self):
+        with pytest.raises(ValidationError):
+            PiecewiseLinear([0.0, 0.0], [1.0, 2.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            PiecewiseLinear([0.0, 1.0], [1.0])
+
+
+class TestPulse:
+    def test_levels(self):
+        wave = Pulse(low=0.0, high=1.0, rise=0.1, fall=0.1, width=0.3,
+                     period=1.0)
+        assert np.isclose(wave(0.05), 0.5)  # mid-rise
+        assert np.isclose(wave(0.2), 1.0)  # flat top
+        assert np.isclose(wave(0.45), 0.5)  # mid-fall
+        assert np.isclose(wave(0.9), 0.0)  # low
+
+    def test_periodicity(self):
+        wave = Pulse(width=0.3, rise=0.05, fall=0.05, period=1.0)
+        t = np.linspace(0, 1, 33)
+        np.testing.assert_allclose(wave(t), wave(t + 3.0), atol=1e-12)
+
+    def test_rejects_overfull_period(self):
+        with pytest.raises(ValidationError):
+            Pulse(rise=0.5, fall=0.5, width=0.5, period=1.0)
+
+
+class TestCallableAndCoercion:
+    def test_callable_wraps(self):
+        wave = CallableWaveform(lambda t: t * 2.0)
+        assert wave(3.0) == 6.0
+        np.testing.assert_allclose(wave(np.array([1.0, 2.0])), [2.0, 4.0])
+
+    def test_rejects_noncallable(self):
+        with pytest.raises(ValidationError):
+            CallableWaveform(42)
+
+    def test_as_waveform_passthrough(self):
+        wave = Sine()
+        assert as_waveform(wave) is wave
+
+    def test_as_waveform_number(self):
+        assert isinstance(as_waveform(3.0), DC)
+
+    def test_as_waveform_callable(self):
+        wave = as_waveform(lambda t: t)
+        assert wave(2.0) == 2.0

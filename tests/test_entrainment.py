@@ -1,0 +1,109 @@
+"""Tests for mode-locking / period-multiplication detection (paper §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import TWO_PI
+from repro.dae import VanDerPolDae
+from repro.steadystate import find_locked_orbit, stretch_cycle
+
+
+class InjectedVdp(VanDerPolDae):
+    def __init__(self, mu, amplitude, frequency):
+        super().__init__(mu)
+        self.amplitude = float(amplitude)
+        self.frequency = float(frequency)
+
+    def b(self, t):
+        return np.array(
+            [self.amplitude * np.sin(TWO_PI * self.frequency * t), 0.0]
+        )
+
+    def b_batch(self, times):
+        times = np.asarray(times, dtype=float).ravel()
+        out = np.zeros((times.size, 2))
+        out[:, 0] = self.amplitude * np.sin(TWO_PI * self.frequency * times)
+        return out
+
+
+class TestStretchCycle:
+    def test_preserves_endpoints_shape(self, vdp_limit_cycle):
+        _dae, hb = vdp_limit_cycle
+        stretched = stretch_cycle(hb.samples, 49)
+        assert stretched.shape == (49, 2)
+        np.testing.assert_allclose(stretched[0], hb.samples[0])
+
+    def test_identity_when_same_size(self, vdp_limit_cycle):
+        _dae, hb = vdp_limit_cycle
+        np.testing.assert_allclose(
+            stretch_cycle(hb.samples, 25), hb.samples
+        )
+
+
+class TestFundamentalLocking:
+    """1:1 entrainment of the mu=0.2 oscillator (Arnold tongue center)."""
+
+    def test_locks_inside_tongue(self, vdp_limit_cycle):
+        _dae, hb = vdp_limit_cycle
+        f_inj = hb.frequency * 1.01
+        dae = InjectedVdp(0.2, 0.15, f_inj)
+        solution = find_locked_orbit(dae, 1.0 / f_inj, hb.samples)
+        assert solution is not None
+        peak = solution.samples[:, 0].max() - solution.samples[:, 0].min()
+        assert peak > 3.0  # full-swing oscillation at the forcing period
+
+    def test_not_locked_far_outside_tongue(self, vdp_limit_cycle):
+        _dae, hb = vdp_limit_cycle
+        f_inj = hb.frequency * 1.25  # far beyond any tongue at this drive
+        dae = InjectedVdp(0.2, 0.05, f_inj)
+        solution = find_locked_orbit(
+            dae, 1.0 / f_inj, hb.samples, phase_step=5
+        )
+        assert solution is None
+
+    def test_rejects_nonpositive_period(self, vdp_limit_cycle):
+        _dae, hb = vdp_limit_cycle
+        dae = InjectedVdp(0.2, 0.1, hb.frequency)
+        with pytest.raises(Exception):
+            find_locked_orbit(dae, -1.0, hb.samples)
+
+
+class TestPeriodMultiplication:
+    """Divide-by-3 superharmonic entrainment (mu = 1)."""
+
+    @pytest.fixture(scope="class")
+    def strong_cycle(self):
+        from repro.steadystate import (
+            estimate_period_from_transient,
+            harmonic_balance_autonomous,
+        )
+        from repro.transient import TransientOptions, simulate_transient
+
+        dae = VanDerPolDae(1.0)
+        settle = simulate_transient(
+            dae, [2.0, 0.0], 0.0, 120.0,
+            TransientOptions(integrator="trap", dt=0.02),
+        )
+        period = estimate_period_from_transient(settle, key=0)
+        tail = settle.t[-1] - period
+        orbit = settle.sample(tail + period * np.arange(25) / 25)
+        return harmonic_balance_autonomous(
+            dae, 1.0 / period, orbit, num_samples=25
+        )
+
+    def test_divide_by_three(self, strong_cycle):
+        from repro.analysis import dominant_frequency
+
+        f0 = strong_cycle.frequency
+        f_inj = 3.0 * f0
+        dae = InjectedVdp(1.0, 0.5, f_inj)
+        solution = find_locked_orbit(
+            dae, 3.0 / f_inj, strong_cycle.samples,
+            min_peak_to_peak=2.5, phase_step=4, num_samples=49,
+            stability_tolerance=0.2,
+        )
+        assert solution is not None
+        times = np.linspace(0.0, 6 * solution.period, 4096, endpoint=False)
+        f_out = dominant_frequency(times, solution.evaluate(times)[:, 0])
+        # The response fundamental is exactly one third of the injection.
+        assert abs(3.0 * f_out - f_inj) < 0.02 * f_inj

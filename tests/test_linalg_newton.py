@@ -1,0 +1,152 @@
+"""Tests for the Newton kernel."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ConvergenceError, SingularJacobianError
+from repro.linalg import NewtonOptions, newton_solve
+
+
+def quadratic_residual(x):
+    return np.array([x[0] ** 2 - 4.0, x[1] - 1.0])
+
+
+def quadratic_jacobian(x):
+    return np.array([[2.0 * x[0], 0.0], [0.0, 1.0]])
+
+
+class TestNewtonBasics:
+    def test_converges_to_root(self):
+        result = newton_solve(quadratic_residual, quadratic_jacobian, [3.0, 0.0])
+        assert result.converged
+        np.testing.assert_allclose(result.x, [2.0, 1.0], atol=1e-8)
+
+    def test_quadratic_convergence_rate(self):
+        result = newton_solve(quadratic_residual, quadratic_jacobian, [3.0, 0.0])
+        history = result.residual_history
+        # Quadratic convergence: few iterations from a good start.
+        assert result.iterations <= 8
+        assert history[-1] < 1e-9
+
+    def test_accepts_exact_initial_guess(self):
+        result = newton_solve(quadratic_residual, quadratic_jacobian, [2.0, 1.0])
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_linear_system_single_step(self):
+        a = np.array([[2.0, 1.0], [1.0, 3.0]])
+        rhs = np.array([1.0, 2.0])
+        result = newton_solve(lambda x: a @ x - rhs, lambda x: a, [0.0, 0.0])
+        np.testing.assert_allclose(result.x, np.linalg.solve(a, rhs), atol=1e-10)
+        assert result.iterations <= 2
+
+    def test_sparse_jacobian_supported(self):
+        result = newton_solve(
+            quadratic_residual,
+            lambda x: sp.csr_matrix(quadratic_jacobian(x)),
+            [3.0, 0.0],
+        )
+        assert result.converged
+
+    def test_residual_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length"):
+            newton_solve(lambda x: np.zeros(3), lambda x: np.eye(3), [1.0, 2.0])
+
+
+class TestNewtonDamping:
+    def test_line_search_rescues_overshoot(self):
+        # atan has a tiny basin for full Newton; damping fixes it.
+        result = newton_solve(
+            lambda x: np.array([np.arctan(x[0])]),
+            lambda x: np.array([[1.0 / (1.0 + x[0] ** 2)]]),
+            [3.0],
+        )
+        assert result.converged
+        np.testing.assert_allclose(result.x, [0.0], atol=1e-8)
+
+    def test_no_damping_diverges_on_atan(self):
+        options = NewtonOptions(
+            max_step_halvings=0, max_iterations=8, raise_on_failure=False
+        )
+
+        def jacobian(x):
+            with np.errstate(over="ignore"):
+                return np.array([[1.0 / (1.0 + min(x[0] ** 2, 1e300))]])
+
+        # Without damping the iterates alternate with growing magnitude and
+        # either stall (not converged) or blow the Jacobian up (singular).
+        try:
+            result = newton_solve(
+                lambda x: np.array([np.arctan(x[0])]),
+                jacobian,
+                [3.0],
+                options=options,
+            )
+        except SingularJacobianError:
+            return
+        assert not result.converged
+
+
+class TestNewtonFailures:
+    @staticmethod
+    def _rootless():
+        """exp(x) + 1 has no root and a never-singular Jacobian."""
+        residual = lambda x: np.array([np.exp(x[0]) + 1.0])  # noqa: E731
+        jacobian = lambda x: np.array([[np.exp(x[0])]])  # noqa: E731
+        return residual, jacobian
+
+    def test_raises_on_stall_by_default(self):
+        residual, jacobian = self._rootless()
+        with pytest.raises(ConvergenceError):
+            newton_solve(
+                residual, jacobian, [0.0],
+                options=NewtonOptions(max_iterations=3, rtol=1e-14),
+            )
+
+    def test_reports_instead_when_configured(self):
+        residual, jacobian = self._rootless()
+        options = NewtonOptions(
+            max_iterations=3, rtol=1e-14, raise_on_failure=False
+        )
+        result = newton_solve(residual, jacobian, [0.0], options=options)
+        assert not result.converged
+        assert result.iterations == 3
+
+    def test_singular_jacobian_raises(self):
+        with pytest.raises((SingularJacobianError, ConvergenceError)):
+            newton_solve(
+                lambda x: np.array([x[0] + 1.0]),
+                lambda x: np.array([[0.0]]),
+                [1.0],
+                options=NewtonOptions(max_iterations=5),
+            )
+
+    def test_convergence_error_carries_diagnostics(self):
+        residual, jacobian = self._rootless()
+        try:
+            newton_solve(
+                residual, jacobian, [0.0],
+                options=NewtonOptions(max_iterations=3, rtol=1e-14),
+            )
+        except ConvergenceError as exc:
+            assert exc.iterations == 3
+            assert exc.residual_norm is not None
+        else:  # pragma: no cover
+            pytest.fail("expected ConvergenceError")
+
+
+class TestNewtonCustomLinearSolver:
+    def test_custom_solver_is_used(self):
+        calls = []
+
+        def solver(jac, rhs):
+            calls.append(1)
+            return np.linalg.solve(np.asarray(jac), rhs)
+
+        result = newton_solve(
+            quadratic_residual, quadratic_jacobian, [3.0, 0.0],
+            linear_solver=solver,
+        )
+        assert result.converged
+        assert len(calls) >= 1

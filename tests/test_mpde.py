@@ -1,0 +1,181 @@
+"""Tests for the (unwarped) MPDE solvers."""
+
+import numpy as np
+import pytest
+
+from repro.constants import TWO_PI
+from repro.dae import LinearRCDae
+from repro.errors import SimulationError, ValidationError
+from repro.mpde import (
+    BivariateForcing,
+    additive_two_tone_forcing,
+    solve_mpde_envelope,
+    solve_mpde_quasiperiodic,
+)
+
+
+def rc_two_tone(f1=50.0, f2=1.0, a1=1.0, a2=0.5):
+    """Linear RC driven by two tones: closed-form AM-quasiperiodic output."""
+    dae = LinearRCDae(resistance=1.0, capacitance=0.02)
+
+    def fast(t1):
+        return np.array([a1 * np.cos(TWO_PI * f1 * t1)])
+
+    def slow(t2):
+        return np.array([a2 * np.cos(TWO_PI * f2 * t2)])
+
+    forcing = additive_two_tone_forcing(fast, slow, 1.0 / f1, 1.0 / f2, 1)
+
+    def exact(t):
+        # Superposition of the two single-tone steady states.
+        g, c = 1.0, 0.02
+        out = 0.0
+        for amp, freq in ((a1, f1), (a2, f2)):
+            w = TWO_PI * freq
+            denominator = g**2 + (w * c) ** 2
+            out = out + amp * (
+                g * np.cos(w * t) + w * c * np.sin(w * t)
+            ) / denominator
+        return out
+
+    return dae, forcing, exact
+
+
+class TestBivariateForcing:
+    def test_diagonal_recovers_univariate(self):
+        _dae, forcing, _exact = rc_two_tone()
+        t = 0.123
+        expected = forcing(t, t)
+        np.testing.assert_allclose(forcing.diagonal(t), expected)
+
+    def test_grid_shape(self):
+        _dae, forcing, _ = rc_two_tone()
+        grid = forcing.grid(np.zeros(3), np.zeros(5))
+        assert grid.shape == (5, 3, 1)
+
+    def test_rejects_noncallable(self):
+        with pytest.raises(ValidationError):
+            BivariateForcing("nope", 1.0, 1.0, 1)
+
+    def test_rejects_bad_periods(self):
+        with pytest.raises(ValidationError):
+            BivariateForcing(lambda a, b: np.zeros(1), -1.0, 1.0, 1)
+
+    def test_rejects_wrong_vector_length(self):
+        forcing = BivariateForcing(lambda a, b: np.zeros(2), 1.0, 1.0, 1)
+        with pytest.raises(ValidationError, match="shape"):
+            forcing(0.0, 0.0)
+
+
+class TestMpdeQuasiperiodic:
+    def test_linear_rc_matches_closed_form(self):
+        """The MPDE solution along the diagonal equals the exact
+        two-tone steady state of the linear RC filter."""
+        dae, forcing, exact = rc_two_tone()
+        result = solve_mpde_quasiperiodic(dae, forcing, num_t1=9, num_t2=9)
+        t = np.linspace(0.0, 1.0, 400)
+        np.testing.assert_allclose(
+            result.reconstruct(0, t), exact(t), atol=1e-6
+        )
+
+    def test_solution_grid_shape(self):
+        dae, forcing, _ = rc_two_tone()
+        result = solve_mpde_quasiperiodic(dae, forcing, num_t1=9, num_t2=7)
+        assert result.samples.shape == (7, 9, 1)
+
+    def test_initial_dc_broadcast(self):
+        dae, forcing, _ = rc_two_tone()
+        result = solve_mpde_quasiperiodic(
+            dae, forcing, num_t1=9, num_t2=7, initial=np.array([0.3])
+        )
+        assert result.newton_iterations >= 1
+
+    def test_rejects_mismatched_forcing(self):
+        dae, _forcing, _ = rc_two_tone()
+        bad = BivariateForcing(lambda a, b: np.zeros(3), 1.0, 1.0, 3)
+        with pytest.raises(SimulationError):
+            solve_mpde_quasiperiodic(dae, bad, num_t1=9, num_t2=9)
+
+    def test_bivariate_periodic_in_t2(self):
+        dae, forcing, _ = rc_two_tone()
+        result = solve_mpde_quasiperiodic(dae, forcing, num_t1=9, num_t2=9)
+        biv = result.bivariate(0)
+        t1 = np.linspace(0, forcing.period1, 5)
+        np.testing.assert_allclose(
+            biv(t1, 0.0), biv(t1, forcing.period2), atol=1e-9
+        )
+
+    def test_nonlinear_mixer_against_transient(self):
+        """End-to-end on the diode mixer: MPDE vs brute-force transient."""
+        from repro.circuits.library import rc_diode_mixer_circuit
+        from repro.steadystate import dc_operating_point
+        from repro.transient import TransientOptions, simulate_transient
+
+        dae = rc_diode_mixer_circuit().to_dae()
+        n = dae.n
+        f_rf, f_lo = 1e5, 1e3
+
+        def fast(t1):
+            b = np.zeros(n)
+            b[-1] = 0.6 + 0.05 * np.sin(TWO_PI * f_rf * t1)
+            return b
+
+        def slow(t2):
+            b = np.zeros(n)
+            b[-1] = 0.4 * np.sin(TWO_PI * f_lo * t2)
+            return b
+
+        forcing = additive_two_tone_forcing(fast, slow, 1 / f_rf, 1 / f_lo, n)
+        x_dc = dc_operating_point(dae)
+        result = solve_mpde_quasiperiodic(
+            dae, forcing, num_t1=15, num_t2=15, initial=x_dc
+        )
+        transient = simulate_transient(
+            dae, x_dc, 0.0, 2.5e-3,
+            TransientOptions(integrator="trap", dt=1 / f_rf / 40),
+        )
+        times = np.linspace(1.5e-3, 2.4e-3, 300)
+        rec = result.reconstruct("v(out)", times)
+        ref = transient.sample(times, "v(out)")
+        spread = ref.max() - ref.min()
+        assert np.max(np.abs(rec - ref)) < 0.05 * spread
+
+
+class TestMpdeEnvelope:
+    def test_settles_to_quasiperiodic(self):
+        """Envelope started at DC converges to the QP solution."""
+        dae, forcing, exact = rc_two_tone()
+        initial = np.zeros((9, 1))
+        result = solve_mpde_envelope(
+            dae, forcing, initial, 0.0, 3.0, 300
+        )
+        # After ~RC settling, the reconstruction matches the closed form.
+        t = np.linspace(2.0, 2.9, 200)
+        np.testing.assert_allclose(
+            result.reconstruct(0, t), exact(t), atol=2e-3
+        )
+
+    def test_rejects_bad_initial(self):
+        dae, forcing, _ = rc_two_tone()
+        with pytest.raises(SimulationError):
+            solve_mpde_envelope(dae, forcing, np.zeros(9), 0.0, 1.0, 10)
+
+    def test_rejects_bad_integrator(self):
+        from repro.mpde.envelope import MpdeEnvelopeOptions
+
+        dae, forcing, _ = rc_two_tone()
+        with pytest.raises(SimulationError, match="integrator"):
+            solve_mpde_envelope(
+                dae, forcing, np.zeros((9, 1)), 0.0, 1.0, 10,
+                MpdeEnvelopeOptions(integrator="euler"),
+            )
+
+    def test_be_variant_runs(self):
+        from repro.mpde.envelope import MpdeEnvelopeOptions
+
+        dae, forcing, _ = rc_two_tone()
+        result = solve_mpde_envelope(
+            dae, forcing, np.zeros((9, 1)), 0.0, 0.5, 50,
+            MpdeEnvelopeOptions(integrator="be"),
+        )
+        assert result.samples.shape[0] == 51

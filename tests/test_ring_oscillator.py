@@ -1,0 +1,124 @@
+"""Ring oscillator: a second autonomous topology for WaMPDE generality."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.devices import TanhTransconductance
+from repro.circuits.library import ring_oscillator_circuit
+from repro.circuits.waveforms import DC
+from repro.errors import DeviceError
+from repro.linalg import finite_difference_jacobian, jacobian_error
+from repro.steadystate import (
+    estimate_period_from_transient,
+    harmonic_balance_autonomous,
+)
+from repro.transient import TransientOptions, simulate_transient
+from repro.wampde import oscillator_initial_condition, solve_wampde_envelope
+
+
+class TestTanhTransconductance:
+    def test_saturation(self):
+        dev = TanhTransconductance("G1", "o", "0", "c", "0", gm=4e-3,
+                                   imax=1e-3)
+        assert abs(dev.output_current(10.0)) < 1e-3 + 1e-9
+        assert np.isclose(dev.transconductance(0.0), 4e-3)
+
+    def test_inverting_stamp_sign(self):
+        dev = TanhTransconductance("G1", "o", "0", "c", "0", gm=1e-3,
+                                   imax=1e-3)
+        f = dev.f_local(np.array([0.0, 0.0, 0.5, 0.0]))
+        # Positive input -> current *leaves* the output node (inverting
+        # with a grounded RC load).
+        assert f[0] > 0
+
+    def test_jacobians(self):
+        dev = TanhTransconductance("G1", "o", "0", "c", "0", gm=4e-3,
+                                   imax=1e-3)
+        u = np.array([0.3, 0.0, -0.4, 0.1])
+        assert jacobian_error(
+            dev.df_local(u), finite_difference_jacobian(dev.f_local, u)
+        ) < 1e-6
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DeviceError):
+            TanhTransconductance("G1", "o", "0", "c", "0", gm=-1.0, imax=1e-3)
+
+
+class TestRingOscillatorCircuit:
+    def test_rejects_even_stages(self):
+        with pytest.raises(ValueError):
+            ring_oscillator_circuit(stages=4)
+
+    def test_netlist_size(self):
+        dae = ring_oscillator_circuit(stages=3).to_dae()
+        assert dae.n == 3  # three node voltages, no internal unknowns
+
+    @pytest.fixture(scope="class")
+    def ring_cycle(self):
+        """Settled limit cycle of the 3-stage ring."""
+        dae = ring_oscillator_circuit().to_dae()
+        kick = np.array([0.1, -0.05, 0.02])
+        settle = simulate_transient(
+            dae, kick, 0.0, 120e-6,
+            TransientOptions(integrator="trap", dt=0.05e-6),
+        )
+        period = estimate_period_from_transient(settle, key=0)
+        tail = settle.t[-1] - period
+        orbit = settle.sample(tail + period * np.arange(25) / 25)
+        hb = harmonic_balance_autonomous(
+            dae, 1.0 / period, orbit, num_samples=25
+        )
+        return dae, hb
+
+    def test_oscillates_near_linear_prediction(self, ring_cycle):
+        """3-stage RC ring: f ~ sqrt(3)/(2 pi R C), lowered by saturation."""
+        _dae, hb = ring_cycle
+        f_linear = np.sqrt(3.0) / (2 * np.pi * 1e3 * 1e-9)
+        assert 0.3 * f_linear < hb.frequency < 1.2 * f_linear
+
+    def test_three_phase_symmetry(self, ring_cycle):
+        """The three node waveforms are the same cycle shifted by T/3."""
+        _dae, hb = ring_cycle
+        v1 = hb.samples[:, 0]
+        v2 = hb.samples[:, 1]
+        best = min(
+            np.max(np.abs(np.roll(v1, shift) - v2))
+            for shift in range(25)
+        )
+        assert best < 0.05 * (v1.max() - v1.min())
+
+    def test_amplitude_set_by_saturation(self, ring_cycle):
+        """Swing approaches +-imax*R = +-1 V."""
+        _dae, hb = ring_cycle
+        peak = np.abs(hb.samples[:, 0]).max()
+        assert 0.5 < peak < 1.2
+
+    def test_wampde_envelope_tracks_bias_detuning(self):
+        """A slow bias current shifts the ring frequency; the WaMPDE
+        envelope follows it and matches the static (constant-bias) HB
+        frequencies at the forcing extremes."""
+        from repro.circuits.waveforms import Sine
+
+        unbiased = ring_oscillator_circuit(bias=DC(0.0)).to_dae()
+        samples, f0 = oscillator_initial_condition(
+            unbiased, num_t1=25, period_guess=4e-6,
+            perturbation=np.array([0.1, -0.05, 0.02]),
+        )
+        # Slow bias modulation: period = 40 oscillation cycles.
+        period2 = 40.0 / f0
+        forced = ring_oscillator_circuit(
+            bias=Sine(amplitude=4e-4, frequency=1.0 / period2)
+        ).to_dae()
+        env = solve_wampde_envelope(
+            forced, samples, f0, 0.0, 1.5 * period2, 300
+        )
+        # Frequency must respond to the bias...
+        assert env.omega.max() / env.omega.min() > 1.005
+        # ...and agree with the static tuning at the bias extremes.
+        static = ring_oscillator_circuit(bias=DC(4e-4)).to_dae()
+        s_samples, s_f0 = oscillator_initial_condition(
+            static, num_t1=25, period_guess=1.0 / f0,
+            perturbation=np.array([0.1, -0.05, 0.02]),
+        )
+        peak_idx = np.argmin(np.abs(env.t2 - 0.25 * period2))
+        assert abs(env.omega[peak_idx] - s_f0) / s_f0 < 0.02

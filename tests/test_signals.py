@@ -1,0 +1,157 @@
+"""Tests for the §3 signal toolkit (Figs 1-6 closed forms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.signals import (
+    bivariate_sample_count,
+    fm_alternative_bivariate,
+    fm_alternative_phi,
+    fm_instantaneous_frequency,
+    fm_signal,
+    fm_unwarped_bivariate,
+    fm_warped_bivariate,
+    fm_warping_phi,
+    grid_undulation_count,
+    reconstruction_error_two_tone,
+    transient_sample_count,
+    two_tone_bivariate,
+    two_tone_signal,
+    undulation_count,
+)
+from repro.signals.fm import F0_PAPER, F2_PAPER, K_PAPER
+
+times = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestTwoTone:
+    @given(times)
+    def test_diagonal_identity(self, t):
+        """y(t) = yhat(t, t) — paper eq. (1) vs (2)."""
+        np.testing.assert_allclose(
+            two_tone_signal(t), two_tone_bivariate(t, t), atol=1e-12
+        )
+
+    def test_biperiodicity(self):
+        t1, t2 = 0.013, 0.37
+        np.testing.assert_allclose(
+            two_tone_bivariate(t1, t2),
+            two_tone_bivariate(t1 + 0.02, t2 + 1.0),
+            atol=1e-12,
+        )
+
+    def test_paper_modulation_structure(self):
+        """50 fast cycles inside one slow period."""
+        t = np.linspace(0, 1, 20001)
+        y = two_tone_signal(t)
+        crossings = np.sum((y[:-1] < 0) & (y[1:] >= 0))
+        # ~50 fast cycles, modulated: allow the modulation-envelope zeros.
+        assert 48 <= crossings <= 52
+
+    def test_paper_sample_counts(self):
+        """Paper: 750 transient samples vs 225 bivariate samples."""
+        assert transient_sample_count() == 750
+        assert bivariate_sample_count() == 225
+
+    def test_sample_count_scales_with_separation(self):
+        assert transient_sample_count(period1=0.001, period2=1.0) == 15000
+
+
+class TestFmSignal:
+    @given(st.floats(min_value=0.0, max_value=5e-5))
+    def test_warped_identity(self, t):
+        """x(t) = xhat2(phi(t), t) — paper eq. (8)."""
+        np.testing.assert_allclose(
+            fm_signal(t),
+            fm_warped_bivariate(np.mod(fm_warping_phi(t), 1.0)),
+            atol=1e-9,
+        )
+
+    @given(st.floats(min_value=0.0, max_value=5e-5))
+    def test_unwarped_identity(self, t):
+        """x(t) = xhat1(t, t) — paper eq. (5)."""
+        np.testing.assert_allclose(
+            fm_signal(t), fm_unwarped_bivariate(t, t), atol=1e-9
+        )
+
+    @given(st.floats(min_value=0.0, max_value=5e-5))
+    def test_alternative_identity(self, t):
+        """x(t) = xhat3(phi3(t), t) — paper eq. (10)-(11)."""
+        np.testing.assert_allclose(
+            fm_signal(t),
+            fm_alternative_bivariate(fm_alternative_phi(t), t),
+            atol=1e-9,
+        )
+
+    def test_phi_derivative_is_instantaneous_frequency(self):
+        """d phi/dt == f(t) of paper eq. (4)."""
+        t = np.linspace(0, 5e-5, 200)
+        step = 1e-12
+        numeric = (fm_warping_phi(t + step) - fm_warping_phi(t - step)) / (
+            2 * step
+        )
+        np.testing.assert_allclose(
+            numeric, fm_instantaneous_frequency(t), rtol=1e-3
+        )
+
+    def test_alternative_phi_differs_by_f2(self):
+        """The local-frequency ambiguity is exactly f2 (paper §3)."""
+        t = np.linspace(0, 5e-5, 50)
+        step = 1e-12
+        d_phi3 = (fm_alternative_phi(t + step) - fm_alternative_phi(t - step)) / (
+            2 * step
+        )
+        np.testing.assert_allclose(
+            fm_instantaneous_frequency(t) - d_phi3, F2_PAPER, rtol=1e-2
+        )
+
+    def test_frequency_swing(self):
+        """f(t) spans f0 +- k*f2 = 1 MHz +- ~0.5 MHz."""
+        t = np.linspace(0, 1 / F2_PAPER, 1000)
+        freq = fm_instantaneous_frequency(t)
+        assert np.isclose(freq.max(), F0_PAPER + K_PAPER * F2_PAPER, rtol=1e-3)
+        assert np.isclose(freq.min(), F0_PAPER - K_PAPER * F2_PAPER, rtol=1e-3)
+
+
+class TestUndulationCounts:
+    def test_pure_sine_count(self):
+        t = np.linspace(0, 1, 400)
+        assert undulation_count(np.sin(2 * np.pi * 3 * t)) == 6  # 2 per cycle
+
+    def test_constant_has_none(self):
+        assert undulation_count(np.ones(50)) == 0
+
+    def test_unwarped_fm_undulates_along_t2(self):
+        """Paper Fig 5: xhat1 has ~k/(2 pi) = 4 oscillations along t2."""
+        t2 = np.linspace(0, 1 / F2_PAPER, 400, endpoint=False)
+        grid = fm_unwarped_bivariate(0.0, t2[:, None])
+        count = grid_undulation_count(grid.reshape(-1, 1), axis=0)
+        expected_oscillations = K_PAPER / (2 * np.pi)  # = 4
+        assert count >= 2 * expected_oscillations - 1
+
+    def test_warped_fm_flat_along_t2(self):
+        """Paper Fig 6: xhat2 is constant along t2 — zero undulations."""
+        t1 = np.linspace(0, 1, 31)
+        t2 = np.linspace(0, 1 / F2_PAPER, 31)
+        grid = fm_warped_bivariate(t1[None, :], t2[:, None])
+        assert grid_undulation_count(grid, axis=0) == 0
+
+    def test_grid_requires_2d(self):
+        with pytest.raises(ValueError):
+            grid_undulation_count(np.zeros(5))
+
+
+class TestReconstructionCost:
+    def test_compact_grid_is_accurate(self):
+        """15x15 bivariate samples reconstruct y(t) to machine precision."""
+        assert reconstruction_error_two_tone(15) < 1e-10
+
+    def test_rejects_even_grid(self):
+        with pytest.raises(ValueError):
+            reconstruction_error_two_tone(14)
+
+    def test_minimal_grid_still_exact(self):
+        """The signal has 1 harmonic per axis: 3x3 samples suffice."""
+        assert reconstruction_error_two_tone(3) < 1e-10

@@ -1,0 +1,201 @@
+"""Tests for the spectral kernel (fourier, diffmat, interpolation, grid)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.spectral import (
+    TrigInterpolant,
+    collocation_grid,
+    coefficients_to_samples,
+    fourier_differentiation_matrix,
+    fourier_synthesis,
+    harmonic_indices,
+    samples_to_coefficients,
+    spectral_derivative,
+    trig_interpolate,
+)
+
+odd_sizes = st.integers(min_value=1, max_value=20).map(lambda m: 2 * m + 1)
+
+
+class TestGrid:
+    def test_collocation_grid_excludes_endpoint(self):
+        grid = collocation_grid(5, 1.0)
+        assert grid[-1] < 1.0
+        np.testing.assert_allclose(np.diff(grid), 0.2)
+
+    def test_collocation_grid_rejects_even(self):
+        with pytest.raises(ValidationError):
+            collocation_grid(4, 1.0)
+
+    def test_harmonic_indices_centered(self):
+        np.testing.assert_array_equal(harmonic_indices(5), [-2, -1, 0, 1, 2])
+
+    def test_harmonic_indices_rejects_even(self):
+        with pytest.raises(ValidationError):
+            harmonic_indices(6)
+
+
+class TestFourierRoundtrip:
+    @given(odd_sizes)
+    def test_roundtrip_identity(self, num):
+        rng = np.random.default_rng(num)
+        samples = rng.normal(size=num)
+        coeffs = samples_to_coefficients(samples)
+        back = coefficients_to_samples(coeffs)
+        np.testing.assert_allclose(back, samples, atol=1e-12)
+
+    def test_pure_cosine_coefficients(self):
+        num = 9
+        grid = collocation_grid(num, 1.0)
+        samples = np.cos(2 * np.pi * grid)
+        coeffs = samples_to_coefficients(samples)
+        half = num // 2
+        # cos(2 pi t) = (e^{i2pi t} + e^{-i2pi t})/2 -> 0.5 at indices +-1.
+        np.testing.assert_allclose(coeffs[half + 1], 0.5, atol=1e-12)
+        np.testing.assert_allclose(coeffs[half - 1], 0.5, atol=1e-12)
+        others = np.delete(coeffs, [half - 1, half + 1])
+        np.testing.assert_allclose(others, 0.0, atol=1e-12)
+
+    def test_pure_sine_coefficients(self):
+        num = 9
+        grid = collocation_grid(num, 1.0)
+        coeffs = samples_to_coefficients(np.sin(2 * np.pi * grid))
+        half = num // 2
+        np.testing.assert_allclose(coeffs[half + 1], -0.5j, atol=1e-12)
+        np.testing.assert_allclose(coeffs[half - 1], 0.5j, atol=1e-12)
+
+    def test_multidimensional_axis(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=(4, 7))
+        coeffs = samples_to_coefficients(samples, axis=1)
+        back = coefficients_to_samples(coeffs, axis=1)
+        np.testing.assert_allclose(back, samples, atol=1e-12)
+
+    def test_rejects_even_samples(self):
+        with pytest.raises(ValidationError):
+            samples_to_coefficients(np.zeros(8))
+
+    def test_synthesis_matches_samples_at_grid(self):
+        num = 11
+        grid = collocation_grid(num, 2.0)
+        rng = np.random.default_rng(1)
+        samples = rng.normal(size=num)
+        coeffs = samples_to_coefficients(samples)
+        np.testing.assert_allclose(
+            fourier_synthesis(coeffs, grid, period=2.0), samples, atol=1e-10
+        )
+
+    def test_synthesis_rejects_2d_coefficients(self):
+        with pytest.raises(ValueError, match="1-D"):
+            fourier_synthesis(np.zeros((3, 3)), 0.0)
+
+    def test_synthesis_scalar_time(self):
+        coeffs = samples_to_coefficients(np.ones(5))
+        value = fourier_synthesis(coeffs, 0.3)
+        assert np.isclose(float(value), 1.0)
+
+
+class TestDifferentiationMatrix:
+    @pytest.mark.parametrize("num,period", [(5, 1.0), (15, 1.0), (9, 0.02)])
+    def test_exact_on_sinusoid(self, num, period):
+        grid = collocation_grid(num, period)
+        diffmat = fourier_differentiation_matrix(num, period)
+        y = np.sin(2 * np.pi * grid / period)
+        dy_exact = (2 * np.pi / period) * np.cos(2 * np.pi * grid / period)
+        np.testing.assert_allclose(diffmat @ y, dy_exact, atol=1e-8 / period)
+
+    def test_exact_on_high_harmonic(self):
+        num = 15  # supports harmonics up to 7
+        grid = collocation_grid(num, 1.0)
+        diffmat = fourier_differentiation_matrix(num, 1.0)
+        y = np.cos(2 * np.pi * 7 * grid)
+        dy = -(2 * np.pi * 7) * np.sin(2 * np.pi * 7 * grid)
+        np.testing.assert_allclose(diffmat @ y, dy, atol=1e-8)
+
+    def test_annihilates_constants(self):
+        diffmat = fourier_differentiation_matrix(11, 3.0)
+        np.testing.assert_allclose(diffmat @ np.ones(11), 0.0, atol=1e-12)
+
+    def test_antisymmetric(self):
+        diffmat = fourier_differentiation_matrix(9, 1.0)
+        np.testing.assert_allclose(diffmat, -diffmat.T, atol=1e-12)
+
+    def test_period_scaling(self):
+        d1 = fourier_differentiation_matrix(7, 1.0)
+        d2 = fourier_differentiation_matrix(7, 2.0)
+        np.testing.assert_allclose(d1, 2.0 * d2, atol=1e-12)
+
+    def test_rejects_even(self):
+        with pytest.raises(ValidationError):
+            fourier_differentiation_matrix(8, 1.0)
+
+    @given(odd_sizes)
+    def test_matches_fft_derivative(self, num):
+        rng = np.random.default_rng(num + 1)
+        samples = rng.normal(size=num)
+        diffmat = fourier_differentiation_matrix(num, 1.5)
+        via_matrix = diffmat @ samples
+        via_fft = spectral_derivative(samples, period=1.5)
+        np.testing.assert_allclose(via_matrix, via_fft, atol=1e-8 * num)
+
+
+class TestSpectralDerivative:
+    def test_second_derivative(self):
+        num = 21
+        grid = collocation_grid(num, 1.0)
+        y = np.sin(2 * np.pi * grid)
+        d2 = spectral_derivative(y, period=1.0, order=2)
+        np.testing.assert_allclose(d2, -(2 * np.pi) ** 2 * y, atol=1e-7)
+
+    def test_rejects_order_zero(self):
+        with pytest.raises(ValueError):
+            spectral_derivative(np.zeros(5), order=0)
+
+
+class TestTrigInterpolation:
+    def test_matches_at_grid_points(self):
+        num = 9
+        grid = collocation_grid(num, 1.0)
+        rng = np.random.default_rng(2)
+        samples = rng.normal(size=num)
+        np.testing.assert_allclose(
+            trig_interpolate(samples, grid), samples, atol=1e-10
+        )
+
+    def test_exact_for_bandlimited(self):
+        num = 11
+        grid = collocation_grid(num, 1.0)
+        samples = np.cos(2 * np.pi * 3 * grid + 0.4)
+        t_fine = np.linspace(0, 1, 137)
+        expected = np.cos(2 * np.pi * 3 * t_fine + 0.4)
+        np.testing.assert_allclose(
+            trig_interpolate(samples, t_fine), expected, atol=1e-10
+        )
+
+    def test_interpolant_periodicity(self):
+        interp = TrigInterpolant(np.arange(5, dtype=float), period=2.0)
+        t = np.array([0.3, 0.7])
+        np.testing.assert_allclose(interp(t), interp(t + 2.0), atol=1e-10)
+
+    def test_interpolant_derivative(self):
+        num = 15
+        grid = collocation_grid(num, 1.0)
+        interp = TrigInterpolant(np.sin(2 * np.pi * grid), period=1.0)
+        t = np.linspace(0, 1, 50)
+        np.testing.assert_allclose(
+            interp.derivative(t), 2 * np.pi * np.cos(2 * np.pi * t), atol=1e-8
+        )
+
+    def test_interpolant_rejects_2d(self):
+        with pytest.raises(ValueError):
+            TrigInterpolant(np.zeros((3, 3)))
+
+    def test_coefficients_copy(self):
+        interp = TrigInterpolant(np.arange(5, dtype=float))
+        coeffs = interp.coefficients
+        coeffs[:] = 0
+        assert not np.allclose(interp.coefficients, 0)

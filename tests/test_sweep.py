@@ -1,0 +1,77 @@
+"""Tests for frequency sweeps (HB continuation)."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.circuits.library import MemsVcoDae, T_NOMINAL, VcoParams
+from repro.dae import VanDerPolDae
+from repro.steadystate import oscillator_frequency_sweep
+
+
+class TestVcoTuningCurve:
+    @pytest.fixture(scope="class")
+    def tuning(self):
+        base = VcoParams.vacuum()
+
+        def factory(vc):
+            return MemsVcoDae(
+                replace(base, control_offset=vc), constant_control=True
+            )
+
+        values = np.linspace(0.4, 2.6, 9)
+        return base, oscillator_frequency_sweep(
+            factory, values, period_guess=T_NOMINAL
+        )
+
+    def test_nominal_anchor(self, tuning):
+        """The sweep passes through the paper's 0.75 MHz @ 1.5 V point."""
+        _base, sweep = tuning
+        idx = np.argmin(np.abs(sweep.values - 1.5))
+        assert abs(sweep.frequencies[idx] - 0.75e6) / 0.75e6 < 0.01
+
+    def test_monotone_tuning(self, tuning):
+        _base, sweep = tuning
+        assert np.all(np.diff(sweep.frequencies) > 0)
+
+    def test_tracks_static_law_with_growing_pulling(self, tuning):
+        """The oscillating frequency follows the linear-tank law, pulled
+        below it by the cubic resistor; the pulling grows with Vc because
+        the effective van der Pol parameter ~ g1*sqrt(L/C) grows as the
+        capacitance shrinks."""
+        base, sweep = tuning
+        law = base.static_frequency(sweep.values) / np.sqrt(0.9557)
+        deviation = (sweep.frequencies - law) / law
+        assert np.all(deviation < 0)          # always pulled downward
+        assert np.all(np.abs(deviation) < 0.15)
+        assert np.all(np.diff(np.abs(deviation)) > 0)  # grows with Vc
+
+    def test_amplitudes_reported(self, tuning):
+        _base, sweep = tuning
+        assert np.all(sweep.amplitudes > 3.0)  # healthy ~4 Vpp everywhere
+
+
+class TestSweepMechanics:
+    def test_single_value(self):
+        sweep = oscillator_frequency_sweep(
+            lambda _v: VanDerPolDae(mu=0.2), [0.0], period_guess=6.3
+        )
+        expected = VanDerPolDae(0.2).small_mu_angular_frequency() / (2 * np.pi)
+        assert abs(sweep.frequencies[0] - expected) / expected < 5e-3
+
+    def test_continuation_over_mu(self):
+        """Sweep the van der Pol nonlinearity: frequency falls with mu."""
+        sweep = oscillator_frequency_sweep(
+            lambda mu: VanDerPolDae(mu=float(mu)),
+            np.linspace(0.2, 1.2, 6),
+            period_guess=6.3,
+        )
+        assert np.all(np.diff(sweep.frequencies) < 0)
+        # Amplitude stays near 2 (peak-to-peak ~4) across the range.
+        np.testing.assert_allclose(sweep.amplitudes, 4.0, atol=0.35)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            oscillator_frequency_sweep(
+                lambda _v: VanDerPolDae(), [], period_guess=6.3
+            )

@@ -1,0 +1,238 @@
+"""Tests for the transient engine: integrators, convergence orders, events."""
+
+import numpy as np
+import pytest
+
+from repro.dae import ForcedDecayDae, HarmonicOscillatorDae, LinearRCDae
+from repro.errors import SimulationError
+from repro.transient import (
+    Bdf2,
+    INTEGRATORS,
+    TransientOptions,
+    TransientResult,
+    rising_level_crossings,
+    simulate_transient,
+    zero_crossings,
+)
+from repro.transient.integrators import get_integrator
+
+
+class TestIntegratorRegistry:
+    def test_registry_contents(self):
+        assert set(INTEGRATORS) == {"be", "trap", "bdf2"}
+
+    def test_get_integrator_by_name(self):
+        assert get_integrator("TRAP").name == "trap"
+
+    def test_get_integrator_passthrough(self):
+        inst = Bdf2()
+        assert get_integrator(inst) is inst
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown integrator"):
+            get_integrator("rk4")
+
+
+class TestExactness:
+    """Each implicit method must be exact on problems in its order class."""
+
+    def test_be_exact_on_constant(self):
+        dae = ForcedDecayDae(rate=1.0, forcing=lambda t: 1.0)
+        result = simulate_transient(
+            dae, [1.0], 0.0, 1.0, TransientOptions(integrator="be", dt=0.1)
+        )
+        np.testing.assert_allclose(result.x[:, 0], 1.0, atol=1e-12)
+
+    def test_trap_preserves_energy_of_lc(self):
+        """Trapezoidal is symplectic-like on the LC tank: no amplitude decay."""
+        dae = HarmonicOscillatorDae()
+        result = simulate_transient(
+            dae, [1.0, 0.0], 0.0, 20 * np.pi,
+            TransientOptions(integrator="trap", dt=0.05),
+        )
+        energies = np.array([dae.energy(s) for s in result.x])
+        np.testing.assert_allclose(energies, energies[0], rtol=1e-10)
+
+    def test_be_damps_lc_amplitude(self):
+        """Backward Euler artificially damps oscillations — by design."""
+        dae = HarmonicOscillatorDae()
+        result = simulate_transient(
+            dae, [1.0, 0.0], 0.0, 20 * np.pi,
+            TransientOptions(integrator="be", dt=0.05),
+        )
+        assert dae.energy(result.x[-1]) < 0.6 * dae.energy(result.x[0])
+
+
+class TestConvergenceOrders:
+    @staticmethod
+    def _error_at(integrator, dt):
+        dae = LinearRCDae(resistance=1.0, capacitance=1.0, amplitude=1.0,
+                          omega=2.0)
+        v0 = 0.4
+        result = simulate_transient(
+            dae, [v0], 0.0, 2.0,
+            TransientOptions(integrator=integrator, dt=dt),
+        )
+        exact = dae.transient_response(result.t[-1], v0)
+        return abs(result.x[-1, 0] - exact)
+
+    @pytest.mark.parametrize(
+        "integrator,expected_order",
+        [("be", 1), ("trap", 2), ("bdf2", 2)],
+    )
+    def test_order(self, integrator, expected_order):
+        err_coarse = self._error_at(integrator, 0.02)
+        err_fine = self._error_at(integrator, 0.01)
+        observed = np.log2(err_coarse / err_fine)
+        assert observed > expected_order - 0.35, (
+            f"{integrator}: observed order {observed:.2f}, "
+            f"expected ~{expected_order}"
+        )
+
+
+class TestEngineBehaviour:
+    def test_fixed_step_requires_dt(self):
+        dae = ForcedDecayDae()
+        with pytest.raises(SimulationError, match="dt"):
+            simulate_transient(dae, [0.0], 0.0, 1.0, TransientOptions(dt=None))
+
+    def test_rejects_reversed_window(self):
+        dae = ForcedDecayDae()
+        with pytest.raises(SimulationError):
+            simulate_transient(
+                dae, [0.0], 1.0, 0.0, TransientOptions(dt=0.1)
+            )
+
+    def test_rejects_wrong_initial_size(self):
+        dae = ForcedDecayDae()
+        with pytest.raises(SimulationError, match="length"):
+            simulate_transient(
+                dae, [0.0, 1.0], 0.0, 1.0, TransientOptions(dt=0.1)
+            )
+
+    def test_reaches_exact_stop_time(self):
+        dae = ForcedDecayDae()
+        result = simulate_transient(
+            dae, [1.0], 0.0, 1.0, TransientOptions(dt=0.3)
+        )
+        assert np.isclose(result.t[-1], 1.0)
+
+    def test_stats_populated(self):
+        dae = ForcedDecayDae()
+        result = simulate_transient(
+            dae, [1.0], 0.0, 1.0, TransientOptions(dt=0.1)
+        )
+        assert result.stats["steps"] == 10
+        assert result.stats["newton_iterations"] >= 10
+
+    def test_store_every_decimates(self):
+        dae = ForcedDecayDae()
+        result = simulate_transient(
+            dae, [1.0], 0.0, 1.0, TransientOptions(dt=0.01, store_every=10)
+        )
+        assert len(result) <= 12
+
+    def test_adaptive_meets_tolerance(self):
+        dae = LinearRCDae(resistance=1.0, capacitance=1.0, omega=5.0)
+        options = TransientOptions(
+            integrator="trap", dt=0.05, adaptive=True, rtol=1e-7, atol=1e-10
+        )
+        result = simulate_transient(dae, [0.0], 0.0, 3.0, options)
+        exact = dae.transient_response(result.t, 0.0)
+        assert np.max(np.abs(result.x[:, 0] - exact)) < 1e-4
+
+    def test_adaptive_rejects_steps_on_sharp_forcing(self):
+        # A fast step in the forcing should trigger at least one rejection
+        # or a visible step-size reduction.
+        sharp = ForcedDecayDae(rate=1.0, forcing=lambda t: 0.0 if t < 1.0 else 5.0)
+        options = TransientOptions(
+            integrator="trap", dt=0.5, adaptive=True, rtol=1e-8, atol=1e-12
+        )
+        result = simulate_transient(sharp, [0.0], 0.0, 3.0, options)
+        assert (
+            result.stats["rejected_steps"] > 0
+            or np.min(np.diff(result.t)) < 0.05
+        )
+
+    def test_max_steps_guard(self):
+        dae = ForcedDecayDae()
+        with pytest.raises(SimulationError, match="max_steps"):
+            simulate_transient(
+                dae, [1.0], 0.0, 1.0,
+                TransientOptions(dt=1e-4, max_steps=100),
+            )
+
+
+class TestTransientResult:
+    def make(self):
+        t = np.linspace(0, 1, 11)
+        x = np.stack([np.sin(t), np.cos(t)], axis=1)
+        return TransientResult(t, x, ("s", "c"), {"steps": 10})
+
+    def test_column_by_name_and_index(self):
+        result = self.make()
+        np.testing.assert_allclose(result.column("s"), result.column(0))
+        np.testing.assert_allclose(result["c"], np.cos(result.t))
+
+    def test_sample_interpolates(self):
+        result = self.make()
+        mid = result.sample(0.05, "s")
+        assert np.isclose(mid, 0.5 * (np.sin(0.0) + np.sin(0.1)), atol=1e-3)
+
+    def test_sample_all_variables(self):
+        result = self.make()
+        values = result.sample([0.2, 0.4])
+        assert values.shape == (2, 2)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            TransientResult(np.zeros(3), np.zeros((4, 2)), ("a", "b"))
+
+    def test_final_state_is_copy(self):
+        result = self.make()
+        final = result.final_state()
+        final[:] = 99.0
+        assert not np.allclose(result.x[-1], 99.0)
+
+
+class TestEvents:
+    def test_rising_crossings_of_sine(self):
+        t = np.linspace(0, 2, 2001)
+        y = np.sin(2 * np.pi * t)
+        crossings = zero_crossings(t, y, direction=+1)
+        # Exact zero at t=0 counts as a rising crossing; t=2 is the final
+        # sample and cannot start an interval.
+        np.testing.assert_allclose(crossings, [0.0, 1.0], atol=1e-5)
+
+    def test_falling_crossings(self):
+        t = np.linspace(0, 2, 2001)
+        y = np.sin(2 * np.pi * t)
+        crossings = zero_crossings(t, y, direction=-1)
+        np.testing.assert_allclose(crossings, [0.5, 1.5], atol=1e-5)
+
+    def test_both_directions(self):
+        t = np.linspace(0, 2, 2001)
+        y = np.sin(2 * np.pi * t)
+        assert zero_crossings(t, y, direction=0).size == 4
+
+    def test_interpolation_accuracy(self):
+        t = np.array([0.0, 1.0])
+        y = np.array([-1.0, 3.0])
+        np.testing.assert_allclose(zero_crossings(t, y), [0.25])
+
+    def test_level_crossings(self):
+        t = np.linspace(0, 1, 101)
+        y = t.copy()
+        np.testing.assert_allclose(
+            rising_level_crossings(t, y, 0.5), [0.5], atol=1e-10
+        )
+
+    def test_no_crossings(self):
+        assert zero_crossings([0, 1], [1.0, 2.0]).size == 0
+
+    def test_crossing_times_from_result(self):
+        t = np.linspace(0, 1, 501)
+        x = np.sin(2 * np.pi * 2 * t)[:, None]
+        result = TransientResult(t, x, ("y",))
+        crossings = result.crossing_times("y", level=0.0, direction=+1)
+        np.testing.assert_allclose(crossings, [0.0, 0.5], atol=1e-4)

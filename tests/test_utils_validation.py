@@ -1,0 +1,103 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    as_1d_array,
+    as_2d_array,
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_odd,
+    check_positive,
+)
+
+
+class TestCheckFinite:
+    def test_accepts_scalar(self):
+        assert check_finite(1.5) == 1.5
+
+    def test_accepts_array(self):
+        arr = np.array([1.0, 2.0])
+        assert check_finite(arr) is arr
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_finite(np.nan)
+
+    def test_rejects_inf_in_array(self):
+        with pytest.raises(ValidationError, match="myname"):
+            check_finite([1.0, np.inf], name="myname")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.1) == 0.1
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.nan, np.inf, "x", None])
+    def test_rejects_nonpositive_and_nonnumbers(self, bad):
+        with pytest.raises(ValidationError):
+            check_positive(bad)
+
+    @given(st.floats(min_value=1e-300, max_value=1e300))
+    def test_accepts_any_positive_float(self, value):
+        assert check_positive(value) == value
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative(-1e-30)
+
+
+class TestCheckInRange:
+    def test_accepts_inside(self):
+        assert check_in_range(0.5, 0.0, 1.0) == 0.5
+
+    def test_accepts_boundary(self):
+        assert check_in_range(1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError, match="lie in"):
+            check_in_range(1.5, 0.0, 1.0)
+
+
+class TestCheckOdd:
+    @pytest.mark.parametrize("value", [1, 3, 25, 101])
+    def test_accepts_odd(self, value):
+        assert check_odd(value) == value
+
+    @pytest.mark.parametrize("bad", [0, 2, 24, 2.5, "3"])
+    def test_rejects_even_and_nonint(self, bad):
+        with pytest.raises(ValidationError):
+            check_odd(bad)
+
+    def test_accepts_numpy_integer(self):
+        assert check_odd(np.int64(7)) == 7
+
+
+class TestAsArrays:
+    def test_scalar_becomes_1d(self):
+        assert as_1d_array(3.0).shape == (1,)
+
+    def test_list_to_1d(self):
+        np.testing.assert_array_equal(as_1d_array([1, 2]), [1.0, 2.0])
+
+    def test_rejects_2d_for_1d(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            as_1d_array([[1.0, 2.0]])
+
+    def test_2d_roundtrip(self):
+        arr = as_2d_array([[1.0, 2.0], [3.0, 4.0]])
+        assert arr.shape == (2, 2)
+
+    def test_rejects_1d_for_2d(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            as_2d_array([1.0, 2.0])

@@ -1,0 +1,107 @@
+"""Tests for BivariateWaveform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.spectral import collocation_grid
+from repro.wampde import BivariateWaveform
+
+
+def make_waveform(num_t2=6, num_t1=9):
+    """xhat(t1, t2) = (1 + t2) * cos(2 pi t1): separable, easy closed form."""
+    t2 = np.linspace(0.0, 1.0, num_t2)
+    t1 = collocation_grid(num_t1, 1.0)
+    samples = (1.0 + t2)[:, None] * np.cos(2 * np.pi * t1)[None, :]
+    return BivariateWaveform(t2, samples, name="v"), t1, t2
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            BivariateWaveform([0.0, 1.0], np.zeros((3, 5)))
+
+    def test_odd_t1_required(self):
+        with pytest.raises(ValidationError):
+            BivariateWaveform([0.0, 1.0], np.zeros((2, 4)))
+
+    def test_increasing_t2_required(self):
+        with pytest.raises(ValidationError):
+            BivariateWaveform([1.0, 0.0], np.zeros((2, 5)))
+
+    def test_repr_mentions_name(self):
+        waveform, _, _ = make_waveform()
+        assert "v" in repr(waveform)
+
+
+class TestEvaluation:
+    def test_matches_samples_at_grid(self):
+        waveform, t1, t2 = make_waveform()
+        values = waveform.grid_values(t1, t2)
+        np.testing.assert_allclose(values, waveform.samples, atol=1e-10)
+
+    def test_t1_periodicity(self):
+        waveform, _, _ = make_waveform()
+        t1 = np.array([0.1, 0.4])
+        np.testing.assert_allclose(
+            waveform(t1, 0.5), waveform(t1 + 1.0, 0.5), atol=1e-10
+        )
+
+    def test_exact_for_bandlimited_function(self):
+        waveform, _, _ = make_waveform()
+        t1 = np.linspace(0, 1, 23)
+        t2 = 0.35
+        expected = (1.0 + t2) * np.cos(2 * np.pi * t1)
+        np.testing.assert_allclose(waveform(t1, t2), expected, atol=1e-10)
+
+    def test_linear_interpolation_along_t2(self):
+        waveform, _, t2 = make_waveform()
+        mid = 0.5 * (t2[0] + t2[1])
+        value = waveform(0.0, mid)
+        expected = (1.0 + mid) * 1.0
+        np.testing.assert_allclose(value, expected, atol=1e-10)
+
+    def test_t2_clamped_outside_range(self):
+        waveform, _, _ = make_waveform()
+        np.testing.assert_allclose(
+            waveform(0.0, -5.0), waveform(0.0, 0.0), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            waveform(0.0, 99.0), waveform(0.0, 1.0), atol=1e-12
+        )
+
+    def test_broadcasting(self):
+        waveform, _, _ = make_waveform()
+        t1 = np.linspace(0, 1, 7)[None, :]
+        t2 = np.linspace(0, 1, 5)[:, None]
+        values = waveform(t1, t2)
+        assert values.shape == (5, 7)
+
+    def test_scalar_evaluation(self):
+        waveform, _, _ = make_waveform()
+        assert isinstance(waveform(0.25, 0.5), float)
+
+
+class TestSummaries:
+    def test_amplitude_vs_t2(self):
+        waveform, _, t2 = make_waveform()
+        amplitude = waveform.amplitude_vs_t2()
+        np.testing.assert_allclose(amplitude, 2.0 * (1.0 + t2), rtol=1e-10)
+
+    def test_fundamental_magnitude(self):
+        waveform, _, t2 = make_waveform()
+        magnitude = waveform.fundamental_magnitude_vs_t2()
+        np.testing.assert_allclose(magnitude, 1.0 + t2, rtol=1e-10)
+
+    def test_t1_grid(self):
+        waveform, t1, _ = make_waveform()
+        np.testing.assert_allclose(waveform.t1_grid(), t1)
+
+    def test_non_unit_t1_period(self):
+        t2 = np.array([0.0, 1.0])
+        t1 = collocation_grid(5, 0.02)
+        samples = np.tile(np.sin(2 * np.pi * t1 / 0.02), (2, 1))
+        waveform = BivariateWaveform(t2, samples, t1_period=0.02)
+        np.testing.assert_allclose(
+            waveform(0.005, 0.0), 1.0, atol=1e-10
+        )

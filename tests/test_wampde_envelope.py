@@ -1,0 +1,169 @@
+"""Tests for the WaMPDE envelope solver — the paper's core method."""
+
+import numpy as np
+import pytest
+
+from repro.dae import VanDerPolDae
+from repro.errors import SimulationError
+from repro.wampde import (
+    WampdeEnvelopeOptions,
+    solve_wampde_envelope,
+)
+
+
+class TestInputValidation:
+    def test_rejects_even_t1_count(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        with pytest.raises(Exception):
+            solve_wampde_envelope(
+                dae, hb.samples[:24], hb.frequency, 0.0, 1.0, 10
+            )
+
+    def test_rejects_variable_mismatch(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        with pytest.raises(SimulationError, match="variables"):
+            solve_wampde_envelope(
+                dae, hb.samples[:, :1], hb.frequency, 0.0, 1.0, 10
+            )
+
+    def test_rejects_reversed_window(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        with pytest.raises(SimulationError):
+            solve_wampde_envelope(dae, hb.samples, hb.frequency, 1.0, 0.0, 10)
+
+    def test_rejects_bad_integrator(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        with pytest.raises(SimulationError, match="integrator"):
+            solve_wampde_envelope(
+                dae, hb.samples, hb.frequency, 0.0, 1.0, 10,
+                WampdeEnvelopeOptions(integrator="rk4"),
+            )
+
+    def test_rejects_1d_initial(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        with pytest.raises(SimulationError, match="2-D"):
+            solve_wampde_envelope(
+                dae, hb.samples[0], hb.frequency, 0.0, 1.0, 10
+            )
+
+
+class TestUnforcedInvariance:
+    """With constant forcing the envelope must stay on the limit cycle:
+    omega(t2) == free-running frequency, xhat independent of t2."""
+
+    @pytest.mark.parametrize("integrator", ["be", "trap"])
+    def test_omega_constant(self, vdp_limit_cycle, integrator):
+        dae, hb = vdp_limit_cycle
+        env = solve_wampde_envelope(
+            dae, hb.samples, hb.frequency, 0.0, 20.0, 40,
+            WampdeEnvelopeOptions(integrator=integrator),
+        )
+        np.testing.assert_allclose(env.omega, hb.frequency, rtol=1e-6)
+
+    def test_samples_stationary(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        env = solve_wampde_envelope(dae, hb.samples, hb.frequency, 0.0, 20.0, 40)
+        drift = np.max(np.abs(env.samples[-1] - env.samples[0]))
+        assert drift < 1e-6
+
+    def test_reconstruction_matches_transient(self, vdp_limit_cycle):
+        """Paper eq. 15: x(t)=xhat(phi(t),t) must solve the original DAE."""
+        from repro.transient import TransientOptions, simulate_transient
+
+        dae, hb = vdp_limit_cycle
+        env = solve_wampde_envelope(dae, hb.samples, hb.frequency, 0.0, 30.0, 60)
+        x0 = env.samples[0, 0]  # state at t1=0, t2=0
+        transient = simulate_transient(
+            dae, x0, 0.0, 30.0, TransientOptions(integrator="trap", dt=0.005)
+        )
+        times = np.linspace(0.0, 30.0, 600)
+        rec = env.reconstruct(0, times)
+        ref = transient.sample(times, 0)
+        assert np.max(np.abs(rec - ref)) < 5e-3
+
+
+class TestForcedVdp:
+    """Van der Pol with slowly ramped 'stiffness' forcing shows FM."""
+
+    @staticmethod
+    def forced_vdp(amp, slow_freq):
+        class RampedVdp(VanDerPolDae):
+            """Slow additive forcing on the velocity equation."""
+
+            def b(self, t):
+                return np.array(
+                    [0.0, amp * np.sin(2 * np.pi * slow_freq * t)]
+                )
+
+            def b_batch(self, times):
+                times = np.asarray(times, dtype=float).ravel()
+                out = np.zeros((times.size, 2))
+                out[:, 1] = amp * np.sin(2 * np.pi * slow_freq * times)
+                return out
+
+        return RampedVdp(mu=0.2)
+
+    def test_omega_responds_to_forcing(self, vdp_limit_cycle):
+        _dae, hb = vdp_limit_cycle
+        forced = self.forced_vdp(amp=0.5, slow_freq=hb.frequency / 40.0)
+        env = solve_wampde_envelope(
+            forced, hb.samples, hb.frequency, 0.0, 40.0 / hb.frequency / 2,
+            200,
+        )
+        # Forcing shifts the operating point; omega must move measurably
+        # but stay near the free-running value.
+        assert env.omega.std() > 1e-4 * hb.frequency
+        assert abs(env.omega.mean() - hb.frequency) < 0.2 * hb.frequency
+
+    def test_phase_condition_held_every_step(self, vdp_limit_cycle):
+        from repro.phase_conditions import FourierImagAnchor
+
+        _dae, hb = vdp_limit_cycle
+        forced = self.forced_vdp(amp=0.5, slow_freq=hb.frequency / 40.0)
+        env = solve_wampde_envelope(
+            forced, hb.samples, hb.frequency, 0.0, 100.0, 100
+        )
+        anchor = FourierImagAnchor(variable=0)  # the default (eq. 20)
+        for row in env.samples[:: len(env.samples) // 10]:
+            assert abs(anchor.residual(row)) < 1e-6
+
+
+class TestResultContainer:
+    def test_variable_index_by_name(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        env = solve_wampde_envelope(dae, hb.samples, hb.frequency, 0.0, 5.0, 10)
+        assert env.variable_index("y") == 0
+        assert env.variable_index(1) == 1
+
+    def test_bivariate_export(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        env = solve_wampde_envelope(dae, hb.samples, hb.frequency, 0.0, 5.0, 10)
+        biv = env.bivariate("y")
+        assert biv.num_t1 == 25
+        assert biv.num_t2 == 11
+
+    def test_store_every(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        env = solve_wampde_envelope(
+            dae, hb.samples, hb.frequency, 0.0, 5.0, 20,
+            WampdeEnvelopeOptions(store_every=5),
+        )
+        assert len(env.t2) <= 6
+
+    def test_local_frequency_interpolation(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        env = solve_wampde_envelope(dae, hb.samples, hb.frequency, 0.0, 5.0, 10)
+        freq = env.local_frequency(2.5)
+        assert np.isclose(freq, hb.frequency, rtol=1e-5)
+
+    def test_warping_total_cycles(self, vdp_limit_cycle):
+        """Over t2 span T with constant omega, phi advances omega*T cycles."""
+        dae, hb = vdp_limit_cycle
+        span = 20.0
+        env = solve_wampde_envelope(
+            dae, hb.samples, hb.frequency, 0.0, span, 40
+        )
+        warp = env.warping()
+        assert np.isclose(
+            warp.total_cycles(), hb.frequency * span, rtol=1e-6
+        )

@@ -1,0 +1,182 @@
+"""Tests for the adaptive WaMPDE envelope driver, harmonic traces and
+iterative-linear-solver pass-through."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import MemsVcoDae, VcoParams
+from repro.errors import SimulationError
+from repro.linalg import GmresLinearSolver
+from repro.wampde import (
+    WampdeEnvelopeOptions,
+    solve_wampde_envelope,
+    solve_wampde_envelope_adaptive,
+)
+
+
+def fourier_options(**kwargs):
+    """Adaptive runs use the paper's eq.-20 (Fourier) phase anchor — the
+    derivative anchor can degenerate at the frequency-swing extremes."""
+    return WampdeEnvelopeOptions(phase_condition="fourier", **kwargs)
+
+
+@pytest.fixture(scope="module")
+def vco_fourier_ic():
+    """Vacuum-VCO initial condition solved with the Fourier anchor."""
+    from repro.circuits.library import MemsVcoDae, T_NOMINAL, VcoParams
+    from repro.wampde import oscillator_initial_condition
+
+    params = VcoParams.vacuum()
+    unforced = MemsVcoDae(params, constant_control=True)
+    samples, f0 = oscillator_initial_condition(
+        unforced, num_t1=25, period_guess=T_NOMINAL,
+        phase_condition="fourier",
+    )
+    return params, samples, f0
+
+
+class TestAdaptiveDriver:
+    def test_unforced_takes_large_steps(self, vdp_limit_cycle):
+        """With nothing happening, the controller must grow the step."""
+        dae, hb = vdp_limit_cycle
+        env = solve_wampde_envelope_adaptive(
+            dae, hb.samples, hb.frequency, 0.0, 200.0
+        )
+        np.testing.assert_allclose(env.omega, hb.frequency, rtol=1e-5)
+        # Resolving 200 time units uniformly at the accuracy this achieves
+        # would need far more steps; the controller coasts through.
+        assert env.stats["steps"] < 120
+
+    def test_matches_fixed_step_on_vco(self, vco_fourier_ic):
+        """Adaptive and fine fixed-step omega traces agree."""
+        params, samples, f0 = vco_fourier_ic
+        forced = MemsVcoDae(params)
+        fixed = solve_wampde_envelope(
+            forced, samples, f0, 0.0, 20e-6, 800, fourier_options()
+        )
+        adaptive = solve_wampde_envelope_adaptive(
+            forced, samples, f0, 0.0, 20e-6,
+            options=fourier_options(rtol=1e-6, atol=1e-9),
+        )
+        probe = np.linspace(1e-6, 19e-6, 40)
+        np.testing.assert_allclose(
+            adaptive.local_frequency(probe),
+            fixed.local_frequency(probe),
+            rtol=2e-3,
+        )
+
+    def test_tolerance_controls_step_count(self, vco_fourier_ic):
+        params, samples, f0 = vco_fourier_ic
+        forced = MemsVcoDae(params)
+        loose = solve_wampde_envelope_adaptive(
+            forced, samples, f0, 0.0, 15e-6,
+            options=fourier_options(rtol=1e-4, atol=1e-7),
+        )
+        tight = solve_wampde_envelope_adaptive(
+            forced, samples, f0, 0.0, 15e-6,
+            options=fourier_options(rtol=1e-6, atol=1e-9),
+        )
+        assert tight.stats["steps"] > 1.5 * loose.stats["steps"]
+
+    def test_error_scales_with_tolerance(self, vco_fourier_ic):
+        params, samples, f0 = vco_fourier_ic
+        forced = MemsVcoDae(params)
+        reference = solve_wampde_envelope(
+            forced, samples, f0, 0.0, 15e-6, 1200, fourier_options()
+        )
+        probe = np.linspace(1e-6, 14e-6, 30)
+        errors = {}
+        for rtol in (1e-4, 1e-6):
+            run = solve_wampde_envelope_adaptive(
+                forced, samples, f0, 0.0, 15e-6,
+                options=fourier_options(rtol=rtol, atol=rtol * 1e-3),
+            )
+            errors[rtol] = np.max(np.abs(
+                run.local_frequency(probe) / reference.local_frequency(probe)
+                - 1.0
+            ))
+        assert errors[1e-6] < 0.3 * errors[1e-4]
+
+    def test_reaches_stop_time(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        env = solve_wampde_envelope_adaptive(
+            dae, hb.samples, hb.frequency, 0.0, 50.0
+        )
+        assert np.isclose(env.t2[-1], 50.0)
+
+    def test_max_steps_guard(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        with pytest.raises(SimulationError, match="max_steps"):
+            solve_wampde_envelope_adaptive(
+                dae, hb.samples, hb.frequency, 0.0, 50.0,
+                dt2_initial=1e-3,
+                options=WampdeEnvelopeOptions(dt2_max=1e-3),
+                max_steps=50,
+            )
+
+
+class TestHarmonicTrace:
+    def test_fundamental_magnitude(self, vdp_limit_cycle):
+        """|X_1| of the van der Pol cycle is ~1 (amplitude 2 waveform)."""
+        dae, hb = vdp_limit_cycle
+        env = solve_wampde_envelope(dae, hb.samples, hb.frequency, 0.0, 10.0, 20)
+        trace = env.harmonic_trace("y", 1)
+        assert trace.shape == (env.t2.size,)
+        np.testing.assert_allclose(np.abs(trace), 1.0, atol=0.05)
+
+    def test_conjugate_symmetry(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        env = solve_wampde_envelope(dae, hb.samples, hb.frequency, 0.0, 5.0, 10)
+        plus = env.harmonic_trace(0, 1)
+        minus = env.harmonic_trace(0, -1)
+        np.testing.assert_allclose(plus, np.conj(minus), atol=1e-12)
+
+    def test_dc_harmonic_real(self, vco_initial_condition):
+        params, samples, f0 = vco_initial_condition
+        forced = MemsVcoDae(params)
+        env = solve_wampde_envelope(forced, samples, f0, 0.0, 5e-6, 25)
+        dc = env.harmonic_trace("Cmems.z", 0)
+        np.testing.assert_allclose(dc.imag, 0.0, atol=1e-15)
+        assert np.all(dc.real > 0)  # displacement stays positive
+
+    def test_rejects_unrepresentable_harmonic(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        env = solve_wampde_envelope(dae, hb.samples, hb.frequency, 0.0, 2.0, 4)
+        with pytest.raises(ValueError, match="harmonic"):
+            env.harmonic_trace(0, 13)
+
+
+class TestIterativeLinearSolver:
+    def test_gmres_matches_direct(self, vco_initial_condition):
+        """GMRES+ILU per-step solves reproduce the direct-LU solution."""
+        params, samples, f0 = vco_initial_condition
+        forced = MemsVcoDae(params)
+        direct = solve_wampde_envelope(forced, samples, f0, 0.0, 8e-6, 80)
+        gmres = solve_wampde_envelope(
+            forced, samples, f0, 0.0, 8e-6, 80,
+            WampdeEnvelopeOptions(linear_solver=GmresLinearSolver(rtol=1e-12)),
+        )
+        np.testing.assert_allclose(gmres.omega, direct.omega, rtol=1e-6)
+        np.testing.assert_allclose(
+            gmres.samples, direct.samples, atol=1e-6
+        )
+
+
+class TestIntegratorVariants:
+    def test_theta_rejects_out_of_range(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        with pytest.raises(SimulationError, match="theta"):
+            solve_wampde_envelope(
+                dae, hb.samples, hb.frequency, 0.0, 1.0, 2,
+                WampdeEnvelopeOptions(integrator="theta", theta=0.3),
+            )
+
+    @pytest.mark.parametrize("integrator", ["theta", "trap", "be"])
+    def test_all_integrators_consistent_on_vdp(self, vdp_limit_cycle,
+                                               integrator):
+        dae, hb = vdp_limit_cycle
+        env = solve_wampde_envelope(
+            dae, hb.samples, hb.frequency, 0.0, 10.0, 50,
+            WampdeEnvelopeOptions(integrator=integrator),
+        )
+        np.testing.assert_allclose(env.omega, hb.frequency, rtol=1e-6)

@@ -1,0 +1,112 @@
+"""Tests for WarpingFunction and the sawtooth path."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.wampde import WarpingFunction, sawtooth_path
+
+
+class TestWarpingFunction:
+    def test_constant_frequency_is_linear(self):
+        warp = WarpingFunction([0.0, 1.0, 2.0], [3.0, 3.0, 3.0])
+        t = np.linspace(0, 2, 11)
+        np.testing.assert_allclose(warp.phi(t), 3.0 * t, atol=1e-12)
+
+    def test_linear_frequency_is_quadratic(self):
+        # omega(t) = t  ->  phi(t) = t^2/2.
+        warp = WarpingFunction([0.0, 2.0], [0.0, 2.0])
+        t = np.linspace(0, 2, 21)
+        np.testing.assert_allclose(warp.phi(t), 0.5 * t**2, atol=1e-12)
+
+    def test_derivative_consistency(self):
+        """phi' == omega (piecewise): finite differences confirm."""
+        rng = np.random.default_rng(5)
+        times = np.sort(rng.uniform(0, 10, 17))
+        times[0], times[-1] = 0.0, 10.0
+        omega = rng.uniform(0.5, 2.0, 17)
+        warp = WarpingFunction(times, omega)
+        t = np.linspace(0.01, 9.99, 300)
+        step = 1e-7
+        numeric = (warp.phi(t + step) - warp.phi(t - step)) / (2 * step)
+        np.testing.assert_allclose(numeric, warp.omega(t), rtol=1e-4)
+
+    def test_total_cycles(self):
+        warp = WarpingFunction([0.0, 2.0], [1.0, 1.0])
+        assert np.isclose(warp.total_cycles(), 2.0)
+
+    def test_extension_beyond_knots(self):
+        warp = WarpingFunction([0.0, 1.0], [2.0, 2.0])
+        assert np.isclose(warp.phi(2.0), 4.0)  # linear continuation
+        assert np.isclose(warp.phi(-1.0), -2.0)
+
+    def test_phi0_offset(self):
+        warp = WarpingFunction([0.0, 1.0], [1.0, 1.0], phi0=5.0)
+        assert np.isclose(warp.phi(0.0), 5.0)
+
+    def test_invert_roundtrip(self):
+        rng = np.random.default_rng(7)
+        times = np.linspace(0, 5, 11)
+        omega = rng.uniform(0.5, 3.0, 11)
+        warp = WarpingFunction(times, omega)
+        t = np.linspace(0.0, 5.0, 40)
+        np.testing.assert_allclose(warp.invert(warp.phi(t)), t, atol=1e-9)
+
+    def test_invert_requires_positive_omega(self):
+        warp = WarpingFunction([0.0, 1.0], [1.0, -1.0])
+        with pytest.raises(ValidationError):
+            warp.invert(0.5)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            WarpingFunction([0.0, 1.0], [1.0])
+
+    def test_rejects_nonincreasing_times(self):
+        with pytest.raises(ValidationError):
+            WarpingFunction([0.0, 0.0], [1.0, 1.0])
+
+    def test_rejects_single_knot(self):
+        with pytest.raises(ValidationError):
+            WarpingFunction([0.0], [1.0])
+
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_phi_monotone_for_positive_omega(self, w0, w1):
+        warp = WarpingFunction([0.0, 1.0], [w0, w1])
+        t = np.linspace(0, 1, 50)
+        assert np.all(np.diff(warp.phi(t)) > 0)
+
+
+class TestSawtoothPath:
+    def test_paper_fig3_shape(self):
+        """The diagonal path t_i = t mod T_i (paper Fig 3).
+
+        Times are chosen away from exact period multiples, where binary
+        floating point makes ``mod`` legitimately ambiguous.
+        """
+        t = np.array([0.0, 0.01, 0.025, 0.03, 1.01, 1.952])
+        path = sawtooth_path(t, (0.02, 1.0))
+        np.testing.assert_allclose(
+            path[:, 0], [0.0, 0.01, 0.005, 0.01, 0.01, 0.012], atol=1e-12
+        )
+        np.testing.assert_allclose(
+            path[:, 1], [0.0, 0.01, 0.025, 0.03, 0.01, 0.952], atol=1e-12
+        )
+
+    def test_paper_worked_example(self):
+        """Paper: y(1.952) = yhat(0.012, 0.952) for T1=0.02, T2=1."""
+        path = sawtooth_path([1.952], (0.02, 1.0))
+        np.testing.assert_allclose(path[0], [0.012, 0.952], atol=1e-12)
+
+    def test_multiple_periods(self):
+        path = sawtooth_path(np.linspace(0, 1, 5), (0.25, 0.5, 1.0))
+        assert path.shape == (5, 3)
+        assert np.all(path[:, 0] < 0.25)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValidationError):
+            sawtooth_path([0.0], (0.0,))
