@@ -88,6 +88,47 @@ class Device(ABC):
     def df_local(self, u):
         """Jacobian of :meth:`f_local` w.r.t. ``u``."""
 
+    # -- batched stamping ------------------------------------------------------
+    #
+    # ``U`` is an ``(m, n_local)`` stack of local unknown vectors; the batch
+    # methods return the row-wise application of the single-point stamps
+    # (``(m, n_local)`` for vectors, ``(m, n_local, n_local)`` for
+    # Jacobians).  The generic fallbacks loop; concrete devices override
+    # them with true NumPy-vectorised versions, which is what lets
+    # :class:`repro.circuits.mna.CircuitDAE` evaluate a whole collocation
+    # grid with one call per device.
+
+    def q_local_batch(self, U):
+        """Row-wise :meth:`q_local`; zeros fast path for static devices."""
+        U = np.asarray(U, dtype=float)
+        if type(self).q_local is Device.q_local:
+            return np.zeros((U.shape[0], self.n_local))
+        return np.stack([self.q_local(u) for u in U])
+
+    def f_local_batch(self, U):
+        """Row-wise :meth:`f_local` (loop fallback)."""
+        U = np.asarray(U, dtype=float)
+        return np.stack([self.f_local(u) for u in U])
+
+    def b_local_batch(self, times):
+        """:meth:`b_local` at each time; zeros fast path for unforced."""
+        times = np.asarray(times, dtype=float).ravel()
+        if type(self).b_local is Device.b_local:
+            return np.zeros((times.size, self.n_local))
+        return np.stack([self.b_local(t) for t in times])
+
+    def dq_local_batch(self, U):
+        """Row-wise :meth:`dq_local`; zeros fast path for static devices."""
+        U = np.asarray(U, dtype=float)
+        if type(self).dq_local is Device.dq_local:
+            return np.zeros((U.shape[0], self.n_local, self.n_local))
+        return np.stack([self.dq_local(u) for u in U])
+
+    def df_local_batch(self, U):
+        """Row-wise :meth:`df_local` (loop fallback)."""
+        U = np.asarray(U, dtype=float)
+        return np.stack([self.df_local(u) for u in U])
+
     def __repr__(self):
         ports = ", ".join(self.ports)
         return f"{type(self).__name__}({self.name!r}, ports=({ports}))"
@@ -106,11 +147,15 @@ class TwoTerminalStatic(Device):
 
     @abstractmethod
     def current(self, v):
-        """Branch current as a function of branch voltage."""
+        """Branch current as a function of branch voltage.
+
+        Must be vectorised over NumPy arrays of ``v`` (elementwise) — the
+        batched stamps below evaluate one whole collocation grid per call.
+        """
 
     @abstractmethod
     def conductance(self, v):
-        """Derivative ``di/dv`` of :meth:`current`."""
+        """Derivative ``di/dv`` of :meth:`current`; vectorised like it."""
 
     def f_local(self, u):
         i = self.current(u[0] - u[1])
@@ -119,3 +164,18 @@ class TwoTerminalStatic(Device):
     def df_local(self, u):
         g = self.conductance(u[0] - u[1])
         return np.array([[g, -g], [-g, g]])
+
+    def f_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        i = np.asarray(self.current(U[:, 0] - U[:, 1]), dtype=float)
+        return np.stack([i, -i], axis=1)
+
+    def df_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        g = np.asarray(self.conductance(U[:, 0] - U[:, 1]), dtype=float)
+        out = np.empty((U.shape[0], 2, 2))
+        out[:, 0, 0] = g
+        out[:, 0, 1] = -g
+        out[:, 1, 0] = -g
+        out[:, 1, 1] = g
+        return out

@@ -36,3 +36,21 @@ class Capacitor(Device):
 
     def df_local(self, u):
         return np.zeros((2, 2))
+
+    def q_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        charge = self.capacitance * (U[:, 0] - U[:, 1])
+        return np.stack([charge, -charge], axis=1)
+
+    def dq_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        c = self.capacitance
+        return np.broadcast_to(
+            np.array([[c, -c], [-c, c]]), (U.shape[0], 2, 2)
+        ).copy()
+
+    def f_local_batch(self, U):
+        return np.zeros((np.asarray(U).shape[0], 2))
+
+    def df_local_batch(self, U):
+        return np.zeros((np.asarray(U).shape[0], 2, 2))

@@ -33,6 +33,19 @@ class VCCS(Device):
             ]
         )
 
+    def f_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        i = self.gm * (U[:, 2] - U[:, 3])
+        out = np.zeros((U.shape[0], 4))
+        out[:, 0] = i
+        out[:, 1] = -i
+        return out
+
+    def df_local_batch(self, U):
+        return np.broadcast_to(
+            self.df_local(None), (np.asarray(U).shape[0], 4, 4)
+        ).copy()
+
 
 class VCVS(Device):
     """Voltage-controlled voltage source ``v(out_p) - v(out_n) = mu * v_ctrl``.
@@ -63,3 +76,16 @@ class VCVS(Device):
                 [1.0, -1.0, -mu, mu, 0.0],
             ]
         )
+
+    def f_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        out = np.zeros((U.shape[0], 5))
+        out[:, 0] = U[:, 4]
+        out[:, 1] = -U[:, 4]
+        out[:, 4] = (U[:, 0] - U[:, 1]) - self.mu * (U[:, 2] - U[:, 3])
+        return out
+
+    def df_local_batch(self, U):
+        return np.broadcast_to(
+            self.df_local(None), (np.asarray(U).shape[0], 5, 5)
+        ).copy()

@@ -40,16 +40,27 @@ class Diode(TwoTerminalStatic):
         return v > v_limit, v_limit
 
     def current(self, v):
+        """Branch current; vectorised over arrays of junction voltages."""
+        v = np.asarray(v, dtype=float)
         limited, v_limit = self._split(v)
-        if limited:
-            exp_lim = np.exp(_LIMIT_MULTIPLE)
-            slope = self.saturation_current * exp_lim / self.thermal_voltage
-            i_lim = self.saturation_current * (exp_lim - 1.0)
-            return i_lim + slope * (v - v_limit)
-        return self.saturation_current * np.expm1(v / self.thermal_voltage)
+        exp_lim = np.exp(_LIMIT_MULTIPLE)
+        slope = self.saturation_current * exp_lim / self.thermal_voltage
+        i_lim = self.saturation_current * (exp_lim - 1.0)
+        value = np.where(
+            limited,
+            i_lim + slope * (v - v_limit),
+            self.saturation_current
+            * np.expm1(np.minimum(v, v_limit) / self.thermal_voltage),
+        )
+        return value if value.ndim else float(value)
 
     def conductance(self, v):
-        limited, _ = self._split(v)
-        if limited:
-            return self.saturation_current * np.exp(_LIMIT_MULTIPLE) / self.thermal_voltage
-        return self.saturation_current * np.exp(v / self.thermal_voltage) / self.thermal_voltage
+        """Derivative ``di/dv``; vectorised over arrays."""
+        v = np.asarray(v, dtype=float)
+        limited, v_limit = self._split(v)
+        value = (
+            self.saturation_current
+            * np.exp(np.where(limited, v_limit, v) / self.thermal_voltage)
+            / self.thermal_voltage
+        )
+        return value if value.ndim else float(value)

@@ -46,3 +46,26 @@ class Inductor(Device):
                 [-1.0, 1.0, 0.0],
             ]
         )
+
+    def q_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        out = np.zeros((U.shape[0], 3))
+        out[:, 2] = self.inductance * U[:, 2]
+        return out
+
+    def dq_local_batch(self, U):
+        out = np.zeros((np.asarray(U).shape[0], 3, 3))
+        out[:, 2, 2] = self.inductance
+        return out
+
+    def f_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        return np.stack(
+            [U[:, 2], -U[:, 2], -(U[:, 0] - U[:, 1])], axis=1
+        )
+
+    def df_local_batch(self, U):
+        return np.broadcast_to(
+            np.array([[0.0, 0.0, 1.0], [0.0, 0.0, -1.0], [-1.0, 1.0, 0.0]]),
+            (np.asarray(U).shape[0], 3, 3),
+        ).copy()

@@ -165,3 +165,49 @@ class MemsVaractor(Device):
 
     def b_local(self, t):
         return np.array([0.0, 0.0, 0.0, float(self.force(t))])
+
+    # -- batched stamping --------------------------------------------------------
+
+    def q_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        v = U[:, 0] - U[:, 1]
+        z = U[:, 2]
+        charge = self.capacitance(z) * v
+        return np.stack([charge, -charge, z, self.mass * U[:, 3]], axis=1)
+
+    def dq_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        v = U[:, 0] - U[:, 1]
+        z = U[:, 2]
+        cap = self.capacitance(z)
+        dcap = self.dcapacitance_dz(z)
+        out = np.zeros((U.shape[0], 4, 4))
+        out[:, 0, 0] = cap
+        out[:, 0, 1] = -cap
+        out[:, 0, 2] = dcap * v
+        out[:, 1, 0] = -cap
+        out[:, 1, 1] = cap
+        out[:, 1, 2] = -dcap * v
+        out[:, 2, 2] = 1.0
+        out[:, 3, 3] = self.mass
+        return out
+
+    def f_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        out = np.zeros((U.shape[0], 4))
+        out[:, 2] = -U[:, 3]
+        out[:, 3] = self.damping * U[:, 3] + self.stiffness * U[:, 2]
+        return out
+
+    def df_local_batch(self, U):
+        out = np.zeros((np.asarray(U).shape[0], 4, 4))
+        out[:, 2, 3] = -1.0
+        out[:, 3, 2] = self.stiffness
+        out[:, 3, 3] = self.damping
+        return out
+
+    def b_local_batch(self, times):
+        times = np.asarray(times, dtype=float).ravel()
+        out = np.zeros((times.size, 4))
+        out[:, 3] = np.asarray(self.force(times), dtype=float)
+        return out

@@ -30,6 +30,17 @@ class CurrentSource(Device):
         value = float(self.waveform(t))
         return np.array([-value, value])
 
+    def f_local_batch(self, U):
+        return np.zeros((np.asarray(U).shape[0], 2))
+
+    def df_local_batch(self, U):
+        return np.zeros((np.asarray(U).shape[0], 2, 2))
+
+    def b_local_batch(self, times):
+        times = np.asarray(times, dtype=float).ravel()
+        value = np.asarray(self.waveform(times), dtype=float)
+        return np.stack([-value, value], axis=1)
+
 
 class VoltageSource(Device):
     """Independent voltage source enforcing ``v_a - v_b = E(t)``.
@@ -59,3 +70,19 @@ class VoltageSource(Device):
 
     def b_local(self, t):
         return np.array([0.0, 0.0, float(self.waveform(t))])
+
+    def f_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        return np.stack([U[:, 2], -U[:, 2], U[:, 0] - U[:, 1]], axis=1)
+
+    def df_local_batch(self, U):
+        return np.broadcast_to(
+            np.array([[0.0, 0.0, 1.0], [0.0, 0.0, -1.0], [1.0, -1.0, 0.0]]),
+            (np.asarray(U).shape[0], 3, 3),
+        ).copy()
+
+    def b_local_batch(self, times):
+        times = np.asarray(times, dtype=float).ravel()
+        out = np.zeros((times.size, 3))
+        out[:, 2] = np.asarray(self.waveform(times), dtype=float)
+        return out

@@ -53,3 +53,21 @@ class TanhTransconductance(Device):
         jac[1, 2] = -g
         jac[1, 3] = g
         return jac
+
+    def f_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        i = self.output_current(U[:, 2] - U[:, 3])
+        out = np.zeros((U.shape[0], 4))
+        out[:, 0] = i
+        out[:, 1] = -i
+        return out
+
+    def df_local_batch(self, U):
+        U = np.asarray(U, dtype=float)
+        g = self.transconductance(U[:, 2] - U[:, 3])
+        out = np.zeros((U.shape[0], 4, 4))
+        out[:, 0, 2] = g
+        out[:, 0, 3] = -g
+        out[:, 1, 2] = -g
+        out[:, 1, 3] = g
+        return out

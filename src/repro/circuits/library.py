@@ -267,6 +267,20 @@ class MemsVcoDae(SemiExplicitDAE):
         out[:, 3, 3] = p.damping
         return out
 
+    # -- structural sparsity (exact; see the batch Jacobians above) -----------
+
+    def dq_structure(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = mask[0, 2] = True
+        mask[1, 1] = mask[2, 2] = mask[3, 3] = True
+        return mask
+
+    def df_structure(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = mask[0, 1] = mask[1, 0] = True
+        mask[2, 3] = mask[3, 2] = mask[3, 3] = True
+        return mask
+
 
 def lc_oscillator_circuit(inductance=1.0, capacitance=1.0, g1=0.5,
                           g3=0.5 / 3.0):

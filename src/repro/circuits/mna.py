@@ -17,7 +17,18 @@ from repro.dae.base import SemiExplicitDAE
 class _DeviceSlot:
     """Precomputed scatter/gather maps for one device."""
 
-    __slots__ = ("device", "columns", "rows")
+    __slots__ = (
+        "device",
+        "columns",
+        "rows",
+        "gather_cols",
+        "gather_scale",
+        "row_sel",
+        "row_targets",
+        "col_sel",
+        "col_targets",
+        "jac_flat",
+    )
 
     def __init__(self, device, columns, rows):
         self.device = device
@@ -25,6 +36,18 @@ class _DeviceSlot:
         self.columns = columns
         # Global equation row per local row; -1 means the dropped ground row.
         self.rows = rows
+        # Batched gather: read ground columns from index 0 and zero them out.
+        self.gather_cols = np.where(columns >= 0, columns, 0)
+        self.gather_scale = (columns >= 0).astype(float)
+        # Batched scatter: local positions kept and their global targets.
+        self.row_sel = np.nonzero(rows >= 0)[0]
+        self.row_targets = rows[self.row_sel]
+        self.col_sel = np.nonzero(columns >= 0)[0]
+        self.col_targets = columns[self.col_sel]
+        # Flat (row, col) offsets of the surviving Jacobian block entries
+        # within one dense (n, n) system Jacobian; filled by CircuitDAE once
+        # the system size is known.
+        self.jac_flat = None
 
 
 class CircuitDAE(SemiExplicitDAE):
@@ -67,6 +90,10 @@ class CircuitDAE(SemiExplicitDAE):
         self._slots = slots
         self.n = next_index
         self.variable_names = tuple(names)
+        for slot in slots:
+            slot.jac_flat = (
+                slot.row_targets[:, None] * self.n + slot.col_targets[None, :]
+            ).ravel()
 
     # -- gather/scatter helpers --------------------------------------------------
 
@@ -123,3 +150,124 @@ class CircuitDAE(SemiExplicitDAE):
     def df_dx(self, x):
         x = np.asarray(x, dtype=float)
         return self._accumulate_matrix(lambda dev, u: dev.df_local(u), x)
+
+    # -- batched DAE interface ---------------------------------------------------
+    #
+    # The multi-time engines evaluate the system at every collocation point
+    # of a grid on each Newton iteration; these overrides gather all local
+    # states with one fancy-index per device, evaluate each device *once*
+    # over the whole batch, and scatter-add with precomputed flat index maps
+    # and a single ``np.bincount`` — no per-point Python loop.
+
+    def _gather_batch(self, states, slot):
+        """Local state stack ``(m, n_local)``; ground columns read 0."""
+        return states[:, slot.gather_cols] * slot.gather_scale
+
+    def _accumulate_vector_batch(self, m, contributions):
+        """Sum per-device ``(m, n_valid)`` stacks into an ``(m, n)`` array.
+
+        ``contributions`` yields ``(slot, values)`` pairs where ``values``
+        holds the surviving local rows (``slot.row_sel``) of the device's
+        batched evaluation.
+        """
+        offsets = self.n * np.arange(m)
+        idx_parts = []
+        val_parts = []
+        for slot, values in contributions:
+            idx = offsets[:, None] + slot.row_targets[None, :]
+            idx_parts.append(idx.ravel())
+            val_parts.append(np.ascontiguousarray(values).ravel())
+        if not idx_parts:
+            return np.zeros((m, self.n))
+        flat = np.bincount(
+            np.concatenate(idx_parts),
+            weights=np.concatenate(val_parts),
+            minlength=m * self.n,
+        )
+        return flat.reshape(m, self.n)
+
+    def _accumulate_matrix_batch(self, states, evaluate):
+        states = np.asarray(states, dtype=float)
+        m = states.shape[0]
+        offsets = self.n * self.n * np.arange(m)
+        idx_parts = []
+        val_parts = []
+        for slot in self._slots:
+            local = evaluate(slot.device, self._gather_batch(states, slot))
+            block = local[:, slot.row_sel][:, :, slot.col_sel]
+            idx = offsets[:, None] + slot.jac_flat[None, :]
+            idx_parts.append(idx.ravel())
+            val_parts.append(block.reshape(m, -1).ravel())
+        if not idx_parts:
+            return np.zeros((m, self.n, self.n))
+        flat = np.bincount(
+            np.concatenate(idx_parts),
+            weights=np.concatenate(val_parts),
+            minlength=m * self.n * self.n,
+        )
+        return flat.reshape(m, self.n, self.n)
+
+    def q_batch(self, states):
+        states = np.asarray(states, dtype=float)
+        return self._accumulate_vector_batch(
+            states.shape[0],
+            (
+                (
+                    slot,
+                    slot.device.q_local_batch(
+                        self._gather_batch(states, slot)
+                    )[:, slot.row_sel],
+                )
+                for slot in self._slots
+            ),
+        )
+
+    def f_batch(self, states):
+        states = np.asarray(states, dtype=float)
+        return self._accumulate_vector_batch(
+            states.shape[0],
+            (
+                (
+                    slot,
+                    slot.device.f_local_batch(
+                        self._gather_batch(states, slot)
+                    )[:, slot.row_sel],
+                )
+                for slot in self._slots
+            ),
+        )
+
+    def b_batch(self, times):
+        times = np.asarray(times, dtype=float).ravel()
+        return self._accumulate_vector_batch(
+            times.size,
+            (
+                (slot, slot.device.b_local_batch(times)[:, slot.row_sel])
+                for slot in self._slots
+            ),
+        )
+
+    def dq_dx_batch(self, states):
+        return self._accumulate_matrix_batch(
+            states, lambda dev, U: dev.dq_local_batch(U)
+        )
+
+    def df_dx_batch(self, states):
+        return self._accumulate_matrix_batch(
+            states, lambda dev, U: dev.df_local_batch(U)
+        )
+
+    # -- structural sparsity ------------------------------------------------------
+
+    def _device_block_structure(self):
+        """Union of every device's dense local block — a safe superset."""
+        mask = np.zeros((self.n, self.n), dtype=bool)
+        for slot in self._slots:
+            mask[np.ix_(slot.row_targets, slot.col_targets)] = True
+        return mask
+
+    def dq_structure(self):
+        return self._device_block_structure()
+
+    def df_structure(self):
+        return self._device_block_structure()

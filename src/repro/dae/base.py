@@ -76,6 +76,22 @@ class SemiExplicitDAE(ABC):
         states = np.asarray(states, dtype=float)
         return np.stack([self.df_dx(row) for row in states])
 
+    # -- structural sparsity -------------------------------------------------
+
+    def dq_structure(self):
+        """Boolean ``(n, n)`` superset of the nonzero pattern of ``dq_dx``.
+
+        The pattern must hold at *every* state (a superset is always safe;
+        the default is dense).  Collocation engines use it to precompute
+        their Jacobian sparsity once per solve — see
+        :class:`repro.linalg.collocation.CollocationJacobianAssembler`.
+        """
+        return np.ones((self.n, self.n), dtype=bool)
+
+    def df_structure(self):
+        """Boolean ``(n, n)`` superset of the nonzero pattern of ``df_dx``."""
+        return np.ones((self.n, self.n), dtype=bool)
+
     # -- conveniences -------------------------------------------------------
 
     def residual(self, x, xdot_q, t):

@@ -193,6 +193,12 @@ class VanDerPolDae(SemiExplicitDAE):
         out[:, 1, 1] = -self.mu * (1.0 - y**2)
         return out
 
+    def dq_structure(self):
+        return np.eye(2, dtype=bool)
+
+    def df_structure(self):
+        return np.array([[False, True], [True, True]])
+
 
 class ForcedDecayDae(SemiExplicitDAE):
     """Scalar linear decay with arbitrary forcing: ``x' + a x = u(t)``.

@@ -91,3 +91,47 @@ class ScaledDAE(SemiExplicitDAE):
     def df_dx(self, y):
         jac = self.inner.df_dx(self.to_inner(y))
         return self.equation_scale[:, None] * jac * self.variable_scale[None, :]
+
+    # -- batched interface (delegates to the inner DAE's fast paths) -----------
+
+    def q_batch(self, states):
+        states = np.asarray(states, dtype=float)
+        inner = self.inner.q_batch(states * self.variable_scale)
+        return self.equation_scale * inner / self.time_scale
+
+    def f_batch(self, states):
+        states = np.asarray(states, dtype=float)
+        return self.equation_scale * self.inner.f_batch(
+            states * self.variable_scale
+        )
+
+    def b_batch(self, times):
+        times = np.asarray(times, dtype=float).ravel()
+        return self.equation_scale * self.inner.b_batch(self.time_scale * times)
+
+    def dq_dx_batch(self, states):
+        states = np.asarray(states, dtype=float)
+        jac = self.inner.dq_dx_batch(states * self.variable_scale)
+        return (
+            self.equation_scale[None, :, None]
+            * jac
+            * self.variable_scale[None, None, :]
+            / self.time_scale
+        )
+
+    def df_dx_batch(self, states):
+        states = np.asarray(states, dtype=float)
+        jac = self.inner.df_dx_batch(states * self.variable_scale)
+        return (
+            self.equation_scale[None, :, None]
+            * jac
+            * self.variable_scale[None, None, :]
+        )
+
+    # Diagonal scaling preserves the structural pattern.
+
+    def dq_structure(self):
+        return self.inner.dq_structure()
+
+    def df_structure(self):
+        return self.inner.df_structure()

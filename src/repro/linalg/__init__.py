@@ -14,6 +14,8 @@ from repro.linalg.sparse_tools import (
     kron_diffmat,
     as_csr,
 )
+from repro.linalg.collocation import CollocationJacobianAssembler, union_block_mask
+from repro.linalg.lu_cache import ReusableLUSolver
 from repro.linalg.gmres import GmresLinearSolver, DirectLinearSolver
 from repro.linalg.jacobian_check import finite_difference_jacobian, jacobian_error
 
@@ -25,6 +27,9 @@ __all__ = [
     "block_diagonal_expand",
     "kron_diffmat",
     "as_csr",
+    "CollocationJacobianAssembler",
+    "union_block_mask",
+    "ReusableLUSolver",
     "GmresLinearSolver",
     "DirectLinearSolver",
     "finite_difference_jacobian",

@@ -1,0 +1,139 @@
+"""Factorisation-reuse linear solver for fixed-pattern Newton systems.
+
+The collocation engines hand :func:`repro.linalg.newton.newton_solve` a
+Jacobian whose sparsity pattern never changes — only the numeric values do
+(see :mod:`repro.linalg.collocation`).  The stock path
+(``spsolve(csc_matrix(J), rhs)``) rebuilds a CSC matrix and runs a fresh
+SuperLU factorisation on every iteration, and even when two consecutive
+solves see the *same* matrix (predictor/corrector re-solves, memoised
+Jacobians) nothing is reused.
+
+:class:`ReusableLUSolver` implements the ``(matrix, rhs) -> x`` protocol of
+``newton_solve``'s ``linear_solver`` hook and keeps, across calls:
+
+* the CSR→CSC conversion (the structural permutation is computed once per
+  pattern and replayed as a single fancy-index on the data array);
+* the LU factorisation itself, reused whenever the matrix values are
+  unchanged since the previous call (refactorising only on value changes);
+* for dense matrices, the LAPACK LU factors under the same reuse rule.
+
+One instance should live for the duration of one nonlinear solve — or a
+whole envelope run, since the pattern is shared across steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+
+class ReusableLUSolver:
+    """LU solver with pattern-aware CSC conversion and factorisation reuse."""
+
+    def __init__(self):
+        # Sparse state.
+        self._lu = None
+        self._lu_data = None
+        self._struct_indices = None
+        self._struct_indptr = None
+        self._struct_shape = None
+        # CSR -> CSC conversion cache.
+        self._csr_indices = None
+        self._csr_indptr = None
+        self._csr_perm = None
+        self._csc_template = None
+        # Dense state.
+        self._dense_a = None
+        self._dense_lu = None
+
+    # -- sparse helpers ------------------------------------------------------
+
+    def _csc_from_csr(self, matrix):
+        """CSC view of a CSR matrix, caching the structural permutation."""
+        if not (
+            self._csr_indices is matrix.indices
+            and self._csr_indptr is matrix.indptr
+            and self._csc_template is not None
+            and self._csc_template.shape == matrix.shape
+        ):
+            coo = sp.coo_matrix(
+                (
+                    np.arange(1, matrix.nnz + 1, dtype=float),
+                    (
+                        np.repeat(
+                            np.arange(matrix.shape[0]),
+                            np.diff(matrix.indptr),
+                        ),
+                        matrix.indices,
+                    ),
+                ),
+                shape=matrix.shape,
+            )
+            csc = coo.tocsc()
+            self._csr_perm = csc.data.astype(np.intp) - 1
+            csc.data = np.empty(matrix.nnz)
+            self._csc_template = csc
+            self._csr_indices = matrix.indices
+            self._csr_indptr = matrix.indptr
+        np.take(matrix.data, self._csr_perm, out=self._csc_template.data)
+        return self._csc_template
+
+    def _same_structure(self, csc):
+        return (
+            self._struct_shape == csc.shape
+            and self._struct_indices is not None
+            and (
+                self._struct_indices is csc.indices
+                or (
+                    self._struct_indices.size == csc.indices.size
+                    and np.array_equal(self._struct_indices, csc.indices)
+                    and np.array_equal(self._struct_indptr, csc.indptr)
+                )
+            )
+        )
+
+    def _solve_sparse(self, matrix, rhs):
+        if sp.isspmatrix_csc(matrix):
+            csc = matrix
+        elif sp.isspmatrix_csr(matrix):
+            csc = self._csc_from_csr(matrix)
+        else:
+            csc = matrix.tocsc()
+        if not (
+            self._lu is not None
+            and self._same_structure(csc)
+            and np.array_equal(self._lu_data, csc.data)
+        ):
+            self._lu = spla.splu(csc)
+            self._lu_data = csc.data.copy()
+            self._struct_indices = csc.indices
+            self._struct_indptr = csc.indptr
+            self._struct_shape = csc.shape
+        return self._lu.solve(rhs)
+
+    # -- dense helper --------------------------------------------------------
+
+    #: Below this size the LAPACK-wrapper overhead of a cached ``lu_factor``
+    #: exceeds the factorisation itself; plain ``solve`` wins.
+    DENSE_CACHE_THRESHOLD = 32
+
+    def _solve_dense(self, matrix, rhs):
+        a = np.asarray(matrix, dtype=float)
+        if a.shape[0] <= self.DENSE_CACHE_THRESHOLD:
+            return np.linalg.solve(a, rhs)
+        if not (
+            self._dense_lu is not None
+            and self._dense_a.shape == a.shape
+            and np.array_equal(self._dense_a, a)
+        ):
+            self._dense_lu = sla.lu_factor(a)
+            self._dense_a = a.copy()
+        return sla.lu_solve(self._dense_lu, rhs)
+
+    def __call__(self, matrix, rhs):
+        rhs = np.asarray(rhs, dtype=float).ravel()
+        if sp.issparse(matrix):
+            return self._solve_sparse(matrix, rhs)
+        return self._solve_dense(matrix, rhs)

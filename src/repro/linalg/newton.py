@@ -148,23 +148,19 @@ def newton_solve(residual, jacobian, x0, options=None, linear_solver=None):
             )
 
         # Line search: halve the step until the residual norm decreases
-        # (or accept the full step if damping is disabled).
+        # (or accept the full step if damping is disabled).  When the search
+        # exhausts its budget, the smallest trial already evaluated is kept —
+        # Newton may still escape a locally non-monotone region — rather than
+        # spending another residual evaluation on a further-halved step.
         step = 1.0
-        accepted = False
-        for _ in range(opts.max_step_halvings + 1):
+        for halving in range(opts.max_step_halvings + 1):
             x_trial = x + step * dx
             f_trial = np.asarray(residual(x_trial), dtype=float).ravel()
             norm_trial = float(np.linalg.norm(f_trial, ord=np.inf))
             if np.isfinite(norm_trial) and (norm_trial < norm or norm <= opts.atol):
-                accepted = True
                 break
-            step *= 0.5
-        if not accepted:
-            # Accept the last (smallest) damped step anyway; Newton may still
-            # escape a locally non-monotone region.
-            x_trial = x + step * dx
-            f_trial = np.asarray(residual(x_trial), dtype=float).ravel()
-            norm_trial = float(np.linalg.norm(f_trial, ord=np.inf))
+            if halving < opts.max_step_halvings:
+                step *= 0.5
 
         update_small = np.all(
             np.abs(step * dx) <= opts.rtol * np.maximum(np.abs(x_trial), 1.0)

@@ -13,8 +13,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.linalg.collocation import CollocationJacobianAssembler
+from repro.linalg.lu_cache import ReusableLUSolver
 from repro.linalg.newton import NewtonOptions, newton_solve
-from repro.linalg.sparse_tools import block_diagonal_expand, kron_diffmat
+from repro.linalg.sparse_tools import kron_diffmat
 from repro.spectral.diffmat import fourier_differentiation_matrix
 from repro.spectral.grid import collocation_grid
 from repro.utils.validation import check_odd
@@ -107,10 +109,15 @@ def solve_mpde_envelope(dae, forcing, initial_samples, t2_start, t2_stop,
     use_trap = opts.integrator == "trap"
 
     t1_grid = collocation_grid(n0, forcing.period1)
-    d_big = kron_diffmat(
-        fourier_differentiation_matrix(n0, forcing.period1), n, ordering="point"
-    )
+    diffmat = fourier_differentiation_matrix(n0, forcing.period1)
+    d_big = kron_diffmat(diffmat, n, ordering="point")
     h = (t2_stop - t2_start) / num_steps
+    # Fixed-pattern Jacobian assembly + factorisation reuse across all
+    # steps of the march (see repro.linalg.collocation).
+    assembler = CollocationJacobianAssembler(
+        n0, n, dq_mask=dae.dq_structure(), df_mask=dae.df_structure()
+    )
+    linear_solver = ReusableLUSolver()
 
     def b_at(t2_value):
         return np.stack([forcing(t1, t2_value) for t1 in t1_grid]).ravel()
@@ -144,13 +151,25 @@ def solve_mpde_envelope(dae, forcing, initial_samples, t2_start, t2_stop,
 
         def jacobian(z):
             states = z.reshape(n0, n)
-            dq = block_diagonal_expand(dae.dq_dx_batch(states))
-            df = block_diagonal_expand(dae.df_dx_batch(states))
+            dq = dae.dq_dx_batch(states)
+            df = dae.df_dx_batch(states)
             beta = 0.5 if use_trap else 1.0
-            return (dq / h + beta * (d_big @ dq + df)).tocsc()
+            # dq/h + beta * (d_big @ dq + df), via data-only refresh;
+            # scipy's sparse "/ h" is "* (1/h)" — matched bit for bit.
+            return assembler.refresh(
+                diffmat,
+                dq,
+                diag_inner=df,
+                outer_coeff=beta,
+                diag_outer=dq * (1.0 / h),
+            )
 
         result = newton_solve(
-            residual, jacobian, x_samples.ravel(), options=opts.newton
+            residual,
+            jacobian,
+            x_samples.ravel(),
+            options=opts.newton,
+            linear_solver=linear_solver,
         )
         stats["newton_iterations"] += result.iterations
         x_samples = result.x.reshape(n0, n)

@@ -8,8 +8,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import SimulationError
+from repro.linalg.collocation import CollocationJacobianAssembler
+from repro.linalg.lu_cache import ReusableLUSolver
 from repro.linalg.newton import NewtonOptions, newton_solve
-from repro.linalg.sparse_tools import block_diagonal_expand, kron_diffmat
+from repro.linalg.sparse_tools import kron_diffmat
 from repro.spectral.diffmat import fourier_differentiation_matrix
 from repro.spectral.grid import collocation_grid
 from repro.utils.validation import check_odd
@@ -117,21 +119,25 @@ def solve_mpde_quasiperiodic(dae, forcing, num_t1=15, num_t2=15,
 
     block = n0 * n
     total = n1 * block
+    diffmat1 = fourier_differentiation_matrix(n0, forcing.period1)
+    diffmat2 = fourier_differentiation_matrix(n1, forcing.period2)
     d1_all = sp.kron(
         sp.identity(n1, format="csr"),
-        kron_diffmat(
-            fourier_differentiation_matrix(n0, forcing.period1),
-            n,
-            ordering="point",
-        ),
+        kron_diffmat(diffmat1, n, ordering="point"),
         format="csr",
     )
-    d2_all = kron_diffmat(
-        fourier_differentiation_matrix(n1, forcing.period2),
-        block,
-        ordering="point",
-    )
+    d2_all = kron_diffmat(diffmat2, block, ordering="point")
     d_sum = (d1_all + d2_all).tocsr()
+
+    # Dense point-coupling matrix of d_sum for the pattern-reuse assembler.
+    coupling = np.kron(np.eye(n1), diffmat1) + np.kron(diffmat2, np.eye(n0))
+    assembler = CollocationJacobianAssembler(
+        n1 * n0,
+        n,
+        dq_mask=dae.dq_structure(),
+        df_mask=dae.df_structure(),
+        coupling_mask=coupling != 0.0,
+    )
 
     if initial is None:
         z0 = np.zeros(total)
@@ -155,11 +161,17 @@ def solve_mpde_quasiperiodic(dae, forcing, num_t1=15, num_t2=15,
 
     def jacobian(z):
         states = z.reshape(n1 * n0, n)
-        dq = block_diagonal_expand(dae.dq_dx_batch(states))
-        df = block_diagonal_expand(dae.df_dx_batch(states))
-        return (d_sum @ dq + df).tocsc()
+        dq = dae.dq_dx_batch(states)
+        df = dae.df_dx_batch(states)
+        return assembler.refresh(coupling, dq, diag_inner=df)
 
-    result = newton_solve(residual, jacobian, z0, options=opts.newton)
+    result = newton_solve(
+        residual,
+        jacobian,
+        z0,
+        options=opts.newton,
+        linear_solver=ReusableLUSolver(),
+    )
     samples = result.x.reshape(n1, n0, n)
     return MpdeQuasiperiodicResult(
         t1_grid,

@@ -22,9 +22,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import ConvergenceError
-from repro.linalg.bordered import BorderedSystem
+from repro.linalg.collocation import CollocationJacobianAssembler
+from repro.linalg.lu_cache import ReusableLUSolver
 from repro.linalg.newton import NewtonOptions, newton_solve
-from repro.linalg.sparse_tools import block_diagonal_expand, kron_diffmat
+from repro.linalg.sparse_tools import kron_diffmat
 from repro.phase_conditions import as_phase_condition
 from repro.spectral.diffmat import fourier_differentiation_matrix
 from repro.spectral.grid import collocation_grid
@@ -108,8 +109,10 @@ def harmonic_balance_forced(dae, period, num_samples=31, initial=None,
     n = dae.n
     grid = collocation_grid(num, period)
     b_grid = dae.b_batch(grid)
-    d_big = kron_diffmat(
-        fourier_differentiation_matrix(num, period), n, ordering="point"
+    diffmat = fourier_differentiation_matrix(num, period)
+    d_big = kron_diffmat(diffmat, n, ordering="point")
+    assembler = CollocationJacobianAssembler(
+        num, n, dq_mask=dae.dq_structure(), df_mask=dae.df_structure()
     )
 
     def residual(vec):
@@ -120,9 +123,9 @@ def harmonic_balance_forced(dae, period, num_samples=31, initial=None,
 
     def jacobian(vec):
         states = _unstack(vec, num, n)
-        dq = block_diagonal_expand(dae.dq_dx_batch(states))
-        df = block_diagonal_expand(dae.df_dx_batch(states))
-        return (d_big @ dq + df).tocsc()
+        dq = dae.dq_dx_batch(states)
+        df = dae.df_dx_batch(states)
+        return assembler.refresh(diffmat, dq, diag_inner=df)
 
     if initial is None:
         x0 = np.zeros((num, n))
@@ -133,7 +136,13 @@ def harmonic_balance_forced(dae, period, num_samples=31, initial=None,
                 f"initial must have shape {(num, n)}, got {x0.shape}"
             )
     opts = newton_options or NewtonOptions(atol=1e-9, max_iterations=60)
-    result = newton_solve(residual, jacobian, _stack(x0), options=opts)
+    result = newton_solve(
+        residual,
+        jacobian,
+        _stack(x0),
+        options=opts,
+        linear_solver=ReusableLUSolver(),
+    )
     return HBResult(_unstack(result.x, num, n), float(period), result.iterations)
 
 
@@ -146,8 +155,10 @@ def harmonic_balance_autonomous(dae, frequency_guess, initial,
     Works in normalised time ``t1 in [0, 1)`` where the waveform has period
     1; the physical problem is ``nu * d/dt1 q(xhat) + f(xhat) = b`` with the
     frequency ``nu`` unknown.  One phase-condition row (see
-    :mod:`repro.phase_conditions`) closes the system; the Jacobian is a
-    :class:`~repro.linalg.bordered.BorderedSystem`.
+    :mod:`repro.phase_conditions`) closes the system; the bordered Jacobian
+    (collocation core + frequency column + phase row) is assembled with the
+    pattern-reuse
+    :class:`~repro.linalg.collocation.CollocationJacobianAssembler`.
 
     Parameters
     ----------
@@ -177,8 +188,14 @@ def harmonic_balance_autonomous(dae, frequency_guess, initial,
     phase_row = condition.gradient(num, n)
 
     b_const = np.tile(dae.b(forcing_time), num)
-    d_big = kron_diffmat(
-        fourier_differentiation_matrix(num, period=1.0), n, ordering="point"
+    diffmat = fourier_differentiation_matrix(num, period=1.0)
+    d_big = kron_diffmat(diffmat, n, ordering="point")
+    assembler = CollocationJacobianAssembler(
+        num,
+        n,
+        dq_mask=dae.dq_structure(),
+        df_mask=dae.df_structure(),
+        num_border=1,
     )
 
     initial = np.asarray(initial, dtype=float)
@@ -196,19 +213,25 @@ def harmonic_balance_autonomous(dae, frequency_guess, initial,
     def jacobian(vec):
         states = _unstack(vec[:-1], num, n)
         nu = vec[-1]
-        dq = block_diagonal_expand(dae.dq_dx_batch(states))
-        df = block_diagonal_expand(dae.df_dx_batch(states))
-        core = (nu * (d_big @ dq) + df).tocsr()
-        dq_flat = _stack(dae.q_batch(states))
-        freq_column = d_big @ dq_flat
-        bordered = BorderedSystem(
-            core, freq_column[:, None], phase_row[None, :], np.zeros((1, 1))
+        dq = dae.dq_dx_batch(states)
+        df = dae.df_dx_batch(states)
+        q_flat = _stack(dae.q_batch(states))
+        freq_column = d_big @ q_flat
+        # nu * (d_big @ dq) + df, bordered by frequency column + phase row.
+        return assembler.refresh(
+            diffmat,
+            dq,
+            diag_inner=df,
+            coupling_scale=nu,
+            border_columns=freq_column[:, None],
+            border_rows=phase_row[None, :],
         )
-        return bordered.assemble()
 
     z0 = np.concatenate([_stack(initial), [float(frequency_guess)]])
     opts = newton_options or NewtonOptions(atol=1e-9, max_iterations=80)
-    result = newton_solve(residual, jacobian, z0, options=opts)
+    result = newton_solve(
+        residual, jacobian, z0, options=opts, linear_solver=ReusableLUSolver()
+    )
     nu = float(result.x[-1])
     if nu <= 0:
         raise ConvergenceError(

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.linalg.lu_cache import ReusableLUSolver
 from repro.linalg.newton import NewtonOptions, newton_solve
 from repro.transient.integrators import get_integrator
 from repro.transient.results import TransientResult
@@ -99,6 +100,11 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
     # History entries: (t, x, q, f - b) — integrators consume these.
     history = [(t, x.copy(), dae.q(x), dae.f(x) - dae.b(t))]
 
+    # One solver instance for the whole run: sparse-Jacobian DAEs get CSC
+    # conversion + factorisation reuse; small dense systems pass through to
+    # the plain LAPACK solve.
+    linear_solver = ReusableLUSolver()
+
     stored_t = [t]
     stored_x = [x.copy()]
     stats = {
@@ -125,7 +131,10 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
         def jacobian(x_trial):
             return alpha * dae.dq_dx(x_trial) + beta * dae.df_dx(x_trial)
 
-        result = newton_solve(residual, jacobian, x, options=opts.newton)
+        result = newton_solve(
+            residual, jacobian, x, options=opts.newton,
+            linear_solver=linear_solver,
+        )
         stats["newton_iterations"] += result.iterations
 
         if not result.converged:

@@ -31,9 +31,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConvergenceError, SimulationError
-from repro.linalg.bordered import BorderedSystem
+from repro.linalg.collocation import CollocationJacobianAssembler
+from repro.linalg.lu_cache import ReusableLUSolver
 from repro.linalg.newton import NewtonOptions, newton_solve
-from repro.linalg.sparse_tools import block_diagonal_expand, kron_diffmat
+from repro.linalg.sparse_tools import kron_diffmat
 from repro.phase_conditions import as_phase_condition
 from repro.spectral.diffmat import fourier_differentiation_matrix
 from repro.spectral.grid import collocation_grid, harmonic_indices
@@ -75,7 +76,8 @@ class WampdeEnvelopeOptions:
         Optional ``(matrix, rhs) -> solution`` callable for the bordered
         Newton systems — e.g. :class:`repro.linalg.gmres.GmresLinearSolver`
         for large circuits (the paper's [Saa96] reference); ``None`` uses
-        direct sparse LU.
+        direct sparse LU with factorisation reuse
+        (:class:`repro.linalg.lu_cache.ReusableLUSolver`).
     store_every:
         Keep every k-th accepted t2 point.
     rtol, atol:
@@ -210,16 +212,42 @@ class _EnvelopeStepper:
             options.phase_condition, options.phase_variable
         )
         self.phase_row = self.condition.gradient(self.num_t1, self.n)
-        self.d_big = kron_diffmat(
-            fourier_differentiation_matrix(self.num_t1, period=1.0),
+        self.diffmat = fourier_differentiation_matrix(self.num_t1, period=1.0)
+        self.d_big = kron_diffmat(self.diffmat, self.n, ordering="point")
+        # The bordered collocation Jacobian's sparsity never changes across
+        # Newton iterations or envelope steps: precompute its CSC structure
+        # once and refresh only the numeric data each iteration.
+        self._assembler = CollocationJacobianAssembler(
+            self.num_t1,
             self.n,
-            ordering="point",
+            dq_mask=dae.dq_structure(),
+            df_mask=dae.df_structure(),
+            num_border=1,
         )
+        # ... and reuse the factorisation machinery across the whole run.
+        self.linear_solver = options.linear_solver or ReusableLUSolver()
+        # Memoised (iterate, q_flat, f_flat): jacobian(z) and rhs_terms()
+        # re-see the iterate residual(z) just evaluated.
+        self._eval_z = None
+        self._eval_q = None
+        self._eval_f = None
+
+    def _evaluate_qf(self, states, z):
+        """Flat ``q_batch``/``f_batch`` at ``z``, memoised on the iterate."""
+        if self._eval_z is not None and np.array_equal(self._eval_z, z):
+            return self._eval_q, self._eval_f
+        q_flat = self.dae.q_batch(states).ravel()
+        f_flat = self.dae.f_batch(states).ravel()
+        self._eval_z = np.array(z, dtype=float, copy=True)
+        self._eval_q = q_flat
+        self._eval_f = f_flat
+        return q_flat, f_flat
 
     def rhs_terms(self, states, omega_value, t2_value):
         """``omega*D1 q + f - b`` at a configuration, plus the flat q."""
-        q_flat = self.dae.q_batch(states).ravel()
-        f_flat = self.dae.f_batch(states).ravel()
+        states = np.asarray(states, dtype=float)
+        z = np.concatenate([states.ravel(), [omega_value]])
+        q_flat, f_flat = self._evaluate_qf(states, z)
         b_tile = np.tile(self.dae.b(t2_value), self.num_t1)
         fast = omega_value * (self.d_big @ q_flat) + f_flat - b_tile
         return fast, q_flat
@@ -239,8 +267,7 @@ class _EnvelopeStepper:
         def residual(z):
             states = z[:-1].reshape(num_t1, n)
             w = z[-1]
-            q_flat = self.dae.q_batch(states).ravel()
-            f_flat = self.dae.f_batch(states).ravel()
+            q_flat, f_flat = self._evaluate_qf(states, z)
             fast = w * (self.d_big @ q_flat) + f_flat - b_new_tile
             core = (
                 (q_flat - q_old) / h
@@ -254,17 +281,23 @@ class _EnvelopeStepper:
         def jacobian(z):
             states = z[:-1].reshape(num_t1, n)
             w = z[-1]
-            dq = block_diagonal_expand(self.dae.dq_dx_batch(states))
-            df = block_diagonal_expand(self.dae.df_dx_batch(states))
-            core = (dq / h + beta * (w * (self.d_big @ dq) + df)).tocsr()
-            q_flat = self.dae.q_batch(states).ravel()
+            dq = self.dae.dq_dx_batch(states)
+            df = self.dae.df_dx_batch(states)
+            q_flat, _f_flat = self._evaluate_qf(states, z)
             omega_col = beta * (self.d_big @ q_flat)
-            return BorderedSystem(
-                core,
-                omega_col[:, None],
-                self.phase_row[None, :],
-                np.zeros((1, 1)),
-            ).assemble()
+            # core = dq/h + beta * (w * D1 @ dq + df), bordered by the omega
+            # column and the phase row — data-only refresh, fixed pattern.
+            return self._assembler.refresh(
+                self.diffmat,
+                dq,
+                diag_inner=df,
+                coupling_scale=w,
+                outer_coeff=beta,
+                # scipy's sparse "/ h" is "* (1/h)"; match it bit for bit.
+                diag_outer=dq * (1.0 / h),
+                border_columns=omega_col[:, None],
+                border_rows=self.phase_row[None, :],
+            )
 
         z0 = np.concatenate([x_samples.ravel(), [omega]])
         result = newton_solve(
@@ -272,7 +305,7 @@ class _EnvelopeStepper:
             jacobian,
             z0,
             options=self.options.newton,
-            linear_solver=self.options.linear_solver,
+            linear_solver=self.linear_solver,
         )
         x_new = result.x[:-1].reshape(num_t1, n)
         omega_new = float(result.x[-1])

@@ -19,9 +19,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import SimulationError
-from repro.linalg.bordered import BorderedSystem
+from repro.linalg.collocation import CollocationJacobianAssembler
+from repro.linalg.lu_cache import ReusableLUSolver
 from repro.linalg.newton import NewtonOptions, newton_solve
-from repro.linalg.sparse_tools import block_diagonal_expand, kron_diffmat
+from repro.linalg.sparse_tools import kron_diffmat
 from repro.phase_conditions import as_phase_condition
 from repro.spectral.diffmat import fourier_differentiation_matrix
 from repro.spectral.grid import collocation_grid
@@ -234,16 +235,28 @@ def solve_wampde_quasiperiodic(dae, period2, initial_samples, omega0,
     block = n0 * n  # unknowns per t2 point
     total = n1 * block
 
-    d1_big = kron_diffmat(
-        fourier_differentiation_matrix(n0, period=1.0), n, ordering="point"
-    )
+    diffmat1 = fourier_differentiation_matrix(n0, period=1.0)
+    diffmat2 = fourier_differentiation_matrix(n1, period=period2)
+    d1_big = kron_diffmat(diffmat1, n, ordering="point")
     d1_all = sp.kron(sp.identity(n1, format="csr"), d1_big, format="csr")
-    d2_all = kron_diffmat(
-        fourier_differentiation_matrix(n1, period=period2),
-        block,
-        ordering="point",
-    )
+    d2_all = kron_diffmat(diffmat2, block, ordering="point")
     b_grid = np.stack([np.tile(dae.b(t), n0) for t in t2_grid])
+
+    # Point-coupling matrices over the flattened (t2, t1) grid: the fast
+    # axis couples points within one t2 slice, the slow axis couples equal
+    # t1 indices across slices.  Their combination drives the pattern-reuse
+    # Jacobian assembly (see repro.linalg.collocation).
+    num_pts = n1 * n0
+    w1 = np.kron(np.eye(n1), diffmat1)
+    w2 = np.kron(diffmat2, np.eye(n0))
+    assembler = CollocationJacobianAssembler(
+        num_pts,
+        n,
+        dq_mask=dae.dq_structure(),
+        df_mask=dae.df_structure(),
+        coupling_mask=(w1 != 0.0) | (w2 != 0.0),
+        num_border=n1,
+    )
 
     def split(z):
         states = z[:total].reshape(n1, n0, n)
@@ -270,10 +283,10 @@ def solve_wampde_quasiperiodic(dae, period2, initial_samples, omega0,
     def jacobian(z):
         states, omegas = split(z)
         flat_states = states.reshape(n1 * n0, n)
-        dq = block_diagonal_expand(dae.dq_dx_batch(flat_states))
-        df = block_diagonal_expand(dae.df_dx_batch(flat_states))
-        omega_expand = sp.diags(np.repeat(omegas, block))
-        core = (omega_expand @ (d1_all @ dq) + d2_all @ dq + df).tocsr()
+        dq = dae.dq_dx_batch(flat_states)
+        df = dae.df_dx_batch(flat_states)
+        # omega(t2) row-scales the fast-axis coupling only.
+        coupling = np.repeat(omegas, n0)[:, None] * w1 + w2
 
         q_flat = dae.q_batch(flat_states).ravel()
         d1q = d1_all @ q_flat
@@ -286,12 +299,22 @@ def solve_wampde_quasiperiodic(dae, period2, initial_samples, omega0,
         for i2 in range(n1):
             rows[i2, i2 * block:(i2 + 1) * block] = phase_row_block
 
-        return BorderedSystem(
-            core, columns, rows, np.zeros((n1, n1))
-        ).assemble()
+        return assembler.refresh(
+            coupling,
+            dq,
+            diag_inner=df,
+            border_columns=columns,
+            border_rows=rows,
+        )
 
     z0 = np.concatenate([initial_samples.ravel(), omega0])
-    result = newton_solve(residual, jacobian, z0, options=opts.newton)
+    result = newton_solve(
+        residual,
+        jacobian,
+        z0,
+        options=opts.newton,
+        linear_solver=ReusableLUSolver(),
+    )
     states, omegas = split(result.x)
     if np.any(omegas <= 0):
         raise SimulationError(

@@ -1,0 +1,183 @@
+"""Batched-vs-loop equivalence of the vectorised device and DAE fast paths.
+
+Every device's ``*_local_batch`` must agree with its per-point ``*_local``
+on randomised states (including regime boundaries like the diode's limiting
+region), and ``CircuitDAE``'s vectorised batch assembly must agree with the
+generic loop fallbacks of :class:`repro.dae.base.SemiExplicitDAE`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.devices import (
+    VCCS,
+    VCVS,
+    Capacitor,
+    CubicConductance,
+    CurrentSource,
+    Diode,
+    Inductor,
+    MemsVaractor,
+    Resistor,
+    TanhNegativeConductance,
+    TanhTransconductance,
+    VoltageSource,
+)
+from repro.circuits.netlist import Circuit
+from repro.circuits.waveforms import Sine
+from repro.dae.base import SemiExplicitDAE
+from repro.dae.scaled import ScaledDAE
+
+
+def make_devices():
+    """One instance of every device class."""
+    return [
+        Resistor("R1", "a", "b", 220.0),
+        Capacitor("C1", "a", "b", 2.2e-9),
+        Inductor("L1", "a", "b", 1e-6),
+        Diode("D1", "a", "b"),
+        CubicConductance("G1", "a", "b", 1e-3, 4e-4),
+        TanhNegativeConductance("G2", "a", "b", 2e-3, 1e-3, 5e-3),
+        MemsVaractor(
+            "M1", "a", "b", Sine(amplitude=1.0, frequency=1e3, offset=1.5),
+            c0=100e-12, z_scale=1e-6, mass=1e-9, damping=1e-4,
+            stiffness=221.0, force_gain=2e-4,
+        ),
+        VCCS("U1", "a", "b", "c", "d", 3e-3),
+        VCVS("U2", "a", "b", "c", "d", 5.0),
+        TanhTransconductance("U3", "a", "b", "c", "d", 4e-3, 1e-3),
+        CurrentSource("I1", "a", "b", Sine(amplitude=1e-3, frequency=2e3)),
+        VoltageSource("V1", "a", "b", Sine(amplitude=2.0, frequency=5e3)),
+    ]
+
+
+@pytest.mark.parametrize(
+    "device", make_devices(), ids=lambda d: type(d).__name__
+)
+def test_local_batch_matches_loop(device):
+    rng = np.random.default_rng(hash(device.name) % 2**32)
+    U = rng.normal(scale=1.2, size=(9, device.n_local))
+    times = rng.uniform(0.0, 1e-3, size=9)
+
+    q_loop = np.stack([device.q_local(u) for u in U])
+    f_loop = np.stack([device.f_local(u) for u in U])
+    b_loop = np.stack([device.b_local(t) for t in times])
+    dq_loop = np.stack([device.dq_local(u) for u in U])
+    df_loop = np.stack([device.df_local(u) for u in U])
+
+    np.testing.assert_allclose(device.q_local_batch(U), q_loop, rtol=0, atol=1e-12)
+    np.testing.assert_allclose(device.f_local_batch(U), f_loop, rtol=0, atol=1e-12)
+    np.testing.assert_allclose(device.b_local_batch(times), b_loop, rtol=0, atol=1e-12)
+    np.testing.assert_allclose(device.dq_local_batch(U), dq_loop, rtol=0, atol=1e-12)
+    np.testing.assert_allclose(device.df_local_batch(U), df_loop, rtol=0, atol=1e-12)
+
+
+def test_diode_batch_spans_limiting_region():
+    """The vectorised diode must agree across the exp/linear boundary."""
+    diode = Diode("D1", "a", "b")
+    v_limit = 40.0 * diode.thermal_voltage
+    v = np.array([-2.0, 0.0, 0.5 * v_limit, v_limit, v_limit * 1.0001, 3.0])
+    U = np.stack([v, np.zeros_like(v)], axis=1)
+    f_loop = np.stack([diode.f_local(u) for u in U])
+    df_loop = np.stack([diode.df_local(u) for u in U])
+    np.testing.assert_array_equal(diode.f_local_batch(U), f_loop)
+    np.testing.assert_array_equal(diode.df_local_batch(U), df_loop)
+    # Scalar calls still return plain floats.
+    assert isinstance(diode.current(0.3), float)
+    assert isinstance(diode.conductance(2.0), float)
+
+
+def varied_circuit():
+    """A circuit touching every stamp shape: shared nodes, grounds,
+    internal unknowns, multi-port controlled sources."""
+    c = Circuit("batch-equivalence test vehicle")
+    c.add(Resistor("R1", "n1", "n2", 100.0))
+    c.add(Resistor("R2", "n2", "0", 470.0))
+    c.add(Capacitor("C1", "n1", "0", 1e-9))
+    c.add(Inductor("L1", "n2", "n3", 1e-6))
+    c.add(Diode("D1", "n3", "0"))
+    c.add(CubicConductance("G1", "n1", "0", 1e-3, 4e-4))
+    c.add(
+        MemsVaractor(
+            "M1", "n3", "0", Sine(amplitude=0.5, frequency=1e3, offset=1.5),
+            c0=100e-12, z_scale=1e-6, mass=1e-9, damping=1e-4,
+            stiffness=221.0, force_gain=2e-4,
+        )
+    )
+    c.add(VCCS("U1", "n1", "0", "n2", "n3", 2e-3))
+    c.add(VCVS("U2", "n4", "0", "n1", "0", 2.0))
+    c.add(TanhTransconductance("U3", "n2", "0", "n4", "0", 3e-3, 1e-3))
+    c.add(CurrentSource("I1", "n1", "0", Sine(amplitude=1e-3, frequency=2e3)))
+    c.add(VoltageSource("V1", "n4", "0", Sine(amplitude=1.0, frequency=5e3)))
+    return c
+
+
+class TestCircuitDaeBatch:
+    @pytest.fixture(scope="class")
+    def dae(self):
+        return varied_circuit().to_dae()
+
+    @pytest.fixture(scope="class")
+    def states(self, dae):
+        rng = np.random.default_rng(7)
+        return rng.normal(scale=0.8, size=(6, dae.n))
+
+    @pytest.mark.parametrize(
+        "method", ["q_batch", "f_batch", "dq_dx_batch", "df_dx_batch"]
+    )
+    def test_state_batches_match_loop(self, dae, states, method):
+        fast = getattr(dae, method)(states)
+        slow = getattr(SemiExplicitDAE, method)(dae, states)
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-12)
+
+    def test_b_batch_matches_loop(self, dae):
+        times = np.linspace(0.0, 1e-3, 7)
+        np.testing.assert_allclose(
+            dae.b_batch(times),
+            SemiExplicitDAE.b_batch(dae, times),
+            rtol=0,
+            atol=1e-12,
+        )
+
+    def test_batch_consistent_with_single_point(self, dae, states):
+        for x in states:
+            np.testing.assert_allclose(
+                dae.q_batch(x[None, :])[0], dae.q(x), rtol=0, atol=1e-12
+            )
+            np.testing.assert_allclose(
+                dae.dq_dx_batch(x[None, :])[0], dae.dq_dx(x), rtol=0, atol=1e-12
+            )
+
+    def test_structure_masks_cover_jacobians(self, dae, states):
+        dq_mask = dae.dq_structure()
+        df_mask = dae.df_structure()
+        for x in states:
+            assert not np.any(dae.dq_dx(x)[~dq_mask])
+            assert not np.any(dae.df_dx(x)[~df_mask])
+
+
+def test_scaled_dae_batch_matches_loop():
+    dae = varied_circuit().to_dae()
+    scaled = ScaledDAE(
+        dae,
+        variable_scale=np.linspace(0.5, 2.0, dae.n),
+        time_scale=2.5,
+        equation_scale=np.linspace(0.1, 1.0, dae.n),
+    )
+    rng = np.random.default_rng(11)
+    states = rng.normal(size=(5, dae.n))
+    times = rng.uniform(0.0, 1e-3, size=5)
+    for method in ("q_batch", "f_batch", "dq_dx_batch", "df_dx_batch"):
+        np.testing.assert_allclose(
+            getattr(scaled, method)(states),
+            getattr(SemiExplicitDAE, method)(scaled, states),
+            rtol=1e-13,
+            atol=1e-15,
+        )
+    np.testing.assert_allclose(
+        scaled.b_batch(times),
+        SemiExplicitDAE.b_batch(scaled, times),
+        rtol=1e-13,
+        atol=1e-15,
+    )
+    assert np.array_equal(scaled.dq_structure(), dae.dq_structure())

@@ -65,6 +65,31 @@ class TestNewtonDamping:
         assert result.converged
         np.testing.assert_allclose(result.x, [0.0], atol=1e-8)
 
+    def test_exhausted_line_search_reuses_smallest_trial(self):
+        # A residual whose norm never decreases exhausts the line search;
+        # the solver must keep the smallest trial it already evaluated
+        # instead of spending another evaluation on a further-halved step.
+        halvings = 3
+        evaluations = []
+
+        def residual(x):
+            evaluations.append(float(x[0]))
+            return np.array([2.0])  # constant norm: every trial rejected
+
+        options = NewtonOptions(
+            max_step_halvings=halvings, max_iterations=1,
+            raise_on_failure=False,
+        )
+        result = newton_solve(residual, lambda x: np.array([[1.0]]), [0.0],
+                              options=options)
+        assert not result.converged
+        # 1 initial evaluation + exactly (halvings + 1) trials, no extra.
+        assert len(evaluations) == 1 + halvings + 1
+        # dx = -2, so the trials are -2, -1, -0.5, -0.25; the accepted
+        # iterate is the smallest step actually evaluated.
+        assert evaluations[1:] == [-2.0, -1.0, -0.5, -0.25]
+        np.testing.assert_allclose(result.x, [-0.25])
+
     def test_no_damping_diverges_on_atan(self):
         options = NewtonOptions(
             max_step_halvings=0, max_iterations=8, raise_on_failure=False

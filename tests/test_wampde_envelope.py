@@ -167,3 +167,31 @@ class TestResultContainer:
         assert np.isclose(
             warp.total_cycles(), hb.frequency * span, rtol=1e-6
         )
+
+
+class TestEvaluationMemoisation:
+    """The stepper memoises (iterate, q_flat, f_flat): jacobian(z) and the
+    post-step rhs_terms() reuse what residual(z) just computed."""
+
+    def test_q_batch_not_recomputed_per_jacobian(self, vdp_limit_cycle):
+        dae, hb = vdp_limit_cycle
+        calls = {"q": 0}
+
+        class CountingDae(VanDerPolDae):
+            def q_batch(self, states):
+                calls["q"] += 1
+                return super().q_batch(states)
+
+        counting = CountingDae(mu=0.2)
+        env = solve_wampde_envelope(
+            counting, hb.samples, hb.frequency, 0.0, 2.0, 4
+        )
+        iters = env.stats["newton_iterations"]
+        steps = env.stats["steps"]
+        # Memoised: one evaluation for the initial rhs_terms plus one per
+        # line-search trial (>= one per Newton iteration).  Without the
+        # memo, jacobian(z), residual(z0) and rhs_terms() would each add
+        # their own q_batch per step/iteration (> 2x this bound).
+        assert calls["q"] <= 1 + iters + steps
+        # ... and the run still reproduces the limit cycle.
+        assert np.allclose(env.omega, hb.frequency, rtol=1e-5)
