@@ -12,7 +12,7 @@ WaMPDE envelope's unknowns.
 
 import numpy as np
 
-from repro.circuits.library import MemsVcoDae, T_NOMINAL, VcoParams
+from repro.circuits.library import MemsVcoDae
 from repro.steadystate import shooting_autonomous
 from repro.utils import WallTimer, format_table, write_csv
 

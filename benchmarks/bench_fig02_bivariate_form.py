@@ -6,7 +6,6 @@ recovered *completely* from the bivariate form.  We verify both, measuring
 actual reconstruction error through 2-D trigonometric interpolation.
 """
 
-import numpy as np
 
 from repro.signals import (
     bivariate_sample_count,

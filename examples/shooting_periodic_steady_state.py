@@ -1,0 +1,94 @@
+"""Periodic steady state by shooting with single-sweep monodromy.
+
+Finds the free-running limit cycle of the paper's MEMS-varactor VCO
+(unforced, control frozen at 1.5 V) by autonomous shooting.  The monodromy
+matrix — the Jacobian of the period map, whose eigenvalues are the Floquet
+multipliers — is propagated as a forward sensitivity *alongside the state
+in a single transient sweep*, so every shooting-Newton iteration costs one
+sweep instead of the ``n + 2`` finite-difference sweeps of the legacy
+scheme.  The script runs both and prints the sweep economics.
+
+Run:  python examples/shooting_periodic_steady_state.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import MemsVcoDae, T_NOMINAL, VcoParams
+from repro.steadystate import (
+    estimate_period_from_transient,
+    shooting_autonomous,
+)
+from repro.transient import TransientOptions, simulate_transient
+from repro.utils import format_table
+
+
+def main():
+    # 1. The paper's VCO with the control voltage frozen: an autonomous
+    #    oscillator free-running near 0.75 MHz.
+    params = VcoParams.vacuum()
+    dae = MemsVcoDae(params, constant_control=True)
+
+    # 2. Rough starting point: settle a transient for 30 nominal cycles and
+    #    estimate the period from zero crossings.
+    settle = simulate_transient(
+        dae, [1.0, 0.0, 0.0, 0.0], 0.0, 30 * T_NOMINAL,
+        TransientOptions(integrator="trap", dt=T_NOMINAL / 150),
+    )
+    period_guess = estimate_period_from_transient(settle, key=0)
+    print(f"transient period estimate: {1e6 * period_guess:.5f} us")
+
+    # 3. Shooting with sensitivity-propagated (single-sweep) monodromy.
+    runs = {}
+    for method in ("sensitivity", "fd"):
+        start = time.perf_counter()
+        result = shooting_autonomous(
+            dae, settle.final_state(), period_guess,
+            anchor_index=1,           # anchor the inductor current
+            steps_per_period=400,
+            monodromy=method,
+        )
+        runs[method] = (result, time.perf_counter() - start)
+
+    rows = []
+    for method, (result, elapsed) in runs.items():
+        rows.append([
+            method,
+            result.newton_iterations,
+            result.transient_sweeps,
+            f"{elapsed:.3f}",
+            f"{1e6 * result.period:.6f}",
+        ])
+    print()
+    print(format_table(
+        ["monodromy", "newton iters", "transient sweeps", "wall [s]",
+         "period [us]"],
+        rows,
+        title="Shooting on the free-running MEMS VCO "
+              "(single-sweep vs finite-difference monodromy)",
+    ))
+
+    result, _ = runs["sensitivity"]
+    assert result.transient_sweeps == result.newton_iterations + 1, \
+        "sensitivity shooting must spend exactly one sweep per iteration"
+
+    # 4. Floquet multipliers from the converged monodromy matrix: an
+    #    autonomous orbit carries one multiplier pinned at 1 (phase
+    #    invariance); the rest lie inside the unit circle for a stable
+    #    limit cycle.
+    multipliers = result.floquet_multipliers()
+    order = np.argsort(-np.abs(multipliers))
+    print("\nFloquet multipliers (|.| sorted):")
+    for k in order:
+        m = multipliers[k]
+        print(f"  {m.real:+.6f} {m.imag:+.6f}j   |.| = {abs(m):.6f}")
+    assert np.isclose(np.abs(multipliers).max(), 1.0, atol=0.02)
+
+    freq = 1.0 / result.period
+    print(f"\nconverged free-running frequency: {freq / 1e6:.6f} MHz "
+          f"(paper: ~0.75 MHz)")
+
+
+if __name__ == "__main__":
+    main()

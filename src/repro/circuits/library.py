@@ -211,6 +211,25 @@ class MemsVcoDae(SemiExplicitDAE):
     def df_dx(self, x):
         return self.df_dx_batch(np.asarray(x, dtype=float)[None, :])[0]
 
+    def qf(self, x):
+        # Transient hot path: one unpack and one capacitance evaluation for
+        # both vectors (the per-step Newton loop calls this 2-3 times per
+        # accepted step).
+        p = self.params
+        v, il, z, u = x
+        q = np.empty(4)
+        s2 = (z / p.z_scale) ** 2
+        q[0] = p.c0 / (1.0 + s2) ** 2 * v
+        q[1] = p.inductance * il
+        q[2] = z
+        q[3] = p.mass * u
+        f = np.empty(4)
+        f[0] = il - p.g1 * v + p.g3 * v**3
+        f[1] = -v
+        f[2] = -u
+        f[3] = p.damping * u + p.stiffness * z
+        return q, f
+
     # -- vectorised batch interface ---------------------------------------------
 
     def q_batch(self, states):

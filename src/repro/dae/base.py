@@ -49,6 +49,18 @@ class SemiExplicitDAE(ABC):
     def df_dx(self, x):
         """Jacobian of :meth:`f` — dense ``(n, n)`` array."""
 
+    # -- fused evaluation ----------------------------------------------------
+
+    def qf(self, x):
+        """Evaluate ``(q(x), f(x))`` together.
+
+        The transient inner loop evaluates both at every Newton iterate;
+        systems whose ``q`` and ``f`` share sub-expressions (state unpacking,
+        capacitance laws, device gathers) should override this to compute
+        them in one pass.  The default simply delegates.
+        """
+        return self.q(x), self.f(x)
+
     # -- batched evaluation ------------------------------------------------
 
     def q_batch(self, states):

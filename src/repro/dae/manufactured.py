@@ -165,6 +165,13 @@ class VanDerPolDae(SemiExplicitDAE):
         """Two-timing estimate ``1 - mu^2/16`` of the limit-cycle frequency."""
         return 1.0 - self.mu**2 / 16.0
 
+    def qf(self, x):
+        y, w = x
+        return (
+            np.asarray(x, dtype=float).copy(),
+            np.array([-w, -self.mu * (1.0 - y**2) * w + y]),
+        )
+
     # Vectorised batch evaluation (exercised heavily by multi-time solvers).
 
     def q_batch(self, states):

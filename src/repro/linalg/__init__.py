@@ -7,7 +7,12 @@ the WaMPDE's frequency unknown + phase condition), and Jacobian verification
 utilities used throughout the test suite.
 """
 
-from repro.linalg.newton import NewtonOptions, NewtonResult, newton_solve
+from repro.linalg.newton import (
+    NewtonOptions,
+    NewtonResult,
+    StaleJacobianNewton,
+    newton_solve,
+)
 from repro.linalg.bordered import BorderedSystem
 from repro.linalg.sparse_tools import (
     block_diagonal_expand,
@@ -15,13 +20,15 @@ from repro.linalg.sparse_tools import (
     as_csr,
 )
 from repro.linalg.collocation import CollocationJacobianAssembler, union_block_mask
-from repro.linalg.lu_cache import ReusableLUSolver
+from repro.linalg.transient_assembler import TransientStepAssembler
+from repro.linalg.lu_cache import FrozenFactorization, ReusableLUSolver
 from repro.linalg.gmres import GmresLinearSolver, DirectLinearSolver
 from repro.linalg.jacobian_check import finite_difference_jacobian, jacobian_error
 
 __all__ = [
     "NewtonOptions",
     "NewtonResult",
+    "StaleJacobianNewton",
     "newton_solve",
     "BorderedSystem",
     "block_diagonal_expand",
@@ -29,6 +36,8 @@ __all__ = [
     "as_csr",
     "CollocationJacobianAssembler",
     "union_block_mask",
+    "TransientStepAssembler",
+    "FrozenFactorization",
     "ReusableLUSolver",
     "GmresLinearSolver",
     "DirectLinearSolver",

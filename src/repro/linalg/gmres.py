@@ -1,10 +1,11 @@
-"""Iterative linear solvers for large collocation systems.
+"""Iterative linear solvers for large collocation and transient systems.
 
 The paper notes that "the use of iterative linear techniques [Saa96] enables
 large systems to be handled efficiently".  For the circuit sizes exercised
 here direct sparse LU is usually fastest, but :class:`GmresLinearSolver`
-provides the matrix-free-style alternative: restarted GMRES with an ILU
-preconditioner.  Both classes implement the ``(matrix, rhs) -> solution``
+provides the matrix-free-style alternative: restarted GMRES with an ILU —
+or, for Newton sequences whose matrix drifts slowly, a *frozen complete LU*
+— preconditioner.  Both classes implement the ``(matrix, rhs) -> solution``
 callable protocol expected by :func:`repro.linalg.newton.newton_solve`.
 """
 
@@ -27,7 +28,25 @@ class DirectLinearSolver:
 
 
 class GmresLinearSolver:
-    """Restarted GMRES with optional ILU preconditioning.
+    """Restarted GMRES with ILU or frozen-LU preconditioning.
+
+    Two preconditioning regimes:
+
+    * ``preconditioner="ilu"`` (the historical default) builds an
+      incomplete LU from *each* matrix handed in — robust, but pays a
+      factorisation per call.
+    * ``preconditioner="lu"`` with ``freeze=True`` builds one *complete*
+      sparse LU from the first matrix and keeps it across calls: on the
+      matrix it was built from GMRES converges in one iteration (the
+      preconditioned operator is the identity), and as the Newton sequence
+      drifts the frozen factors stay an excellent preconditioner while the
+      system is still solved *exactly* for the current matrix.  This is the
+      large-circuit path of the stale-Jacobian transient engine: full
+      Newton accuracy at roughly one factorisation per many iterations.
+      Call :meth:`invalidate` when the matrix changes abruptly (the
+      transient engine does so on step-size changes); a convergence failure
+      automatically refreshes the frozen factors and retries once before
+      raising.
 
     Parameters
     ----------
@@ -38,36 +57,69 @@ class GmresLinearSolver:
     maxiter:
         Maximum number of outer iterations.
     use_ilu:
-        Build an incomplete-LU preconditioner from the matrix (recommended;
-        plain GMRES stagnates on stiff circuit Jacobians).
+        Back-compatible alias: ``use_ilu=False`` is ``preconditioner=None``.
     fill_factor:
         ILU fill factor; larger is closer to a direct factorisation.
+    preconditioner:
+        ``"ilu"``, ``"lu"`` or ``None``; default derives from ``use_ilu``.
+    freeze:
+        Keep the preconditioner factors across calls (recommended with
+        ``"lu"``); the factors are rebuilt on shape change, on
+        :meth:`invalidate`, or after a convergence failure.
     """
 
     def __init__(self, rtol=1e-10, restart=60, maxiter=200, use_ilu=True,
-                 fill_factor=10.0):
+                 fill_factor=10.0, preconditioner=None, freeze=False):
         self.rtol = float(rtol)
         self.restart = int(restart)
         self.maxiter = int(maxiter)
-        self.use_ilu = bool(use_ilu)
         self.fill_factor = float(fill_factor)
+        if preconditioner is None and use_ilu:
+            preconditioner = "ilu"
+        if preconditioner not in (None, "ilu", "lu"):
+            raise ValueError(
+                f"preconditioner must be None, 'ilu' or 'lu', "
+                f"got {preconditioner!r}"
+            )
+        self.preconditioner = preconditioner
+        self.freeze = bool(freeze)
+        self._frozen_operator = None
+        self._frozen_shape = None
+        self.stats = {"factorizations": 0, "solves": 0, "refreshes": 0}
 
-    def __call__(self, matrix, rhs):
-        matrix = sp.csc_matrix(matrix)
-        rhs = np.asarray(rhs, dtype=float).ravel()
+    def invalidate(self):
+        """Drop any frozen preconditioner factors."""
+        self._frozen_operator = None
+        self._frozen_shape = None
 
-        preconditioner = None
-        if self.use_ilu:
-            try:
-                ilu = spla.spilu(matrix, fill_factor=self.fill_factor)
-                preconditioner = spla.LinearOperator(
-                    matrix.shape, matvec=ilu.solve
-                )
-            except RuntimeError:
-                # Structurally singular ILU: fall back to unpreconditioned
-                # GMRES rather than failing the whole Newton iteration.
-                preconditioner = None
+    def _build_preconditioner(self, matrix):
+        if self.preconditioner is None:
+            return None
+        try:
+            if self.preconditioner == "lu":
+                factors = spla.splu(matrix)
+            else:
+                factors = spla.spilu(matrix, fill_factor=self.fill_factor)
+        except RuntimeError:
+            # Structurally singular factorisation: fall back to
+            # unpreconditioned GMRES rather than failing the whole Newton
+            # iteration.
+            return None
+        self.stats["factorizations"] += 1
+        return spla.LinearOperator(matrix.shape, matvec=factors.solve)
 
+    def _get_preconditioner(self, matrix):
+        if not self.freeze:
+            return self._build_preconditioner(matrix)
+        if (
+            self._frozen_operator is None
+            or self._frozen_shape != matrix.shape
+        ):
+            self._frozen_operator = self._build_preconditioner(matrix)
+            self._frozen_shape = matrix.shape
+        return self._frozen_operator
+
+    def _gmres(self, matrix, rhs, preconditioner):
         solution, info = spla.gmres(
             matrix,
             rhs,
@@ -77,6 +129,22 @@ class GmresLinearSolver:
             maxiter=self.maxiter,
             M=preconditioner,
         )
+        return solution, info
+
+    def __call__(self, matrix, rhs):
+        matrix = sp.csc_matrix(matrix)
+        rhs = np.asarray(rhs, dtype=float).ravel()
+        self.stats["solves"] += 1
+
+        preconditioner = self._get_preconditioner(matrix)
+        solution, info = self._gmres(matrix, rhs, preconditioner)
+        if info != 0 and self.freeze and self.preconditioner is not None:
+            # The frozen factors have drifted too far from the current
+            # matrix: refresh them once and retry before giving up.
+            self.invalidate()
+            self.stats["refreshes"] += 1
+            preconditioner = self._get_preconditioner(matrix)
+            solution, info = self._gmres(matrix, rhs, preconditioner)
         if info != 0:
             raise ConvergenceError(
                 f"GMRES failed with info={info} "

@@ -29,6 +29,69 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 
+class FrozenFactorization:
+    """Factor once, solve many — the kernel behind stale-Jacobian Newton.
+
+    Unlike :class:`ReusableLUSolver` (which re-checks the matrix values on
+    every call), this object factorises only when :meth:`factor` is invoked
+    and then answers :meth:`solve` from the stored factors with no
+    comparisons at all — the caller (e.g.
+    :class:`repro.linalg.newton.StaleJacobianNewton`) owns the staleness
+    policy.  Three regimes:
+
+    * sparse input — SuperLU factors (``splu``);
+    * small dense (``n <= INVERSE_LIMIT``) — the explicit inverse, making
+      each solve a single tiny mat-vec (LAPACK wrapper overhead dominates
+      an actual triangular solve at these sizes, and chord-Newton tolerates
+      the inverse's slightly larger rounding because convergence is judged
+      on the residual, not the update);
+    * larger dense — cached LAPACK LU factors.
+
+    ``solve`` accepts 1-D or 2-D right-hand sides (the sensitivity sweep
+    solves all ``n`` monodromy columns against one factorisation).
+    """
+
+    #: Largest dense size for which the explicit inverse is used.
+    INVERSE_LIMIT = 16
+
+    def __init__(self):
+        self._mode = None
+        self._inv = None
+        self._lu = None
+        self._splu = None
+
+    @property
+    def ready(self):
+        """Whether :meth:`factor` has been called."""
+        return self._mode is not None
+
+    def factor(self, matrix):
+        """Factorise ``matrix``; snapshots everything it needs."""
+        if sp.issparse(matrix):
+            csc = matrix if sp.isspmatrix_csc(matrix) else matrix.tocsc()
+            self._splu = spla.splu(csc)
+            self._mode = "sparse"
+            return self
+        a = np.asarray(matrix, dtype=float)
+        if a.shape[0] <= self.INVERSE_LIMIT:
+            self._inv = np.linalg.inv(a)
+            self._mode = "inverse"
+        else:
+            self._lu = sla.lu_factor(a)
+            self._mode = "lu"
+        return self
+
+    def solve(self, rhs):
+        """Solve against the stored factors; ``rhs`` may be 1-D or 2-D."""
+        if self._mode == "inverse":
+            return self._inv @ rhs
+        if self._mode == "lu":
+            return sla.lu_solve(self._lu, rhs, check_finite=False)
+        if self._mode == "sparse":
+            return self._splu.solve(np.asarray(rhs, dtype=float))
+        raise RuntimeError("FrozenFactorization.solve called before factor")
+
+
 class ReusableLUSolver:
     """LU solver with pattern-aware CSC conversion and factorisation reuse."""
 

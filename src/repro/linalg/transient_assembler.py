@@ -1,0 +1,125 @@
+"""Pattern-reuse assembly of transient step Jacobians.
+
+Every implicit integrator in :mod:`repro.transient` reduces one time step to
+a Newton solve whose matrix has the fixed shape::
+
+    J(x) = alpha * dQ(x) + beta * dF(x)
+
+where ``alpha`` / ``beta`` are scalar integration weights and ``dQ`` / ``dF``
+are the pointwise system Jacobians.  The sparsity pattern of ``J`` is fully
+determined by the DAE's structural masks
+(:meth:`repro.dae.base.SemiExplicitDAE.dq_structure` /
+:meth:`~repro.dae.base.SemiExplicitDAE.df_structure`), which never change
+during a run — so, exactly as :class:`repro.linalg.collocation.\
+CollocationJacobianAssembler` does for the multi-time engines, the CSC
+structure can be computed once and only the ``data`` array refreshed per
+Newton iteration.
+
+Small systems stay dense: below :attr:`TransientStepAssembler.DENSE_LIMIT`
+unknowns the CSC bookkeeping costs more than it saves, so ``refresh``
+returns a preallocated dense buffer instead (the downstream
+:class:`repro.linalg.lu_cache.FrozenFactorization` handles both).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class TransientStepAssembler:
+    """Reusable structure for the step Jacobian ``alpha * dQ + beta * dF``.
+
+    Parameters
+    ----------
+    dq_mask, df_mask:
+        Boolean ``(n, n)`` supersets of the nonzero patterns of ``dq_dx`` /
+        ``df_dx`` (see :meth:`repro.dae.base.SemiExplicitDAE.dq_structure`).
+    dense_limit:
+        Systems with ``n <= dense_limit`` (or with a nearly full union
+        pattern) are assembled densely; ``None`` uses :attr:`DENSE_LIMIT`.
+    """
+
+    #: Below this size (or above ~50% fill) dense assembly + LAPACK wins
+    #: over CSC bookkeeping + SuperLU.
+    DENSE_LIMIT = 64
+
+    def __init__(self, dq_mask, df_mask, dense_limit=None):
+        dq_mask = np.asarray(dq_mask, dtype=bool)
+        df_mask = np.asarray(df_mask, dtype=bool)
+        if dq_mask.shape != df_mask.shape or dq_mask.ndim != 2 \
+                or dq_mask.shape[0] != dq_mask.shape[1]:
+            raise ValueError(
+                f"masks must be equal square (n, n) arrays, got "
+                f"{dq_mask.shape} and {df_mask.shape}"
+            )
+        n = dq_mask.shape[0]
+        union = dq_mask | df_mask
+        limit = self.DENSE_LIMIT if dense_limit is None else int(dense_limit)
+
+        self.n = n
+        self.dq_mask = dq_mask
+        self.df_mask = df_mask
+        self.dense = bool(n <= limit or union.mean() > 0.5)
+
+        if self.dense:
+            self._buffer = np.zeros((n, n))
+            self._scratch = np.empty((n, n))
+            return
+
+        # Structural entries of the union pattern, and the gather map from
+        # the natural (row-major candidate) value order into CSC data order.
+        rows, cols = np.nonzero(union)
+        coo = sp.coo_matrix(
+            (np.arange(1, rows.size + 1, dtype=float), (rows, cols)),
+            shape=(n, n),
+        )
+        csc = coo.tocsc()
+        self._perm = csc.data.astype(np.intp) - 1
+        csc.data = np.zeros(rows.size)
+        self._rows = rows
+        self._cols = cols
+        self._matrix = csc
+        # Entries of the union set where each operand is structurally zero
+        # contribute nothing; mask the gathered values instead of branching.
+        self._dq_sel = dq_mask[rows, cols]
+        self._df_sel = df_mask[rows, cols]
+        self._values = np.empty(rows.size)
+
+    def refresh(self, alpha, dq, beta, df):
+        """Recompute ``alpha * dq + beta * df`` and return the matrix.
+
+        The returned matrix (dense array or CSC) is **owned by the
+        assembler and overwritten in place** on every call — consume it
+        (factorise/solve) before calling :meth:`refresh` again.
+
+        Parameters
+        ----------
+        alpha, beta:
+            Scalar integration weights.
+        dq, df:
+            Dense ``(n, n)`` pointwise Jacobians.
+        """
+        dq = np.asarray(dq, dtype=float)
+        df = np.asarray(df, dtype=float)
+        if self.dense:
+            buf = self._buffer
+            np.multiply(dq, alpha, out=buf)
+            np.multiply(df, beta, out=self._scratch)
+            buf += self._scratch
+            return buf
+        values = self._values
+        np.multiply(dq[self._rows, self._cols], alpha, out=values)
+        values[~self._dq_sel] = 0.0
+        dfv = df[self._rows, self._cols]
+        dfv[~self._df_sel] = 0.0
+        values += beta * dfv
+        np.take(values, self._perm, out=self._matrix.data)
+        return self._matrix
+
+
+def step_assembler_for(dae, dense_limit=None):
+    """Build a :class:`TransientStepAssembler` from a DAE's structural masks."""
+    return TransientStepAssembler(
+        dae.dq_structure(), dae.df_structure(), dense_limit=dense_limit
+    )

@@ -16,6 +16,7 @@ from repro.steadystate.shooting import (
     shooting_periodic,
     shooting_autonomous,
     estimate_period_from_transient,
+    monodromy_finite_difference,
 )
 from repro.steadystate.harmonic_balance import (
     HBResult,
@@ -32,6 +33,7 @@ __all__ = [
     "shooting_periodic",
     "shooting_autonomous",
     "estimate_period_from_transient",
+    "monodromy_finite_difference",
     "HBResult",
     "harmonic_balance_forced",
     "harmonic_balance_autonomous",

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.errors import ConvergenceError
 from repro.linalg.collocation import CollocationJacobianAssembler

@@ -8,8 +8,15 @@ Shooting finds a fixed point of the period map ``Phi_T(x0) = x(T; x0)``:
   setting): solve the bordered system in ``(x0, T)`` with a Poincaré
   anchor ``x0[k] = const`` removing the phase ambiguity.
 
-Sensitivities are obtained by forward finite differences on the flow; for
-the small systems in this library that is both simple and robust.
+The monodromy matrix ``d Phi / d x0`` is obtained by **forward sensitivity
+propagation in a single transient sweep**
+(:func:`repro.transient.engine.simulate_transient_with_sensitivity`): the
+sensitivities ride along with the state, reusing each step's already-
+factored Jacobian for all ``n`` (+1 for the period) right-hand sides.  One
+shooting-Newton iteration therefore costs **one** transient sweep, versus
+the ``n + 1`` forward-difference sweeps of the legacy scheme (still
+available as ``monodromy="fd"`` and used by the test suite as an
+independent cross-check).
 """
 
 from __future__ import annotations
@@ -20,9 +27,16 @@ import numpy as np
 
 from repro.errors import ConvergenceError
 from repro.linalg.newton import NewtonOptions, newton_solve
-from repro.transient.engine import TransientOptions, simulate_transient
+from repro.transient.engine import (
+    TransientOptions,
+    simulate_transient,
+    simulate_transient_with_sensitivity,
+)
 from repro.transient.events import zero_crossings
 from repro.utils.validation import check_positive
+
+#: Recognised monodromy computation schemes.
+_MONODROMY_METHODS = ("sensitivity", "fd")
 
 
 @dataclass
@@ -40,12 +54,19 @@ class ShootingResult:
         eigenvalues are the Floquet multipliers.
     newton_iterations:
         Outer Newton iterations performed.
+    transient_sweeps:
+        Full transient sweeps spent (state + sensitivity sweeps count
+        once; every finite-difference probe of the legacy scheme counts
+        separately).  With ``monodromy="sensitivity"`` this is exactly
+        ``newton_iterations + 1`` when the line search accepts every full
+        step.
     """
 
     x0: np.ndarray
     period: float
     monodromy: np.ndarray
     newton_iterations: int
+    transient_sweeps: int = 0
 
     def floquet_multipliers(self):
         """Eigenvalues of the monodromy matrix."""
@@ -76,6 +97,64 @@ def _flow(dae, x0, t0, period, steps_per_period, integrator):
     )
     result = simulate_transient(dae, x0, t0, t0 + period, options)
     return result.final_state()
+
+
+def _sensitivity_sweep(dae, x0, t0, period, steps_per_period, integrator,
+                       period_derivative=False):
+    """One transient sweep carrying state + monodromy (+ period column).
+
+    Returns ``(phi, monodromy, dphi_dT)`` where ``dphi_dT`` is ``None``
+    unless requested.
+    """
+    options = TransientOptions(
+        integrator=integrator, dt=period / steps_per_period, store_every=10**9
+    )
+    sens = simulate_transient_with_sensitivity(
+        dae, x0, t0, t0 + period, options,
+        period_sensitivity=period_derivative,
+    )
+    return (
+        sens.result.final_state(),
+        sens.sensitivity,
+        sens.period_sensitivity,
+    )
+
+
+def monodromy_finite_difference(dae, x0, t0, period, steps_per_period=400,
+                                integrator="trap", rel_step=1e-7):
+    """Monodromy matrix by forward differences on the flow.
+
+    The legacy scheme (``n + 1`` transient sweeps); retained as an
+    independent cross-check of the sensitivity propagation and for DAEs
+    whose Jacobians are unreliable.
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        ``(phi, monodromy)``: the base flow and the ``(n, n)`` forward-
+        difference Jacobian ``d Phi / d x0``.
+    """
+    x0 = np.asarray(x0, dtype=float).ravel()
+    n = x0.size
+    base = _flow(dae, x0, t0, period, steps_per_period, integrator)
+    mono = np.empty((n, n))
+    for j in range(n):
+        step = rel_step * max(1.0, abs(x0[j]))
+        x_pert = x0.copy()
+        x_pert[j] += step
+        mono[:, j] = (
+            _flow(dae, x_pert, t0, period, steps_per_period, integrator)
+            - base
+        ) / step
+    return base, mono
+
+
+def _check_monodromy_method(monodromy):
+    if monodromy not in _MONODROMY_METHODS:
+        raise ValueError(
+            f"monodromy must be one of {_MONODROMY_METHODS}, "
+            f"got {monodromy!r}"
+        )
 
 
 def estimate_period_from_transient(result, key=0, skip_fraction=0.5):
@@ -110,92 +189,147 @@ def estimate_period_from_transient(result, key=0, skip_fraction=0.5):
 
 
 def shooting_periodic(dae, x0_guess, period, t0=0.0, steps_per_period=400,
-                      integrator="trap", newton_options=None):
+                      integrator="trap", newton_options=None,
+                      monodromy="sensitivity"):
     """Periodic steady state of a *forced* system with known period.
+
+    Parameters
+    ----------
+    monodromy:
+        ``"sensitivity"`` (default): single-sweep forward-sensitivity
+        monodromy — residual and Jacobian of each Newton iterate come from
+        the *same* sweep.  ``"fd"``: legacy forward differences (``n + 1``
+        sweeps per iteration).
 
     Returns
     -------
     ShootingResult
     """
     check_positive(period, "period")
+    _check_monodromy_method(monodromy)
     x0_guess = np.array(x0_guess, dtype=float).ravel()
     n = dae.n
-    monodromy_holder = {}
+    cache = {"key": None, "mono": None, "mono_last": None}
+    sweeps = [0]
+
+    def evaluate(x0, need_jacobian):
+        # In sensitivity mode the monodromy rides along with every state
+        # sweep (that is the single-sweep design).  In fd mode a residual
+        # probe costs one sweep and only a Jacobian request pays the n
+        # column sweeps — line-search trials stay cheap.
+        key = x0.tobytes()
+        if cache["key"] != key:
+            if monodromy == "sensitivity":
+                phi, mono, _ = _sensitivity_sweep(
+                    dae, x0, t0, period, steps_per_period, integrator
+                )
+                cache["mono_last"] = mono
+            else:
+                phi = _flow(dae, x0, t0, period, steps_per_period, integrator)
+                mono = None
+            sweeps[0] += 1
+            cache.update(key=key, phi=phi, mono=mono)
+        if need_jacobian and cache["mono"] is None:
+            _phi, mono = monodromy_finite_difference(
+                dae, x0, t0, period, steps_per_period, integrator
+            )
+            sweeps[0] += n + 1
+            cache["mono"] = mono
+            cache["mono_last"] = mono
+        return cache
 
     def residual(x0):
-        return _flow(dae, x0, t0, period, steps_per_period, integrator) - x0
+        return evaluate(x0, False)["phi"] - x0
 
     def jacobian(x0):
-        base = _flow(dae, x0, t0, period, steps_per_period, integrator)
-        mono = np.empty((n, n))
-        for j in range(n):
-            step = 1e-7 * max(1.0, abs(x0[j]))
-            x_pert = x0.copy()
-            x_pert[j] += step
-            mono[:, j] = (
-                _flow(dae, x_pert, t0, period, steps_per_period, integrator)
-                - base
-            ) / step
-        monodromy_holder["m"] = mono
-        return mono - np.eye(n)
+        return evaluate(x0, True)["mono"] - np.eye(n)
 
     opts = newton_options or NewtonOptions(atol=1e-10, max_iterations=30)
     result = newton_solve(residual, jacobian, x0_guess, options=opts)
+    # The cache holds the sweep of the last residual evaluation — the
+    # accepted iterate — so the reported monodromy is at the solution
+    # (sensitivity mode; fd mode reports the last Jacobian computed, as
+    # the legacy scheme did).
+    mono = cache["mono_last"] if cache["mono_last"] is not None else np.eye(n)
     return ShootingResult(
         result.x,
         float(period),
-        monodromy_holder.get("m", np.eye(n)),
+        mono,
         result.iterations,
+        sweeps[0],
     )
 
 
 def shooting_autonomous(dae, x0_guess, period_guess, anchor_index=0,
                         anchor_value=None, t0=0.0, steps_per_period=400,
-                        integrator="trap", newton_options=None):
+                        integrator="trap", newton_options=None,
+                        monodromy="sensitivity"):
     """Limit cycle and period of an *autonomous* oscillator.
 
     Unknowns are ``(x0, T)``; the extra equation is the Poincaré anchor
     ``x0[anchor_index] = anchor_value`` (default: the guess's value), which
     removes the time-shift ambiguity exactly as the paper's phase condition
-    does for the WaMPDE.
+    does for the WaMPDE.  With ``monodromy="sensitivity"`` the period
+    column ``d Phi / d T`` is propagated in the same single sweep as the
+    monodromy.
 
     Returns
     -------
     ShootingResult
     """
     check_positive(period_guess, "period_guess")
+    _check_monodromy_method(monodromy)
     x0_guess = np.array(x0_guess, dtype=float).ravel()
     n = dae.n
     anchor = (
         float(x0_guess[anchor_index]) if anchor_value is None else float(anchor_value)
     )
-    monodromy_holder = {}
+    cache = {"key": None, "mono": None, "mono_last": None}
+    sweeps = [0]
+
+    def evaluate(z, need_jacobian):
+        # Same laziness split as shooting_periodic: fd-mode residual
+        # probes pay one sweep, only Jacobian requests pay the n + 1
+        # finite-difference sweeps.
+        key = z.tobytes()
+        x0, period = z[:n], abs(z[n])
+        if cache["key"] != key:
+            if monodromy == "sensitivity":
+                phi, mono, dphi_dt = _sensitivity_sweep(
+                    dae, x0, t0, period, steps_per_period, integrator,
+                    period_derivative=True,
+                )
+                cache["mono_last"] = mono
+            else:
+                phi = _flow(dae, x0, t0, period, steps_per_period, integrator)
+                mono = dphi_dt = None
+            sweeps[0] += 1
+            cache.update(key=key, phi=phi, mono=mono, dphi_dt=dphi_dt)
+        if need_jacobian and cache["mono"] is None:
+            _phi, mono = monodromy_finite_difference(
+                dae, x0, t0, period, steps_per_period, integrator
+            )
+            dt_step = 1e-7 * period
+            dphi_dt = (
+                _flow(dae, x0, t0, period + dt_step, steps_per_period,
+                      integrator)
+                - cache["phi"]
+            ) / dt_step
+            sweeps[0] += n + 2
+            cache.update(mono=mono, dphi_dt=dphi_dt, mono_last=mono)
+        return cache
 
     def residual(z):
-        x0, period = z[:n], abs(z[n])
-        gap = _flow(dae, x0, t0, period, steps_per_period, integrator) - x0
+        x0 = z[:n]
+        gap = evaluate(z, False)["phi"] - x0
         return np.concatenate([gap, [x0[anchor_index] - anchor]])
 
     def jacobian(z):
-        x0, period = z[:n], abs(z[n])
-        base = _flow(dae, x0, t0, period, steps_per_period, integrator)
+        data = evaluate(z, True)
         jac = np.zeros((n + 1, n + 1))
-        mono = np.empty((n, n))
-        for j in range(n):
-            step = 1e-7 * max(1.0, abs(x0[j]))
-            x_pert = x0.copy()
-            x_pert[j] += step
-            mono[:, j] = (
-                _flow(dae, x_pert, t0, period, steps_per_period, integrator)
-                - base
-            ) / step
-        monodromy_holder["m"] = mono
-        jac[:n, :n] = mono - np.eye(n)
-        dt_step = 1e-7 * period
-        jac[:n, n] = (
-            _flow(dae, x0, t0, period + dt_step, steps_per_period, integrator)
-            - base
-        ) / dt_step
+        jac[:n, :n] = data["mono"] - np.eye(n)
+        sign = 1.0 if z[n] >= 0 else -1.0  # residual uses |z[n]| as period
+        jac[:n, n] = sign * data["dphi_dt"]
         jac[n, anchor_index] = 1.0
         return jac
 
@@ -205,5 +339,9 @@ def shooting_autonomous(dae, x0_guess, period_guess, anchor_index=0,
     x0 = result.x[:n]
     period = float(abs(result.x[n]))
     return ShootingResult(
-        x0, period, monodromy_holder.get("m", np.eye(n)), result.iterations
+        x0,
+        period,
+        cache["mono_last"] if cache["mono_last"] is not None else np.eye(n),
+        result.iterations,
+        sweeps[0],
     )

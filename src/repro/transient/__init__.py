@@ -13,7 +13,12 @@ from repro.transient.integrators import (
     Bdf2,
     INTEGRATORS,
 )
-from repro.transient.engine import TransientOptions, simulate_transient
+from repro.transient.engine import (
+    TransientOptions,
+    TransientSensitivityResult,
+    simulate_transient,
+    simulate_transient_with_sensitivity,
+)
 from repro.transient.results import TransientResult
 from repro.transient.events import zero_crossings, rising_level_crossings
 
@@ -23,7 +28,9 @@ __all__ = [
     "Bdf2",
     "INTEGRATORS",
     "TransientOptions",
+    "TransientSensitivityResult",
     "simulate_transient",
+    "simulate_transient_with_sensitivity",
     "TransientResult",
     "zero_crossings",
     "rising_level_crossings",

@@ -1,4 +1,24 @@
-"""Transient simulation driver."""
+"""Transient simulation driver.
+
+The inner loop is built around *reuse*:
+
+* the step Jacobian ``alpha * dQ + beta * dF`` is assembled through a
+  :class:`repro.linalg.transient_assembler.TransientStepAssembler` whose
+  structure is computed once per run from the DAE's structural masks;
+* the per-step Newton solve defaults to the stale-Jacobian chord policy
+  (:class:`repro.linalg.newton.StaleJacobianNewton`): one factorisation is
+  reused across Newton iterations *and* accepted steps, refreshed only on
+  slow convergence or a step-size change;
+* in fixed-step runs the forcing ``b(t)`` is evaluated for the whole grid
+  in one batched call up front, and each accepted step reuses the ``q`` /
+  ``f`` values of its final Newton residual for the integrator history
+  instead of re-evaluating them.
+
+:func:`simulate_transient_with_sensitivity` additionally propagates the
+forward sensitivity ``dX/dx0`` (and optionally the period derivative)
+alongside the state — the single-sweep monodromy used by
+:mod:`repro.steadystate.shooting`.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +26,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import SimulationError
-from repro.linalg.lu_cache import ReusableLUSolver
-from repro.linalg.newton import NewtonOptions, newton_solve
+from repro.errors import ConvergenceError, SimulationError
+from repro.linalg.lu_cache import FrozenFactorization, ReusableLUSolver
+from repro.linalg.newton import (
+    NewtonOptions,
+    NewtonResult,
+    StaleJacobianNewton,
+    newton_solve,
+)
+from repro.linalg.transient_assembler import TransientStepAssembler
 from repro.transient.integrators import get_integrator
 from repro.transient.results import TransientResult
 from repro.utils.validation import check_positive
+
+#: Forcing grids beyond this many steps are evaluated per step instead of
+#: being precomputed (memory guard for extreme horizons).
+_MAX_FORCING_GRID = 4_000_000
 
 
 @dataclass
@@ -32,11 +62,31 @@ class TransientOptions:
     dt_min, dt_max:
         Step bounds for the adaptive controller.
     newton:
-        Options for the per-step Newton solve.
+        Options for the per-step Newton solve.  The default keeps
+        ``raise_on_failure=False`` so the engine owns failure handling:
+        a diverged step halves ``dt`` and retries, and when the controller
+        hits ``dt_min`` a :class:`~repro.errors.SimulationError` carrying
+        the step index, time and last Newton residual is raised — Newton
+        divergence is never silently swallowed.
     max_steps:
         Hard limit on accepted steps (guards against runaway loops).
     store_every:
         Keep every k-th accepted point (1 = keep all).
+    stale_jacobian:
+        Use the chord/modified-Newton policy (factorisation reuse across
+        iterations and steps).  Disable to recover one fresh Jacobian per
+        Newton iteration.
+    refresh_contraction:
+        Chord policy knob: refactorise when the residual contracts slower
+        than this factor per iteration.
+    linear_solver:
+        Optional ``(matrix, rhs) -> x`` callable for the Newton linear
+        solves (e.g. :class:`repro.linalg.gmres.GmresLinearSolver` with a
+        frozen-LU preconditioner for large circuits).  Implies full-Newton
+        iterations (a fresh Jacobian per iteration, assembled through the
+        pattern-reuse :class:`~repro.linalg.transient_assembler.\
+TransientStepAssembler`); if the solver exposes ``invalidate()`` it is
+        called on significant step-size changes.
     """
 
     integrator: object = "trap"
@@ -51,6 +101,156 @@ class TransientOptions:
     )
     max_steps: int = 20_000_000
     store_every: int = 1
+    stale_jacobian: bool = True
+    refresh_contraction: float = 0.05
+    linear_solver: object = None
+
+
+class _StepController:
+    """Per-run Newton machinery shared by all steps of one transient run.
+
+    Owns the pattern-reuse Jacobian assembler, the stale-factorisation
+    policy (or the full-Newton linear solver), and the fallback path: a
+    chord failure is retried once with damped full Newton and fresh
+    factorisations before the step is declared failed.
+    """
+
+    def __init__(self, dae, opts):
+        self.dae = dae
+        self.opts = opts
+        self.assembler = TransientStepAssembler(
+            dae.dq_structure(), dae.df_structure()
+        )
+        self.chord = (
+            StaleJacobianNewton(
+                options=opts.newton, contraction=opts.refresh_contraction
+            )
+            if opts.stale_jacobian and opts.linear_solver is None
+            else None
+        )
+        self._full_solver = opts.linear_solver or ReusableLUSolver()
+        self._alpha = None
+        self.fallbacks = 0
+
+    def invalidate(self):
+        if self.chord is not None:
+            self.chord.invalidate()
+        invalidate = getattr(self._full_solver, "invalidate", None)
+        if invalidate is not None:
+            invalidate()
+
+    def _notify_alpha(self, alpha):
+        """Drop frozen factors when the integrator weight jumps (dt change)."""
+        old, self._alpha = self._alpha, alpha
+        if old is not None and abs(alpha - old) > 0.25 * abs(old):
+            self.invalidate()
+
+    def solve_step(self, integrator, history, t_new, b_new, x_guess):
+        """Solve one implicit step towards ``t_new``.
+
+        Returns ``(result, q_new, fb_new, alpha, beta)`` where ``q_new`` /
+        ``fb_new`` are ``q(x)`` and ``f(x) - b(t_new)`` at the final Newton
+        iterate — exactly the history entries the next step consumes.
+        """
+        dae = self.dae
+        alpha, rhs_const, beta = integrator.residual_terms(dae, history, t_new)
+        self._notify_alpha(alpha)
+        stash = [None, None]
+
+        def residual(x_trial):
+            q, fv = dae.qf(x_trial)
+            fb = fv - b_new
+            stash[0] = q
+            stash[1] = fb
+            r = alpha * q
+            r += rhs_const
+            r += beta * fb
+            return r
+
+        assembler = self.assembler
+
+        def jacobian(x_trial):
+            return assembler.refresh(
+                alpha, dae.dq_dx(x_trial), beta, dae.df_dx(x_trial)
+            )
+
+        result = None
+        try:
+            if self.chord is not None:
+                result = self.chord.solve(residual, jacobian, x_guess)
+            else:
+                result = newton_solve(
+                    residual, jacobian, x_guess, options=self.opts.newton,
+                    linear_solver=self._full_solver,
+                )
+        except ConvergenceError:
+            # Includes SingularJacobianError: a singular or non-finite step
+            # Jacobian at some trial iterate is treated as a step failure —
+            # a smaller dt makes the step matrix more diagonally dominant —
+            # and surfaces as a SimulationError with step/time context if
+            # the controller runs out of dt.
+            result = None
+
+        if result is None or not result.converged:
+            # Fallback: damped full Newton with fresh factorisations, from
+            # the last accepted state rather than the (possibly bad)
+            # predictor.
+            self.fallbacks += 1
+            self.invalidate()
+            fallback_options = NewtonOptions(
+                atol=self.opts.newton.atol,
+                rtol=self.opts.newton.rtol,
+                max_iterations=self.opts.newton.max_iterations,
+                max_step_halvings=self.opts.newton.max_step_halvings,
+                raise_on_failure=False,
+            )
+            try:
+                result = newton_solve(
+                    residual, jacobian, history[-1][1],
+                    options=fallback_options,
+                    linear_solver=ReusableLUSolver(),
+                )
+            except ConvergenceError as exc:
+                result = NewtonResult(
+                    np.asarray(history[-1][1], dtype=float), False,
+                    exc.iterations or 0,
+                    float("nan") if exc.residual_norm is None
+                    else exc.residual_norm,
+                )
+        return result, stash[0], stash[1], alpha, beta
+
+
+def _forcing_grid(dae, t_start, t_stop, dt, max_points=None):
+    """Uniform step times and batched forcing values for a fixed-step run."""
+    if max_points is None:
+        max_points = _MAX_FORCING_GRID
+    span = t_stop - t_start
+    n_steps = max(int(np.ceil(span / dt - 1e-9)), 1)
+    if n_steps > max_points:
+        return None, None
+    times = t_start + dt * np.arange(1, n_steps + 1)
+    times[-1] = t_stop
+    return times, dae.b_batch(times)
+
+
+def _extrapolate(history, t_new):
+    """Polynomial predictor through the last accepted states.
+
+    Used as the Newton initial guess only — it changes how fast Newton
+    reaches the step's solution, never the solution itself.
+    """
+    if len(history) >= 3:
+        (ta, xa, _, _), (tb, xb, _, _), (tc, xc, _, _) = history[-3:]
+        if ta != tb and tb != tc and ta != tc:
+            la = (t_new - tb) * (t_new - tc) / ((ta - tb) * (ta - tc))
+            lb = (t_new - ta) * (t_new - tc) / ((tb - ta) * (tb - tc))
+            lc = (t_new - ta) * (t_new - tb) / ((tc - ta) * (tc - tb))
+            return la * xa + lb * xb + lc * xc
+    if len(history) >= 2:
+        (t1, x1, _, _), (t2, x2, _, _) = history[-2:]
+        if t2 != t1:
+            return x2 + (x2 - x1) * ((t_new - t2) / (t2 - t1))
+    return history[-1][1]
 
 
 def simulate_transient(dae, x0, t_start, t_stop, options=None):
@@ -99,11 +299,13 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
 
     # History entries: (t, x, q, f - b) — integrators consume these.
     history = [(t, x.copy(), dae.q(x), dae.f(x) - dae.b(t))]
+    controller = _StepController(dae, opts)
 
-    # One solver instance for the whole run: sparse-Jacobian DAEs get CSC
-    # conversion + factorisation reuse; small dense systems pass through to
-    # the plain LAPACK solve.
-    linear_solver = ReusableLUSolver()
+    # Fixed-step fast path: the whole forcing grid in one batched call.
+    t_grid = b_grid = None
+    grid_idx = 0
+    if not opts.adaptive:
+        t_grid, b_grid = _forcing_grid(dae, t_start, t_stop, dt)
 
     stored_t = [t]
     stored_x = [x.copy()]
@@ -112,38 +314,39 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
         "rejected_steps": 0,
         "newton_iterations": 0,
         "newton_failures": 0,
+        "newton_fallbacks": 0,
+        "jacobian_factorizations": 0,
     }
     accepted_since_store = 0
 
     while t < t_stop - 1e-15 * max(abs(t_stop), 1.0):
-        dt = min(dt, t_stop - t)
-        t_new = t + dt
-        alpha, rhs_const, beta = integrator.residual_terms(dae, history, t_new)
-        b_new = dae.b(t_new)
+        if t_grid is not None:
+            t_new = t_grid[grid_idx]
+            b_new = b_grid[grid_idx]
+            dt = t_new - t
+        else:
+            dt = min(dt, t_stop - t)
+            t_new = t + dt
+            b_new = dae.b(t_new)
 
-        def residual(x_trial):
-            return (
-                alpha * dae.q(x_trial)
-                + rhs_const
-                + beta * (dae.f(x_trial) - b_new)
-            )
-
-        def jacobian(x_trial):
-            return alpha * dae.dq_dx(x_trial) + beta * dae.df_dx(x_trial)
-
-        result = newton_solve(
-            residual, jacobian, x, options=opts.newton,
-            linear_solver=linear_solver,
+        x_guess = _extrapolate(history, t_new)
+        result, q_new, fb_new, _alpha, _beta = controller.solve_step(
+            integrator, history, t_new, b_new, x_guess
         )
         stats["newton_iterations"] += result.iterations
 
         if not result.converged:
             stats["newton_failures"] += 1
             dt *= 0.5
+            # The step grid is no longer uniform; fall back to per-step
+            # forcing evaluation for the rest of the run.
+            t_grid = b_grid = None
             if dt < opts.dt_min:
                 raise SimulationError(
-                    f"step size underflow at t={t:.6e} "
-                    f"(Newton failed, dt={dt:.3e})"
+                    f"step size underflow at step {stats['steps']}, "
+                    f"t={t:.6e}: Newton diverged with dt={2 * dt:.3e} "
+                    f"(residual norm {result.residual_norm:.3e} after "
+                    f"{result.iterations} iterations)"
                 )
             continue
 
@@ -168,7 +371,9 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
                     )
                     if dt <= opts.dt_min:
                         raise SimulationError(
-                            f"step size underflow at t={t:.6e} (LTE control)"
+                            f"step size underflow at step {stats['steps']}, "
+                            f"t={t:.6e}: local-error control rejected "
+                            f"dt={dt:.3e} (error estimate {err:.3e})"
                         )
                     continue
                 growth = 0.9 * err ** (-1.0 / (integrator.order + 1)) if err > 0 else 5.0
@@ -181,9 +386,11 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
         # Accept the step.
         t = t_new
         x = x_new
-        history.append((t, x.copy(), dae.q(x), dae.f(x) - dae.b(t)))
+        history.append((t, x.copy(), q_new, fb_new))
         if len(history) > max(integrator.steps, 2) + 1:
             history.pop(0)
+        if t_grid is not None:
+            grid_idx += 1
 
         stats["steps"] += 1
         accepted_since_store += 1
@@ -198,11 +405,245 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
                 f"exceeded max_steps={opts.max_steps} at t={t:.6e}"
             )
 
+    stats["newton_fallbacks"] = controller.fallbacks
+    if controller.chord is not None:
+        stats["jacobian_factorizations"] = (
+            controller.chord.stats["factorizations"]
+        )
+
     return TransientResult(
         np.asarray(stored_t),
         np.asarray(stored_x),
         dae.variable_names,
         stats,
+    )
+
+
+@dataclass
+class TransientSensitivityResult:
+    """Outcome of :func:`simulate_transient_with_sensitivity`.
+
+    Attributes
+    ----------
+    result:
+        The :class:`~repro.transient.results.TransientResult` of the sweep.
+    sensitivity:
+        ``(n, k)`` forward sensitivity ``dX(t_stop)/dx0 @ s0`` (the
+        monodromy matrix when ``s0`` is the identity over one period).
+    period_sensitivity:
+        ``(n,)`` derivative of the final state with respect to the sweep
+        length ``T = t_stop - t_start`` under the convention that the whole
+        uniform step grid scales with ``T`` (``dt = T / steps``); ``None``
+        unless requested.
+    """
+
+    result: TransientResult
+    sensitivity: np.ndarray
+    period_sensitivity: np.ndarray = None
+
+
+def simulate_transient_with_sensitivity(dae, x0, t_start, t_stop,
+                                        options=None, s0=None,
+                                        period_sensitivity=False):
+    """Fixed-step transient with forward sensitivity propagation.
+
+    Integrates ``S(t) = dX(t)/dx0`` alongside the state in the *same*
+    sweep: each accepted step evaluates the exact step Jacobian once at the
+    converged state, factorises it once, and solves all ``n`` sensitivity
+    right-hand sides (plus the optional period column) against that single
+    factorisation.  Differentiating the discrete step residual gives
+
+        (alpha dQ_new + beta dF_new) S_new = - sum_i (w_q[i] dQ_i
+                                                      + w_f[i] dF_i) S_i
+
+    with the history weights of
+    :meth:`repro.transient.integrators.Integrator.history_weights`, so the
+    result is the exact Jacobian of the *discrete* flow map — this is what
+    makes one shooting-Newton iteration cost one transient sweep instead of
+    ``n + 1``.  The factorisation is also adopted as the next step's chord
+    Jacobian, so the state solve gets a perfectly fresh Newton matrix for
+    free.
+
+    Parameters
+    ----------
+    dae, x0, t_start, t_stop:
+        As for :func:`simulate_transient`.
+    options:
+        :class:`TransientOptions`; must describe a fixed-step run.
+    s0:
+        Optional ``(n, k)`` initial sensitivity (default: identity).
+    period_sensitivity:
+        Also propagate the derivative of the state with respect to the
+        sweep length ``T`` (grid scaling ``dt = T / steps``); forcing time
+        derivatives are obtained by central differences on ``b``.
+
+    Returns
+    -------
+    TransientSensitivityResult
+    """
+    opts = options or TransientOptions()
+    if opts.adaptive:
+        raise SimulationError(
+            "sensitivity propagation requires a fixed-step run"
+        )
+    if opts.dt is None:
+        raise SimulationError("sensitivity propagation requires options.dt")
+    check_positive(opts.dt, "options.dt")
+    integrator = get_integrator(opts.integrator)
+    if not t_stop > t_start:
+        raise SimulationError(
+            f"t_stop must exceed t_start, got [{t_start}, {t_stop}]"
+        )
+
+    n = dae.n
+    x = np.array(x0, dtype=float).ravel()
+    if x.size != n:
+        raise SimulationError(
+            f"initial state has length {x.size}, DAE has {n} unknowns"
+        )
+    if s0 is None:
+        S = np.eye(n)
+    else:
+        S = np.array(s0, dtype=float)
+        if S.shape[0] != n:
+            raise SimulationError(
+                f"s0 must have {n} rows, got shape {S.shape}"
+            )
+
+    t = float(t_start)
+    dt = float(opts.dt)
+    span = t_stop - t_start
+
+    t_grid, b_grid = _forcing_grid(dae, t_start, t_stop, dt)
+    if t_grid is None:
+        raise SimulationError(
+            f"sensitivity sweep of {(t_stop - t_start) / dt:.3g} steps "
+            f"exceeds the {_MAX_FORCING_GRID} step grid limit; use fewer, "
+            f"coarser steps (sensitivities do not need more resolution "
+            f"than the state)"
+        )
+    controller = _StepController(dae, opts)
+    factor = FrozenFactorization()
+
+    bp_grid = bp0 = None
+    if period_sensitivity:
+        # Forcing time-derivatives on the grid (and at t_start) by central
+        # differences; exact zero for autonomous systems.
+        h = dt * 1e-3
+        all_times = np.concatenate(([t_start], t_grid))
+        bp_all = (dae.b_batch(all_times + h) - dae.b_batch(all_times - h)) \
+            / (2.0 * h)
+        bp0, bp_grid = bp_all[0], bp_all[1:]
+
+    history = [(t, x.copy(), dae.q(x), dae.f(x) - dae.b(t))]
+    # Parallel per-point data: (dQ, dF, S, s_T, b') aligned with `history`.
+    sens_history = [(
+        dae.dq_dx(x), dae.df_dx(x), S,
+        np.zeros(n) if period_sensitivity else None,
+        bp0,
+    )]
+
+    stored_t = [t]
+    stored_x = [x.copy()]
+    stats = {
+        "steps": 0,
+        "rejected_steps": 0,
+        "newton_iterations": 0,
+        "newton_failures": 0,
+        "newton_fallbacks": 0,
+        "jacobian_factorizations": 0,
+    }
+    accepted_since_store = 0
+    history_cap = max(integrator.steps, 2) + 1
+
+    for k in range(t_grid.size):
+        t_new = t_grid[k]
+        b_new = b_grid[k]
+        x_guess = _extrapolate(history, t_new)
+        result, q_new, fb_new, alpha, beta = controller.solve_step(
+            integrator, history, t_new, b_new, x_guess
+        )
+        stats["newton_iterations"] += result.iterations
+        if not result.converged:
+            stats["newton_failures"] += 1
+            raise SimulationError(
+                f"sensitivity sweep cannot adapt its step: Newton diverged "
+                f"at step {stats['steps']}, t={t:.6e}, dt={dt:.3e} "
+                f"(residual norm {result.residual_norm:.3e}); increase the "
+                f"number of steps"
+            )
+        x_new = result.x
+
+        # Exact step Jacobian at the converged state: one factorisation
+        # serves the sensitivity right-hand sides *and* the next step's
+        # chord Newton.
+        dq_new = dae.dq_dx(x_new)
+        df_new = dae.df_dx(x_new)
+        factor.factor(
+            controller.assembler.refresh(alpha, dq_new, beta, df_new)
+        )
+        stats["jacobian_factorizations"] += 1
+        if controller.chord is not None:
+            controller.chord.adopt(factor)
+
+        weights = integrator.history_weights(history, t_new)
+        used = sens_history[-len(weights):]
+        rhs = None
+        rhs_t = None
+        coef_q = alpha * q_new
+        for (w_q, w_f), (dq_i, df_i, s_i, st_i, bp_i), \
+                (t_i, _x_i, q_i, _fb_i) in zip(
+                    weights, used, history[-len(weights):]):
+            w_mat = w_q * dq_i
+            if w_f:
+                w_mat = w_mat + w_f * df_i
+            rhs = w_mat @ s_i if rhs is None else rhs + w_mat @ s_i
+            if period_sensitivity:
+                term = w_mat @ st_i
+                rhs_t = term if rhs_t is None else rhs_t + term
+                coef_q = coef_q + w_q * q_i
+                if w_f:
+                    rhs_t = rhs_t - (w_f * (t_i - t_start) / span) * bp_i
+        s_new = -factor.solve(rhs)
+        st_new = None
+        bp_new = None
+        if period_sensitivity:
+            bp_new = bp_grid[k]
+            rhs_t = rhs_t - coef_q / span \
+                - (beta * (t_new - t_start) / span) * bp_new
+            st_new = -factor.solve(rhs_t)
+
+        # Accept.
+        t = float(t_new)
+        x = x_new
+        history.append((t, x.copy(), q_new, fb_new))
+        sens_history.append((dq_new, df_new, s_new, st_new, bp_new))
+        if len(history) > history_cap:
+            history.pop(0)
+            sens_history.pop(0)
+        S = s_new
+
+        stats["steps"] += 1
+        accepted_since_store += 1
+        if accepted_since_store >= opts.store_every or t >= t_stop:
+            stored_t.append(t)
+            stored_x.append(x.copy())
+            accepted_since_store = 0
+
+    stats["newton_fallbacks"] = controller.fallbacks
+    if controller.chord is not None:
+        stats["jacobian_factorizations"] += (
+            controller.chord.stats["factorizations"]
+        )
+
+    result = TransientResult(
+        np.asarray(stored_t),
+        np.asarray(stored_x),
+        dae.variable_names,
+        stats,
+    )
+    return TransientSensitivityResult(
+        result, S, sens_history[-1][3] if period_sensitivity else None
     )
 
 

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-import numpy as np
 
 
 class Integrator(ABC):
@@ -57,6 +56,29 @@ class Integrator(ABC):
             Unused by one-step methods; BDF2 uses the actual history times.
         """
 
+    @abstractmethod
+    def history_weights(self, history, t_new):
+        """Weights of the history terms inside ``rhs_const``.
+
+        Returns a list of ``(w_q, w_f)`` pairs, one per consumed history
+        point and aligned with ``history[-len(pairs):]``, such that the
+        ``rhs_const`` of :meth:`residual_terms` decomposes *exactly* as::
+
+            rhs_const = sum_i  w_q[i] * q_i  +  w_f[i] * fb_i
+
+        Differentiating the step residual with respect to the initial
+        state therefore gives the forward-sensitivity recursion
+
+            (alpha dQ_new + beta dF_new) S_new
+                = - sum_i (w_q[i] dQ_i + w_f[i] dF_i) S_i
+
+        which the single-sweep monodromy propagation of
+        :func:`repro.transient.engine.simulate_transient_with_sensitivity`
+        solves with the step's already-factored Jacobian.  (The forcing
+        ``b`` hidden inside ``fb_i = f_i - b(t_i)`` does not depend on the
+        initial state, so only ``dF_i`` appears.)
+        """
+
 
 class BackwardEuler(Integrator):
     """First-order, L-stable; heavily damps both error and real dynamics."""
@@ -72,6 +94,10 @@ class BackwardEuler(Integrator):
         rhs_const = -q_old / dt
         return alpha, rhs_const, 1.0
 
+    def history_weights(self, history, t_new):
+        dt = t_new - history[-1][0]
+        return [(-1.0 / dt, 0.0)]
+
 
 class Trapezoidal(Integrator):
     """Second-order, A-stable; the workhorse for oscillatory circuits."""
@@ -86,6 +112,10 @@ class Trapezoidal(Integrator):
         alpha = 1.0 / dt
         rhs_const = -q_old / dt + 0.5 * fb_old
         return alpha, rhs_const, 0.5
+
+    def history_weights(self, history, t_new):
+        dt = t_new - history[-1][0]
+        return [(-1.0 / dt, 0.5)]
 
 
 class Bdf2(Integrator):
@@ -110,6 +140,14 @@ class Bdf2(Integrator):
         alpha = d_new
         rhs_const = d_1 * q1 + d_2 * q2
         return alpha, rhs_const, 1.0
+
+    def history_weights(self, history, t_new):
+        if len(history) < 2:
+            return BackwardEuler().history_weights(history, t_new)
+        (t2, _x2, _q2, _), (t1, _x1, _q1, _) = history[-2], history[-1]
+        d_1 = (t_new - t2) / ((t1 - t_new) * (t1 - t2))
+        d_2 = (t_new - t1) / ((t2 - t_new) * (t2 - t1))
+        return [(d_2, 0.0), (d_1, 0.0)]
 
 
 #: Registry of integrators by short name.

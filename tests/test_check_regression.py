@@ -1,0 +1,118 @@
+"""Tests for the CI perf-regression gate (benchmarks/check_regression.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import check_regression  # noqa: E402
+
+
+def make_record(**overrides):
+    methods = {
+        "transient_reference": {"wall_time_s": 20.0,
+                                "phase_error_cycles": 0.0},
+        "wampde_envelope": {"wall_time_s": 0.3,
+                            "phase_error_cycles": 0.0015},
+    }
+    for name, fields in overrides.items():
+        methods.setdefault(name, {}).update(fields)
+    return {
+        "schema_version": 1,
+        "bench": "speedup_table",
+        "methods": [
+            {"name": name, **fields} for name, fields in methods.items()
+        ],
+    }
+
+
+@pytest.fixture
+def records(tmp_path):
+    def write(name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    return write
+
+
+def run_gate(records, baseline, current, extra=()):
+    baseline_path = records("baseline.json", baseline)
+    current_path = records("current.json", current)
+    return check_regression.main(
+        ["--baseline", baseline_path, "--current", current_path, *extra]
+    )
+
+
+class TestRegressionGate:
+    def test_identical_records_pass(self, records):
+        assert run_gate(records, make_record(), make_record()) == 0
+
+    def test_faster_run_passes(self, records):
+        current = make_record(transient_reference={"wall_time_s": 5.0})
+        assert run_gate(records, make_record(), current) == 0
+
+    def test_injected_wall_time_regression_fails(self, records, capsys):
+        # The acceptance scenario: a synthetic 1.5x slowdown must fail.
+        current = make_record(transient_reference={"wall_time_s": 30.0})
+        assert run_gate(records, make_record(), current) == 1
+        out = capsys.readouterr().out
+        assert "wall_time_s regressed" in out
+
+    def test_slowdown_within_25_percent_passes(self, records):
+        current = make_record(transient_reference={"wall_time_s": 24.0})
+        assert run_gate(records, make_record(), current) == 0
+
+    def test_phase_error_regression_fails(self, records, capsys):
+        current = make_record(
+            transient_reference={"phase_error_cycles": 0.05}
+        )
+        assert run_gate(records, make_record(), current) == 1
+        assert "phase_error_cycles worsened" in capsys.readouterr().out
+
+    def test_phase_error_within_tolerance_passes(self, records):
+        current = make_record(
+            wampde_envelope={"phase_error_cycles": 0.0016}
+        )
+        assert run_gate(records, make_record(), current) == 0
+
+    def test_missing_method_fails(self, records):
+        current = make_record()
+        current["methods"] = [
+            m for m in current["methods"] if m["name"] != "wampde_envelope"
+        ]
+        assert run_gate(records, make_record(), current) == 1
+
+    def test_new_method_is_reported_but_passes(self, records, capsys):
+        current = make_record(new_bench={"wall_time_s": 1.0,
+                                         "phase_error_cycles": 0.0})
+        assert run_gate(records, make_record(), current) == 0
+        assert "new method" in capsys.readouterr().out
+
+    def test_custom_slowdown_threshold(self, records):
+        current = make_record(transient_reference={"wall_time_s": 24.0})
+        assert run_gate(records, make_record(), current,
+                        extra=["--max-slowdown", "1.1"]) == 1
+
+    def test_malformed_record_errors(self, records, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        good = records("good.json", make_record())
+        assert check_regression.main(
+            ["--baseline", str(bad), "--current", good]
+        ) == 2
+
+    def test_repo_baseline_matches_current_record(self):
+        # The committed baseline must gate the committed bench record —
+        # guards against re-baselining one file and forgetting the other.
+        root = Path(check_regression.REPO_ROOT)
+        baseline = check_regression.load_methods(root / "BENCH_baseline.json")
+        current = check_regression.load_methods(root / "BENCH_speedup.json")
+        failures, _lines = check_regression.compare(
+            baseline, current, max_slowdown=1.25, phase_atol=0.02,
+            phase_rtol=0.10,
+        )
+        assert failures == []

@@ -20,7 +20,7 @@ from repro.circuits.library import (
     mems_vco_circuit,
     rc_diode_mixer_circuit,
 )
-from repro.circuits.waveforms import DC, Sine
+from repro.circuits.waveforms import DC
 from repro.errors import NetlistError
 from repro.linalg import finite_difference_jacobian, jacobian_error
 

@@ -6,7 +6,7 @@ import pytest
 from repro.circuits import Circuit, Resistor, VoltageSource
 from repro.circuits.devices import Diode
 from repro.circuits.waveforms import DC
-from repro.dae import LinearRCDae, VanDerPolDae
+from repro.dae import LinearRCDae
 from repro.errors import ConvergenceError
 from repro.steadystate import (
     dc_operating_point,
