@@ -12,12 +12,73 @@ perf trajectory (wall times + phase errors) tracked across PRs.
 import json
 from pathlib import Path
 
+import numpy as np
+
 from repro.circuits.library import MemsVcoDae
 from repro.utils import WallTimer, format_table, write_csv
 from repro.wampde import solve_wampde_envelope
 
 #: Repo-root copy of the perf record, committed to track the trajectory.
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_speedup.json"
+
+
+def _bench_ported_solvers():
+    """Time the SolverCore-ported steady-state workloads.
+
+    Two representative call sites of the shared solver core join the perf
+    ratchet here: forced harmonic balance and the bi-periodic MPDE solve,
+    both on the RC-diode mixer (the library's standard nonlinear
+    non-autonomous testbench).  Returns BENCH method entries.
+    """
+    from repro.circuits.library import rc_diode_mixer_circuit
+    from repro.constants import TWO_PI
+    from repro.mpde import additive_two_tone_forcing, solve_mpde_quasiperiodic
+    from repro.steadystate import dc_operating_point, harmonic_balance_forced
+
+    entries = []
+
+    rectifier = rc_diode_mixer_circuit(
+        lo_amplitude=0.0, rf_amplitude=0.3, rf_frequency=1e4
+    ).to_dae()
+    x_dc = dc_operating_point(rectifier)
+    num_samples = 601
+    with WallTimer() as timer:
+        hb = harmonic_balance_forced(
+            rectifier, period=1e-4, num_samples=num_samples,
+            initial=np.tile(x_dc, (num_samples, 1)),
+        )
+    entries.append({
+        "name": "harmonic_balance_forced",
+        "steps": int(hb.newton_iterations),
+        "wall_time_s": timer.elapsed,
+    })
+
+    mixer = rc_diode_mixer_circuit().to_dae()
+    n = mixer.n
+    f_rf, f_lo = 1e5, 1e3
+
+    def fast(t1):
+        b = np.zeros(n)
+        b[-1] = 0.6 + 0.05 * np.sin(TWO_PI * f_rf * t1)
+        return b
+
+    def slow(t2):
+        b = np.zeros(n)
+        b[-1] = 0.4 * np.sin(TWO_PI * f_lo * t2)
+        return b
+
+    forcing = additive_two_tone_forcing(fast, slow, 1 / f_rf, 1 / f_lo, n)
+    x_dc = dc_operating_point(mixer)
+    with WallTimer() as timer:
+        qp = solve_mpde_quasiperiodic(
+            mixer, forcing, num_t1=31, num_t2=31, initial=x_dc
+        )
+    entries.append({
+        "name": "solve_mpde_quasiperiodic",
+        "steps": int(qp.newton_iterations),
+        "wall_time_s": timer.elapsed,
+    })
+    return entries
 
 
 def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
@@ -76,6 +137,13 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
           reference_time, wampde_time]],
     )
 
+    ported = _bench_ported_solvers()
+    print(format_table(
+        ["ported solver", "newton iterations", "wall time [s]"],
+        [[e["name"], e["steps"], e["wall_time_s"]] for e in ported],
+        title="SolverCore-ported steady-state workloads (ratcheted)",
+    ))
+
     payload = {
         "schema_version": 1,
         "bench": "speedup_table",
@@ -109,6 +177,7 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
                 "phase_error_cycles":
                     fig12_data["wampde"]["phase_error_cycles"],
             },
+            *ported,
         ],
         "speedup_vs_accurate_ode": speedup,
     }

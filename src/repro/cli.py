@@ -20,6 +20,62 @@ import sys
 import numpy as np
 
 
+def _add_solver_args(parser):
+    """Attach the shared solver-core knobs to a subcommand parser."""
+    parser.add_argument(
+        "--newton", choices=("full", "chord"), default=None,
+        help="Newton policy: 'chord' reuses one factorised Jacobian "
+             "across iterations and envelope steps (engine default), "
+             "'full' refactorises every iteration",
+    )
+    parser.add_argument(
+        "--linear-solver", dest="linear_solver",
+        choices=("lu", "gmres"), default=None,
+        help="linear solver: direct sparse LU with factorisation reuse "
+             "(default) or frozen-LU-preconditioned GMRES (large circuits)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=1,
+        help="worker threads for the collocation Jacobian refresh",
+    )
+
+
+def _envelope_options(args, **kwargs):
+    """Build WampdeEnvelopeOptions from the shared solver-core flags."""
+    from repro.wampde import WampdeEnvelopeOptions
+
+    if args.newton == "chord" and args.linear_solver == "gmres":
+        # The chord policy owns its own direct factorisation; an iterative
+        # linear solver would silently demote it to full Newton.  Refuse
+        # the explicit contradiction instead.
+        raise SystemExit(
+            "error: --newton chord cannot be combined with "
+            "--linear-solver gmres (the chord policy factorises directly); "
+            "drop one of the two flags"
+        )
+    options = WampdeEnvelopeOptions(**kwargs)
+    if args.newton:
+        options.newton_mode = args.newton
+    if args.linear_solver:
+        options.linear_solver = args.linear_solver
+        if args.newton is None and args.linear_solver == "gmres":
+            # GMRES implies full Newton; make the effective mode explicit
+            # rather than relying on the core's silent demotion.  An
+            # explicit "lu" is the default direct solver and keeps chord.
+            options.newton_mode = "full"
+    options.threads = args.threads
+    return options
+
+
+def _print_solver_stats(stats):
+    """Print the uniform SolverStats summary of a result's stats dict."""
+    from repro.linalg.solver_core import SolverStats
+
+    solver = (stats or {}).get("solver")
+    if solver:
+        print(f"solver: {SolverStats(**solver).summary()}")
+
+
 def _cmd_info(args):
     """Print the calibrated VCO parameters and tuning anchors."""
     from repro.circuits.library import F_NOMINAL, T_NOMINAL, VcoParams
@@ -73,7 +129,10 @@ def _cmd_vco(args):
     )
     print(f"free-running: {f0/1e6:.4f} MHz")
     forced = MemsVcoDae(params)
-    env = solve_wampde_envelope(forced, samples, f0, 0.0, horizon, steps)
+    env = solve_wampde_envelope(
+        forced, samples, f0, 0.0, horizon, steps, _envelope_options(args)
+    )
+    _print_solver_stats(env.stats)
 
     idx = np.linspace(0, env.t2.size - 1, 13).astype(int)
     print(format_table(
@@ -167,7 +226,9 @@ def _cmd_phase_error(args):
         env = solve_wampde_envelope(
             forced, samples, f0, 0.0, horizon,
             max(int(120 * horizon / params.control_period), 40),
+            _envelope_options(args),
         )
+    _print_solver_stats(env.stats)
     times = np.linspace(0.0, horizon, 40000)
     rec = env.reconstruct("v(tank)", times)
     _t, err = phase_error_vs_reference(
@@ -202,11 +263,13 @@ def build_parser():
     vco.add_argument("--num-t1", dest="num_t1", type=int, default=25,
                      help="odd t1 sample count (harmonics = (N-1)/2)")
     vco.add_argument("--csv", help="directory for CSV output")
+    _add_solver_args(vco)
 
     sub.add_parser("fm", help="§3 signal-representation story")
 
     pe = sub.add_parser("phase-error", help="Fig 12 + speedup (slow)")
     pe.add_argument("--horizon", help="window in seconds (default 0.3 ms)")
+    _add_solver_args(pe)
 
     return parser
 

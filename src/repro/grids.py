@@ -1,0 +1,39 @@
+"""Shared grid and state-stacking helpers for the collocation solvers.
+
+Every collocation engine (harmonic balance, the quasiperiodic solvers, the
+envelope steppers) flattens ``(points, variables)`` sample grids into the
+point-major vectors Newton iterates on, and works on the normalised
+``t1 in [0, 1)`` spectral grid with centred harmonic indices.  These
+helpers used to be copy-pasted per module; they live here once now.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spectral.grid import collocation_grid, harmonic_indices
+
+
+def stack_states(samples):
+    """Flatten a ``(num_points, n_vars)`` grid to a point-major vector.
+
+    Point-major means all variables of collocation point 0 first, then all
+    variables of point 1, etc. — the unknown ordering every collocation
+    Jacobian in this library uses.
+    """
+    return np.asarray(samples, dtype=float).ravel()
+
+
+def unstack_states(vector, num_points, n_vars):
+    """Inverse of :func:`stack_states`: reshape to ``(num_points, n_vars)``."""
+    return np.asarray(vector, dtype=float).reshape(num_points, n_vars)
+
+
+def t1_grid(num_t1):
+    """Normalised t1 collocation grid (period 1, endpoint excluded)."""
+    return collocation_grid(num_t1, 1.0)
+
+
+def harmonic_axis(num_t1):
+    """Centred harmonic indices for a given t1 sample count."""
+    return harmonic_indices(num_t1)

@@ -13,6 +13,14 @@ from repro.linalg.newton import (
     StaleJacobianNewton,
     newton_solve,
 )
+from repro.linalg.solver_core import (
+    CollocationSystem,
+    FunctionSystem,
+    SolverCore,
+    SolverCoreOptions,
+    SolverStats,
+    core_from_options,
+)
 from repro.linalg.bordered import BorderedSystem
 from repro.linalg.sparse_tools import (
     block_diagonal_expand,
@@ -30,6 +38,12 @@ __all__ = [
     "NewtonResult",
     "StaleJacobianNewton",
     "newton_solve",
+    "CollocationSystem",
+    "FunctionSystem",
+    "SolverCore",
+    "SolverCoreOptions",
+    "SolverStats",
+    "core_from_options",
     "BorderedSystem",
     "block_diagonal_expand",
     "kron_diffmat",

@@ -93,9 +93,17 @@ class FrozenFactorization:
 
 
 class ReusableLUSolver:
-    """LU solver with pattern-aware CSC conversion and factorisation reuse."""
+    """LU solver with pattern-aware CSC conversion and factorisation reuse.
+
+    ``stats["factorizations"]`` counts actual (re)factorisations — SuperLU
+    ``splu``, LAPACK ``lu_factor``, or a small-dense direct ``solve`` (which
+    factors internally) — so callers (:class:`repro.linalg.solver_core.\
+SolverCore`) can report uniform factorisation counts; ``stats["solves"]``
+    counts calls.
+    """
 
     def __init__(self):
+        self.stats = {"factorizations": 0, "solves": 0}
         # Sparse state.
         self._lu = None
         self._lu_data = None
@@ -170,6 +178,7 @@ class ReusableLUSolver:
             and np.array_equal(self._lu_data, csc.data)
         ):
             self._lu = spla.splu(csc)
+            self.stats["factorizations"] += 1
             self._lu_data = csc.data.copy()
             self._struct_indices = csc.indices
             self._struct_indptr = csc.indptr
@@ -185,6 +194,7 @@ class ReusableLUSolver:
     def _solve_dense(self, matrix, rhs):
         a = np.asarray(matrix, dtype=float)
         if a.shape[0] <= self.DENSE_CACHE_THRESHOLD:
+            self.stats["factorizations"] += 1
             return np.linalg.solve(a, rhs)
         if not (
             self._dense_lu is not None
@@ -192,10 +202,12 @@ class ReusableLUSolver:
             and np.array_equal(self._dense_a, a)
         ):
             self._dense_lu = sla.lu_factor(a)
+            self.stats["factorizations"] += 1
             self._dense_a = a.copy()
         return sla.lu_solve(self._dense_lu, rhs)
 
     def __call__(self, matrix, rhs):
+        self.stats["solves"] += 1
         rhs = np.asarray(rhs, dtype=float).ravel()
         if sp.issparse(matrix):
             return self._solve_sparse(matrix, rhs)

@@ -1,0 +1,469 @@
+"""Unified Newton driver for collocation nonlinear systems.
+
+Every multi-time workload in this library — the WaMPDE/MPDE envelopes,
+harmonic balance (forced and autonomous), both quasiperiodic boundary-value
+solvers and the DC operating point — reduces to the same shape: a nonlinear
+system ``F(z) = 0`` whose Jacobian has a fixed sparsity pattern that a
+:class:`repro.linalg.collocation.CollocationJacobianAssembler` refreshes in
+place per iteration.  Historically each engine hand-rolled its own closure
+plumbing, linear-solver selection and stats around ``newton_solve``; this
+module centralises that machinery so a new solver is a small
+:class:`CollocationSystem` implementation, not a new module of duplicated
+plumbing.
+
+The pieces
+----------
+
+:class:`CollocationSystem`
+    The problem contract: ``residual(z)``, ``jacobian(z)`` (expected to
+    refresh assembler data in place and return the matrix), and an optional
+    ``structure()`` report.  Engine steppers implement it directly;
+    closure-based call sites use :class:`FunctionSystem`.
+
+:class:`SolverCore`
+    The driver.  Owns the Newton policy (``mode="full"`` via
+    :func:`repro.linalg.newton.newton_solve`, ``mode="chord"`` via
+    :class:`repro.linalg.newton.StaleJacobianNewton` with
+    refresh-on-slow-contraction and a damped full-Newton fallback), the
+    linear-solver selection (:class:`repro.linalg.lu_cache.ReusableLUSolver`
+    by default, frozen-LU GMRES via ``linear_solver="gmres"`` for large
+    systems, or any ``(matrix, rhs) -> x`` callable), and the uniform
+    :class:`SolverStats`.  One instance lives for a whole step sequence:
+    in chord mode the factorisation is carried **across** solves (envelope
+    steps) exactly the way the transient engine carries it across time
+    steps, and :meth:`SolverCore.note_parameters` drops it when a step
+    parameter (``h``, ``omega``) moves beyond a relative threshold.
+
+:class:`SolverStats`
+    Uniform counters — solves, iterations, residual evaluations, Jacobian
+    (assembler) refreshes, factorisations, fallbacks, wall time — reported
+    identically by every engine and printed by the CLI.
+
+Adding a new solver in ~50 lines
+--------------------------------
+
+Implement the contract and hand it to a core::
+
+    from repro.linalg.collocation import CollocationJacobianAssembler
+    from repro.linalg.solver_core import (
+        CollocationSystem, SolverCore, SolverCoreOptions,
+    )
+
+    class MySystem(CollocationSystem):
+        '''Collocation discretisation of my new analysis.'''
+
+        def __init__(self, dae, num_points, coupling):
+            self.dae = dae
+            self.coupling = coupling          # (M, M) point coupling
+            self.assembler = CollocationJacobianAssembler(
+                num_points, dae.n,
+                dq_mask=dae.dq_structure(), df_mask=dae.df_structure(),
+            )
+
+        def residual(self, z):
+            states = z.reshape(-1, self.dae.n)
+            q = self.dae.q_batch(states).ravel()
+            f = self.dae.f_batch(states).ravel()
+            return self.d_big @ q + f - self.rhs   # your discretisation
+
+        def jacobian(self, z):
+            states = z.reshape(-1, self.dae.n)
+            return self.assembler.refresh(        # data-only, fixed pattern
+                self.coupling,
+                self.dae.dq_dx_batch(states),
+                diag_inner=self.dae.df_dx_batch(states),
+            )
+
+    core = SolverCore(SolverCoreOptions(mode="chord"))
+    result = core.solve(MySystem(dae, m, coupling), z0)
+    print(core.stats.summary())
+
+That is the *entire* integration surface: damping, chord refresh policy,
+factorisation reuse, GMRES fallback and stats all come from the core.  For
+a stepped analysis, keep one core for the whole run, call
+``core.note_parameters(h=h, omega=omega)`` before each step's solve, and
+the chord factorisation survives smooth steps and is dropped on jumps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.linalg.lu_cache import ReusableLUSolver
+from repro.linalg.newton import (
+    NewtonOptions,
+    StaleJacobianNewton,
+    newton_solve,
+)
+
+#: Accepted Newton policies.
+SOLVER_MODES = ("full", "chord")
+
+#: Accepted named linear solvers (besides an explicit callable).
+LINEAR_SOLVERS = ("lu", "gmres")
+
+
+@dataclass
+class SolverStats:
+    """Uniform counters every :class:`SolverCore`-based engine reports.
+
+    Attributes
+    ----------
+    solves:
+        Nonlinear solves attempted, successful or not (1 for a
+        boundary-value problem, one per attempted step for an envelope
+        march).
+    iterations:
+        Newton/chord iterations across all solves.
+    residual_evaluations:
+        Calls into ``system.residual`` (includes line-search trials).
+    jacobian_refreshes:
+        Calls into ``system.jacobian`` — i.e. assembler data refreshes.
+    factorizations:
+        Matrix factorisations performed by the linear-solver backend
+        (SuperLU/LAPACK; the dominant envelope cost).
+    fallbacks:
+        Chord solves that fell back to damped full Newton.
+    wall_time_s:
+        Wall-clock seconds spent inside :meth:`SolverCore.solve`.
+    """
+
+    solves: int = 0
+    iterations: int = 0
+    residual_evaluations: int = 0
+    jacobian_refreshes: int = 0
+    factorizations: int = 0
+    fallbacks: int = 0
+    wall_time_s: float = 0.0
+
+    def as_dict(self):
+        """Plain-dict view (stable keys, for result ``stats`` payloads)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary(self):
+        """One-line human-readable summary (printed by the CLI)."""
+        return (
+            f"{self.solves} solve(s): {self.iterations} Newton iterations, "
+            f"{self.residual_evaluations} residual evals, "
+            f"{self.jacobian_refreshes} Jacobian refreshes, "
+            f"{self.factorizations} factorizations, "
+            f"{self.fallbacks} fallbacks, {self.wall_time_s:.3f} s"
+        )
+
+
+@dataclass
+class SolverCoreOptions:
+    """Configuration for :class:`SolverCore`.
+
+    Attributes
+    ----------
+    mode:
+        ``"full"`` — a fresh Jacobian per Newton iteration (via
+        :func:`repro.linalg.newton.newton_solve`); ``"chord"`` — one
+        factorised Jacobian reused across iterations *and* across solves
+        (via :class:`repro.linalg.newton.StaleJacobianNewton`),
+        refactorising on slow contraction, divergence or
+        :meth:`SolverCore.note_parameters` jumps.  A chord failure falls
+        back to damped full Newton before surfacing an error.
+    newton:
+        Shared Newton tolerances/budgets; ``None`` (the default) means
+        the stock :class:`~repro.linalg.newton.NewtonOptions` — keeping
+        the default distinguishable from an explicitly passed stock
+        instance lets engines substitute their own defaults only when
+        the field was genuinely left unset.
+    linear_solver:
+        ``None``/"lu" — direct sparse/dense LU with factorisation reuse
+        (:class:`repro.linalg.lu_cache.ReusableLUSolver`); ``"gmres"`` —
+        frozen-complete-LU-preconditioned GMRES
+        (:class:`repro.linalg.gmres.GmresLinearSolver`) for large systems;
+        or any ``(matrix, rhs) -> x`` callable.  A non-default linear
+        solver implies full-Newton iterations (the chord policy owns its
+        own factorisation).
+    contraction:
+        Chord policy knob: refactorise when the residual contracts slower
+        than this factor per iteration.
+    invalidate_rtol:
+        Relative change in any parameter registered through
+        :meth:`SolverCore.note_parameters` (e.g. the envelope step ``h``
+        or the local frequency ``omega``) that drops the chord
+        factorisation.
+    threads:
+        Worker threads for the assembler block refresh.  The core pushes
+        this into ``system.assembler`` (when the system exposes its
+        :class:`~repro.linalg.collocation.CollocationJacobianAssembler`
+        under that attribute, as every built-in system does) at solve
+        time; 1 = serial.
+    """
+
+    mode: str = "full"
+    newton: NewtonOptions = None
+    linear_solver: object = None
+    contraction: float = 0.1
+    invalidate_rtol: float = 0.25
+    threads: int = 1
+
+
+class CollocationSystem:
+    """Contract between a collocation nonlinear problem and the core.
+
+    Implementations provide the residual and a Jacobian whose sparsity
+    pattern is fixed across iterations (refreshed in place, typically via
+    :class:`~repro.linalg.collocation.CollocationJacobianAssembler`).  The
+    matrix returned by :meth:`jacobian` may be owned and mutated by the
+    assembler — the core consumes (factorises) it before the next refresh.
+
+    Systems that use an assembler should expose it as :attr:`assembler`
+    so the core can wire ``options.threads`` through to the block refresh.
+    """
+
+    #: The system's CollocationJacobianAssembler, if it has one.
+    assembler = None
+
+    def residual(self, z):
+        """``F(z)`` as a 1-D float array."""
+        raise NotImplementedError
+
+    def jacobian(self, z):
+        """``dF/dz`` at ``z`` (dense array or scipy sparse matrix)."""
+        raise NotImplementedError
+
+    def structure(self):
+        """Optional structure report (sizes, borders) for diagnostics."""
+        return {}
+
+
+class FunctionSystem(CollocationSystem):
+    """Adapter wrapping plain ``residual``/``jacobian`` callables."""
+
+    def __init__(self, residual, jacobian, structure=None):
+        self._residual = residual
+        self._jacobian = jacobian
+        self._structure = dict(structure or {})
+
+    def residual(self, z):
+        return self._residual(z)
+
+    def jacobian(self, z):
+        return self._jacobian(z)
+
+    def structure(self):
+        return dict(self._structure)
+
+
+def core_from_options(options):
+    """Build a :class:`SolverCore` from an engine options dataclass.
+
+    Every engine options class (envelope, quasiperiodic, DC, ...) exposes
+    some subset of ``newton``, ``newton_mode``, ``linear_solver``,
+    ``threads``, ``contraction`` and ``invalidate_rtol``; missing fields
+    fall back to the :class:`SolverCoreOptions` defaults.  This is the one
+    place engine knobs map onto core knobs — an options class that later
+    grows ``contraction``/``invalidate_rtol`` fields gets them honoured
+    with no further plumbing.
+    """
+    defaults = SolverCoreOptions()
+    return SolverCore(SolverCoreOptions(
+        mode=getattr(options, "newton_mode", defaults.mode),
+        newton=getattr(options, "newton", defaults.newton),
+        linear_solver=getattr(options, "linear_solver",
+                              defaults.linear_solver),
+        contraction=getattr(options, "contraction", defaults.contraction),
+        invalidate_rtol=getattr(options, "invalidate_rtol",
+                                defaults.invalidate_rtol),
+        threads=getattr(options, "threads", defaults.threads),
+    ))
+
+
+def _resolve_linear_solver(spec):
+    """Materialise an options ``linear_solver`` spec into a callable."""
+    if spec is None or spec == "lu":
+        return ReusableLUSolver()
+    if spec == "gmres":
+        from repro.linalg.gmres import GmresLinearSolver
+
+        return GmresLinearSolver(preconditioner="lu", freeze=True)
+    if callable(spec):
+        return spec
+    raise ValueError(
+        f"linear_solver must be None, 'lu', 'gmres' or a callable, "
+        f"got {spec!r}"
+    )
+
+
+class SolverCore:
+    """Newton driver shared by every collocation engine.
+
+    One instance lives for a whole analysis (a single boundary-value solve,
+    or a whole envelope march).  See the module docstring for the policy
+    description and :class:`SolverCoreOptions` for the knobs.
+
+    Attributes
+    ----------
+    stats:
+        Accumulated :class:`SolverStats` across all :meth:`solve` calls.
+    """
+
+    def __init__(self, options=None):
+        opts = options or SolverCoreOptions()
+        if opts.mode not in SOLVER_MODES:
+            raise ValueError(
+                f"mode must be one of {SOLVER_MODES}, got {opts.mode!r}"
+            )
+        self.options = opts
+        self.stats = SolverStats()
+        self._params = {}
+        # A custom/iterative linear solver implies full Newton: the chord
+        # policy owns its own (direct) factorisation.
+        custom_linear = opts.linear_solver not in (None, "lu")
+        self._chord = (
+            StaleJacobianNewton(
+                options=opts.newton, contraction=opts.contraction
+            )
+            if opts.mode == "chord" and not custom_linear
+            else None
+        )
+        self._linear_solver = _resolve_linear_solver(opts.linear_solver)
+
+    @property
+    def mode(self):
+        """Effective Newton policy (``"chord"`` or ``"full"``)."""
+        return "chord" if self._chord is not None else "full"
+
+    def invalidate(self):
+        """Drop any frozen factors; the next solve starts fresh."""
+        if self._chord is not None:
+            self._chord.invalidate()
+        invalidate = getattr(self._linear_solver, "invalidate", None)
+        if invalidate is not None:
+            invalidate()
+
+    def note_parameters(self, **params):
+        """Register step parameters; invalidate frozen factors on jumps.
+
+        Call before each step's :meth:`solve` with whatever scalars shape
+        the Newton matrix discontinuously (the envelope step ``h``, the
+        local frequency ``omega``).  A relative change beyond
+        ``options.invalidate_rtol`` in any of them drops the chord
+        factorisation, mirroring the transient engine's dt policy.
+        """
+        rtol = self.options.invalidate_rtol
+        for key, value in params.items():
+            value = float(value)
+            old = self._params.get(key)
+            if old is not None and abs(value - old) > rtol * abs(old):
+                self.invalidate()
+            self._params[key] = value
+
+    def _apply_threads(self, system):
+        """Wire ``options.threads`` into the system's assembler, if any."""
+        threads = self.options.threads
+        if threads <= 1:
+            return
+        assembler = getattr(system, "assembler", None)
+        if assembler is not None and assembler.threads < threads:
+            assembler.threads = int(threads)
+
+    def _backend_factorizations(self):
+        """Current factorisation count across the possible backends."""
+        count = 0
+        if self._chord is not None:
+            count += self._chord.stats["factorizations"]
+        stats = getattr(self._linear_solver, "stats", None)
+        if isinstance(stats, dict):
+            count += stats.get("factorizations", 0)
+        return count
+
+    def solve(self, system, z0):
+        """Solve ``system.residual(z) = 0`` from ``z0``.
+
+        Returns the :class:`repro.linalg.newton.NewtonResult`; failure
+        semantics follow ``options.newton.raise_on_failure``.  All
+        activity is accumulated into :attr:`stats`.
+        """
+        stats = self.stats
+        counters = {"residual": 0, "jacobian": 0}
+
+        def residual(z):
+            counters["residual"] += 1
+            return system.residual(z)
+
+        def jacobian(z):
+            counters["jacobian"] += 1
+            return system.jacobian(z)
+
+        self._apply_threads(system)
+        fact_before = self._backend_factorizations()
+        chord_before = (
+            self._chord.stats["iterations"] if self._chord is not None else 0
+        )
+        fallbacks_before = stats.fallbacks
+        result = None
+        raised_iterations = 0
+        start = time.perf_counter()
+        try:
+            if self._chord is not None:
+                result = self._solve_chord(residual, jacobian, z0)
+            else:
+                result = newton_solve(
+                    residual,
+                    jacobian,
+                    z0,
+                    options=self.options.newton,
+                    linear_solver=self._linear_solver,
+                )
+        except ConvergenceError as exc:
+            raised_iterations = exc.iterations or 0
+            raise
+        finally:
+            # Account even for a raising solve, so the counters stay
+            # mutually consistent (every residual eval / factorisation is
+            # attributed to an attempted solve and its iterations).
+            stats.wall_time_s += time.perf_counter() - start
+            stats.residual_evaluations += counters["residual"]
+            stats.jacobian_refreshes += counters["jacobian"]
+            stats.factorizations += (
+                self._backend_factorizations() - fact_before
+            )
+            stats.solves += 1
+            newton_iterations = (
+                result.iterations if result is not None else raised_iterations
+            )
+            if self._chord is not None:
+                # Count every chord iteration burned, including the ones a
+                # failed attempt spent before the full-Newton fallback
+                # (whose own iterations are newton_iterations; without a
+                # fallback result.iterations IS the chord count, so don't
+                # double-add).
+                stats.iterations += (
+                    self._chord.stats["iterations"] - chord_before
+                )
+                if stats.fallbacks > fallbacks_before:
+                    stats.iterations += newton_iterations
+            else:
+                stats.iterations += newton_iterations
+        return result
+
+    def _solve_chord(self, residual, jacobian, z0):
+        """Chord attempt with a damped full-Newton fallback."""
+        opts = self.options.newton
+        try:
+            result = self._chord.solve(residual, jacobian, z0)
+        except ConvergenceError:
+            # Includes SingularJacobianError: treat a stale/singular chord
+            # matrix as "retry with fresh factorisations" before failing.
+            result = None
+        if result is not None and result.converged:
+            return result
+        self.stats.fallbacks += 1
+        self.invalidate()
+        return newton_solve(
+            residual,
+            jacobian,
+            z0,
+            options=opts,
+            linear_solver=self._linear_solver,
+        )

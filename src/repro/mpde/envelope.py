@@ -14,8 +14,8 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.linalg.collocation import CollocationJacobianAssembler
-from repro.linalg.lu_cache import ReusableLUSolver
-from repro.linalg.newton import NewtonOptions, newton_solve
+from repro.linalg.newton import NewtonOptions
+from repro.linalg.solver_core import CollocationSystem, core_from_options
 from repro.linalg.sparse_tools import kron_diffmat
 from repro.spectral.diffmat import fourier_differentiation_matrix
 from repro.spectral.grid import collocation_grid
@@ -25,12 +25,21 @@ from repro.wampde.bivariate import BivariateWaveform
 
 @dataclass
 class MpdeEnvelopeOptions:
-    """Configuration for :func:`solve_mpde_envelope`."""
+    """Configuration for :func:`solve_mpde_envelope`.
+
+    ``newton_mode``/``linear_solver``/``threads`` mirror
+    :class:`repro.wampde.envelope.WampdeEnvelopeOptions`: chord mode
+    (default) carries one factorised step Jacobian across envelope steps
+    via :class:`repro.linalg.solver_core.SolverCore`.
+    """
 
     integrator: str = "trap"
     newton: NewtonOptions = field(
         default_factory=lambda: NewtonOptions(atol=1e-9, max_iterations=30)
     )
+    newton_mode: str = "chord"
+    linear_solver: object = None
+    threads: int = 1
     store_every: int = 1
 
 
@@ -70,6 +79,72 @@ class MpdeEnvelopeResult:
         return waveform(np.mod(times, self.period1), times)
 
 
+class _MpdeEnvelopeStepper(CollocationSystem):
+    """Per-step collocation system handed to the shared solver core."""
+
+    def __init__(self, dae, n0, forcing, beta, options):
+        self.dae = dae
+        self.n0 = n0
+        self.n = dae.n
+        self.beta = beta
+        self.diffmat = fourier_differentiation_matrix(n0, forcing.period1)
+        self.d_big = kron_diffmat(self.diffmat, self.n, ordering="point")
+        # Fixed-pattern Jacobian assembly + factorisation reuse across all
+        # steps of the march (see repro.linalg.collocation).
+        self.assembler = CollocationJacobianAssembler(
+            n0,
+            self.n,
+            dq_mask=dae.dq_structure(),
+            df_mask=dae.df_structure(),
+        )
+        self.core = core_from_options(options)
+        # Per-step configuration consumed by residual()/jacobian().
+        self._b_new = None
+        self._q_old = None
+        self._rhs_old = None
+        self._h = None
+
+    def residual(self, z):
+        states = z.reshape(self.n0, self.n)
+        q_flat = self.dae.q_batch(states).ravel()
+        f_flat = self.dae.f_batch(states).ravel()
+        fast = self.d_big @ q_flat + f_flat - self._b_new
+        if self.beta != 1.0:
+            return (
+                (q_flat - self._q_old) / self._h
+                + 0.5 * (fast + self._rhs_old)
+            )
+        return (q_flat - self._q_old) / self._h + fast
+
+    def jacobian(self, z):
+        states = z.reshape(self.n0, self.n)
+        dq = self.dae.dq_dx_batch(states)
+        df = self.dae.df_dx_batch(states)
+        # dq/h + beta * (d_big @ dq + df), via data-only refresh;
+        # scipy's sparse "/ h" is "* (1/h)" — matched bit for bit.
+        return self.assembler.refresh(
+            self.diffmat,
+            dq,
+            diag_inner=df,
+            outer_coeff=self.beta,
+            diag_outer=dq * (1.0 / self._h),
+        )
+
+    def structure(self):
+        return {"num_points": self.n0, "n_vars": self.n,
+                "num_border": 0, "size": self.n0 * self.n}
+
+    def step(self, x_samples, q_old, rhs_old, b_new, h):
+        """One implicit t2 step; returns ``(x_new, iterations)``."""
+        self._b_new = b_new
+        self._q_old = q_old
+        self._rhs_old = rhs_old
+        self._h = h
+        self.core.note_parameters(h=h)
+        result = self.core.solve(self, x_samples.ravel())
+        return result.x.reshape(self.n0, self.n), result.iterations
+
+
 def solve_mpde_envelope(dae, forcing, initial_samples, t2_start, t2_stop,
                         num_steps, options=None):
     """March the MPDE in t2 from initial t1-cycle data.
@@ -106,26 +181,19 @@ def solve_mpde_envelope(dae, forcing, initial_samples, t2_start, t2_stop,
         raise SimulationError(
             f"integrator must be 'trap' or 'be', got {opts.integrator!r}"
         )
-    use_trap = opts.integrator == "trap"
+    beta = 0.5 if opts.integrator == "trap" else 1.0
 
-    t1_grid = collocation_grid(n0, forcing.period1)
-    diffmat = fourier_differentiation_matrix(n0, forcing.period1)
-    d_big = kron_diffmat(diffmat, n, ordering="point")
+    t1_points = collocation_grid(n0, forcing.period1)
     h = (t2_stop - t2_start) / num_steps
-    # Fixed-pattern Jacobian assembly + factorisation reuse across all
-    # steps of the march (see repro.linalg.collocation).
-    assembler = CollocationJacobianAssembler(
-        n0, n, dq_mask=dae.dq_structure(), df_mask=dae.df_structure()
-    )
-    linear_solver = ReusableLUSolver()
+    stepper = _MpdeEnvelopeStepper(dae, n0, forcing, beta, opts)
 
     def b_at(t2_value):
-        return np.stack([forcing(t1, t2_value) for t1 in t1_grid]).ravel()
+        return np.stack([forcing(t1, t2_value) for t1 in t1_points]).ravel()
 
     def fast_terms(states, t2_value):
         q_flat = dae.q_batch(states).ravel()
         f_flat = dae.f_batch(states).ravel()
-        return d_big @ q_flat + f_flat - b_at(t2_value), q_flat
+        return stepper.d_big @ q_flat + f_flat - b_at(t2_value), q_flat
 
     x_samples = initial_samples.copy()
     t2 = float(t2_start)
@@ -138,41 +206,10 @@ def solve_mpde_envelope(dae, forcing, initial_samples, t2_start, t2_stop,
 
     for step in range(num_steps):
         t2_new = t2_start + (step + 1) * h
-        b_new = b_at(t2_new)
-
-        def residual(z):
-            states = z.reshape(n0, n)
-            q_flat = dae.q_batch(states).ravel()
-            f_flat = dae.f_batch(states).ravel()
-            fast = d_big @ q_flat + f_flat - b_new
-            if use_trap:
-                return (q_flat - q_old) / h + 0.5 * (fast + rhs_old)
-            return (q_flat - q_old) / h + fast
-
-        def jacobian(z):
-            states = z.reshape(n0, n)
-            dq = dae.dq_dx_batch(states)
-            df = dae.df_dx_batch(states)
-            beta = 0.5 if use_trap else 1.0
-            # dq/h + beta * (d_big @ dq + df), via data-only refresh;
-            # scipy's sparse "/ h" is "* (1/h)" — matched bit for bit.
-            return assembler.refresh(
-                diffmat,
-                dq,
-                diag_inner=df,
-                outer_coeff=beta,
-                diag_outer=dq * (1.0 / h),
-            )
-
-        result = newton_solve(
-            residual,
-            jacobian,
-            x_samples.ravel(),
-            options=opts.newton,
-            linear_solver=linear_solver,
+        x_samples, iterations = stepper.step(
+            x_samples, q_old, rhs_old, b_at(t2_new), h
         )
-        stats["newton_iterations"] += result.iterations
-        x_samples = result.x.reshape(n0, n)
+        stats["newton_iterations"] += iterations
         t2 = t2_new
         rhs_old, q_old = fast_terms(x_samples, t2)
         stats["steps"] += 1
@@ -182,6 +219,7 @@ def solve_mpde_envelope(dae, forcing, initial_samples, t2_start, t2_stop,
             stored.append(x_samples.copy())
             since_store = 0
 
+    stats["solver"] = stepper.core.stats.as_dict()
     return MpdeEnvelopeResult(
         np.asarray(stored_t2),
         np.asarray(stored),

@@ -9,8 +9,8 @@ import scipy.sparse as sp
 
 from repro.errors import SimulationError
 from repro.linalg.collocation import CollocationJacobianAssembler
-from repro.linalg.lu_cache import ReusableLUSolver
-from repro.linalg.newton import NewtonOptions, newton_solve
+from repro.linalg.newton import NewtonOptions
+from repro.linalg.solver_core import CollocationSystem, core_from_options
 from repro.linalg.sparse_tools import kron_diffmat
 from repro.spectral.diffmat import fourier_differentiation_matrix
 from repro.spectral.grid import collocation_grid
@@ -20,11 +20,19 @@ from repro.wampde.bivariate import BivariateWaveform
 
 @dataclass
 class MpdeQuasiperiodicOptions:
-    """Configuration for :func:`solve_mpde_quasiperiodic`."""
+    """Configuration for :func:`solve_mpde_quasiperiodic`.
+
+    ``newton_mode``/``linear_solver``/``threads`` select the shared
+    :class:`repro.linalg.solver_core.SolverCore` policy, linear solver and
+    Jacobian-refresh threading.
+    """
 
     newton: NewtonOptions = field(
         default_factory=lambda: NewtonOptions(atol=1e-9, max_iterations=60)
     )
+    newton_mode: str = "full"
+    linear_solver: object = None
+    threads: int = 1
 
 
 class MpdeQuasiperiodicResult:
@@ -41,7 +49,7 @@ class MpdeQuasiperiodicResult:
     """
 
     def __init__(self, t1, t2, period1, period2, samples, variable_names,
-                 newton_iterations):
+                 newton_iterations, stats=None):
         self.t1 = np.asarray(t1, dtype=float)
         self.t2 = np.asarray(t2, dtype=float)
         self.period1 = float(period1)
@@ -49,6 +57,7 @@ class MpdeQuasiperiodicResult:
         self.samples = np.asarray(samples, dtype=float)
         self.variable_names = tuple(variable_names)
         self.newton_iterations = int(newton_iterations)
+        self.stats = dict(stats or {})
 
     def bivariate(self, key):
         """Bivariate waveform (t2 axis wrapped for interpolation).
@@ -81,6 +90,61 @@ class MpdeQuasiperiodicResult:
         """Univariate ``x(t) = xhat(t mod T1, t mod T2)`` (paper Fig 3 path)."""
         times = np.asarray(times, dtype=float)
         return self.interpolant(key)(times, times)
+
+
+class _BiperiodicSystem(CollocationSystem):
+    """Bi-periodic MPDE collocation system for the shared solver core.
+
+    The residual is ``(D1 + D2) q(x) + f(x) - b`` over the flattened
+    ``(N1, N0)`` tensor grid; the Jacobian is assembled pattern-reuse from
+    the dense point-coupling matrix of ``D1 + D2``.
+    """
+
+    def __init__(self, dae, forcing, n0, n1, b_grid):
+        self.dae = dae
+        self.n0 = n0
+        self.n1 = n1
+        self.n = dae.n
+        block = n0 * self.n
+        diffmat1 = fourier_differentiation_matrix(n0, forcing.period1)
+        diffmat2 = fourier_differentiation_matrix(n1, forcing.period2)
+        d1_all = sp.kron(
+            sp.identity(n1, format="csr"),
+            kron_diffmat(diffmat1, self.n, ordering="point"),
+            format="csr",
+        )
+        d2_all = kron_diffmat(diffmat2, block, ordering="point")
+        self.d_sum = (d1_all + d2_all).tocsr()
+        # Dense point-coupling matrix of d_sum for the pattern-reuse
+        # assembler.
+        self.coupling = (
+            np.kron(np.eye(n1), diffmat1)
+            + np.kron(diffmat2, np.eye(n0))
+        )
+        self.assembler = CollocationJacobianAssembler(
+            n1 * n0,
+            self.n,
+            dq_mask=dae.dq_structure(),
+            df_mask=dae.df_structure(),
+            coupling_mask=self.coupling != 0.0,
+        )
+        self.b_flat = np.asarray(b_grid, dtype=float).ravel()
+
+    def residual(self, z):
+        states = z.reshape(self.n1 * self.n0, self.n)
+        q_flat = self.dae.q_batch(states).ravel()
+        f_flat = self.dae.f_batch(states).ravel()
+        return self.d_sum @ q_flat + f_flat - self.b_flat
+
+    def jacobian(self, z):
+        states = z.reshape(self.n1 * self.n0, self.n)
+        dq = self.dae.dq_dx_batch(states)
+        df = self.dae.df_dx_batch(states)
+        return self.assembler.refresh(self.coupling, dq, diag_inner=df)
+
+    def structure(self):
+        return {"num_points": self.n1 * self.n0, "n_vars": self.n,
+                "num_border": 0, "size": self.n1 * self.n0 * self.n}
 
 
 def solve_mpde_quasiperiodic(dae, forcing, num_t1=15, num_t2=15,
@@ -119,25 +183,6 @@ def solve_mpde_quasiperiodic(dae, forcing, num_t1=15, num_t2=15,
 
     block = n0 * n
     total = n1 * block
-    diffmat1 = fourier_differentiation_matrix(n0, forcing.period1)
-    diffmat2 = fourier_differentiation_matrix(n1, forcing.period2)
-    d1_all = sp.kron(
-        sp.identity(n1, format="csr"),
-        kron_diffmat(diffmat1, n, ordering="point"),
-        format="csr",
-    )
-    d2_all = kron_diffmat(diffmat2, block, ordering="point")
-    d_sum = (d1_all + d2_all).tocsr()
-
-    # Dense point-coupling matrix of d_sum for the pattern-reuse assembler.
-    coupling = np.kron(np.eye(n1), diffmat1) + np.kron(diffmat2, np.eye(n0))
-    assembler = CollocationJacobianAssembler(
-        n1 * n0,
-        n,
-        dq_mask=dae.dq_structure(),
-        df_mask=dae.df_structure(),
-        coupling_mask=coupling != 0.0,
-    )
 
     if initial is None:
         z0 = np.zeros(total)
@@ -153,25 +198,8 @@ def solve_mpde_quasiperiodic(dae, forcing, num_t1=15, num_t2=15,
                 f"got {initial.shape}"
             )
 
-    def residual(z):
-        states = z.reshape(n1 * n0, n)
-        q_flat = dae.q_batch(states).ravel()
-        f_flat = dae.f_batch(states).ravel()
-        return d_sum @ q_flat + f_flat - b_grid.ravel()
-
-    def jacobian(z):
-        states = z.reshape(n1 * n0, n)
-        dq = dae.dq_dx_batch(states)
-        df = dae.df_dx_batch(states)
-        return assembler.refresh(coupling, dq, diag_inner=df)
-
-    result = newton_solve(
-        residual,
-        jacobian,
-        z0,
-        options=opts.newton,
-        linear_solver=ReusableLUSolver(),
-    )
+    core = core_from_options(opts)
+    result = core.solve(_BiperiodicSystem(dae, forcing, n0, n1, b_grid), z0)
     samples = result.x.reshape(n1, n0, n)
     return MpdeQuasiperiodicResult(
         t1_grid,
@@ -181,4 +209,5 @@ def solve_mpde_quasiperiodic(dae, forcing, num_t1=15, num_t2=15,
         samples,
         dae.variable_names,
         result.iterations,
+        core.stats.as_dict(),
     )

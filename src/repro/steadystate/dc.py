@@ -7,7 +7,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConvergenceError
-from repro.linalg.newton import NewtonOptions, newton_solve
+from repro.linalg.newton import NewtonOptions
+from repro.linalg.solver_core import FunctionSystem, core_from_options
 
 
 @dataclass
@@ -18,6 +19,10 @@ class DcOptions:
     ----------
     newton:
         Newton options for the direct attempt.
+    newton_mode:
+        Newton policy of the shared
+        :class:`repro.linalg.solver_core.SolverCore` (``"full"`` is right
+        for the continuation ladder: every stage reshapes the system).
     gmin_steps:
         Number of gmin-stepping continuation stages tried if the direct
         solve fails (0 disables).
@@ -30,12 +35,13 @@ class DcOptions:
     newton: NewtonOptions = field(
         default_factory=lambda: NewtonOptions(raise_on_failure=False)
     )
+    newton_mode: str = "full"
     gmin_steps: int = 8
     gmin_start: float = 1e-2
     source_steps: int = 8
 
 
-def _solve_once(dae, x0, t0, gmin, source_scale, newton_options):
+def _solve_once(core, dae, x0, t0, gmin, source_scale):
     """One Newton attempt with shunt gmin and scaled sources."""
     b0 = source_scale * dae.b(t0)
 
@@ -48,7 +54,13 @@ def _solve_once(dae, x0, t0, gmin, source_scale, newton_options):
             jac = jac + gmin * np.eye(dae.n)
         return jac
 
-    return newton_solve(residual, jacobian, x0, options=newton_options)
+    # The continuation parameters reshape the system between attempts;
+    # registering them drops any chord factors carried across stages.
+    core.note_parameters(gmin=gmin, source_scale=source_scale)
+    system = FunctionSystem(
+        residual, jacobian, structure={"size": dae.n, "dense": True}
+    )
+    return core.solve(system, x0)
 
 
 def dc_operating_point(dae, t0=0.0, x0=None, options=None):
@@ -69,8 +81,9 @@ def dc_operating_point(dae, t0=0.0, x0=None, options=None):
     """
     opts = options or DcOptions()
     x = np.zeros(dae.n) if x0 is None else np.array(x0, dtype=float).ravel()
+    core = core_from_options(opts)
 
-    result = _solve_once(dae, x, t0, 0.0, 1.0, opts.newton)
+    result = _solve_once(core, dae, x, t0, 0.0, 1.0)
     if result.converged:
         return result.x
 
@@ -80,13 +93,13 @@ def dc_operating_point(dae, t0=0.0, x0=None, options=None):
         gmins = np.geomspace(opts.gmin_start, 1e-12, opts.gmin_steps)
         ok = True
         for gmin in gmins:
-            result = _solve_once(dae, x_cont, t0, float(gmin), 1.0, opts.newton)
+            result = _solve_once(core, dae, x_cont, t0, float(gmin), 1.0)
             if not result.converged:
                 ok = False
                 break
             x_cont = result.x
         if ok:
-            result = _solve_once(dae, x_cont, t0, 0.0, 1.0, opts.newton)
+            result = _solve_once(core, dae, x_cont, t0, 0.0, 1.0)
             if result.converged:
                 return result.x
 
@@ -95,7 +108,7 @@ def dc_operating_point(dae, t0=0.0, x0=None, options=None):
         x_cont = np.zeros(dae.n)
         ok = True
         for scale in np.linspace(0.0, 1.0, opts.source_steps + 1)[1:]:
-            result = _solve_once(dae, x_cont, t0, 0.0, float(scale), opts.newton)
+            result = _solve_once(core, dae, x_cont, t0, 0.0, float(scale))
             if not result.converged:
                 ok = False
                 break

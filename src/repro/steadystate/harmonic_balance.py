@@ -12,18 +12,30 @@ trick the paper alludes to in §4.1.
 * :func:`harmonic_balance_autonomous` — period unknown; adds the frequency
   unknown and a :mod:`repro.phase_conditions` anchor, i.e. exactly the
   ``N1 = 1`` special case of the WaMPDE quasiperiodic system.
+
+Both solvers are thin :class:`~repro.linalg.solver_core.CollocationSystem`
+implementations driven by the shared
+:class:`~repro.linalg.solver_core.SolverCore` (pass ``solver_options`` to
+pick the chord policy, a GMRES linear solver or a threaded Jacobian
+refresh); the per-solve :class:`~repro.linalg.solver_core.SolverStats` are
+reported on :attr:`HBResult.stats`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.grids import stack_states as _stack, unstack_states as _unstack
 from repro.linalg.collocation import CollocationJacobianAssembler
-from repro.linalg.lu_cache import ReusableLUSolver
-from repro.linalg.newton import NewtonOptions, newton_solve
+from repro.linalg.newton import NewtonOptions
+from repro.linalg.solver_core import (
+    CollocationSystem,
+    SolverCore,
+    SolverCoreOptions,
+)
 from repro.linalg.sparse_tools import kron_diffmat
 from repro.phase_conditions import as_phase_condition
 from repro.spectral.diffmat import fourier_differentiation_matrix
@@ -47,11 +59,15 @@ class HBResult:
         ``1 / period`` [Hz].
     newton_iterations:
         Newton iterations used.
+    stats:
+        Uniform solver counters (see
+        :class:`repro.linalg.solver_core.SolverStats`).
     """
 
     samples: np.ndarray
     period: float
     newton_iterations: int
+    stats: dict = field(default_factory=dict)
 
     @property
     def frequency(self):
@@ -74,17 +90,55 @@ class HBResult:
         return np.stack(columns, axis=-1)
 
 
-def _stack(samples):
-    """(N, n) grid -> point-major stacked vector."""
-    return np.asarray(samples, dtype=float).ravel()
+def _make_core(solver_options, newton_options, default_newton):
+    """Build the SolverCore for one HB solve from the two option channels.
+
+    Newton tolerances resolve in precedence order: an explicit
+    ``newton_options`` (the historical knob), then an explicitly set
+    ``solver_options.newton`` (the field defaults to ``None``, so any
+    instance — stock included — counts as explicit), then the engine
+    default.  All other ``solver_options`` fields pass through unchanged.
+    """
+    opts = solver_options or SolverCoreOptions()
+    newton = newton_options or opts.newton or default_newton
+    return SolverCore(replace(opts, newton=newton))
 
 
-def _unstack(vector, num_samples, n_vars):
-    return np.asarray(vector, dtype=float).reshape(num_samples, n_vars)
+class _ForcedHBSystem(CollocationSystem):
+    """Collocation system ``D q(x) + f(x) - b = 0`` on a known period."""
+
+    def __init__(self, dae, num, period):
+        self.dae = dae
+        self.num = num
+        self.n = dae.n
+        grid = collocation_grid(num, period)
+        self.b_flat = dae.b_batch(grid).ravel()
+        self.diffmat = fourier_differentiation_matrix(num, period)
+        self.d_big = kron_diffmat(self.diffmat, self.n, ordering="point")
+        self.assembler = CollocationJacobianAssembler(
+            num, self.n, dq_mask=dae.dq_structure(),
+            df_mask=dae.df_structure(),
+        )
+
+    def residual(self, vec):
+        states = _unstack(vec, self.num, self.n)
+        q_flat = _stack(self.dae.q_batch(states))
+        f_flat = _stack(self.dae.f_batch(states))
+        return self.d_big @ q_flat + f_flat - self.b_flat
+
+    def jacobian(self, vec):
+        states = _unstack(vec, self.num, self.n)
+        dq = self.dae.dq_dx_batch(states)
+        df = self.dae.df_dx_batch(states)
+        return self.assembler.refresh(self.diffmat, dq, diag_inner=df)
+
+    def structure(self):
+        return {"num_points": self.num, "n_vars": self.n,
+                "num_border": 0, "size": self.num * self.n}
 
 
 def harmonic_balance_forced(dae, period, num_samples=31, initial=None,
-                            newton_options=None):
+                            newton_options=None, solver_options=None):
     """Periodic steady state of a forced system via time collocation.
 
     Parameters
@@ -98,6 +152,11 @@ def harmonic_balance_forced(dae, period, num_samples=31, initial=None,
         Odd collocation count (2M+1 → M harmonics).
     initial:
         Optional ``(N, n)`` starting waveform (e.g. transient samples).
+    newton_options:
+        Newton tolerances/budgets (historical knob).
+    solver_options:
+        :class:`repro.linalg.solver_core.SolverCoreOptions` — Newton
+        policy, linear solver and refresh threads.
 
     Returns
     -------
@@ -106,25 +165,7 @@ def harmonic_balance_forced(dae, period, num_samples=31, initial=None,
     check_positive(period, "period")
     num = check_odd(num_samples, "num_samples")
     n = dae.n
-    grid = collocation_grid(num, period)
-    b_grid = dae.b_batch(grid)
-    diffmat = fourier_differentiation_matrix(num, period)
-    d_big = kron_diffmat(diffmat, n, ordering="point")
-    assembler = CollocationJacobianAssembler(
-        num, n, dq_mask=dae.dq_structure(), df_mask=dae.df_structure()
-    )
-
-    def residual(vec):
-        states = _unstack(vec, num, n)
-        q_flat = _stack(dae.q_batch(states))
-        f_flat = _stack(dae.f_batch(states))
-        return d_big @ q_flat + f_flat - b_grid.ravel()
-
-    def jacobian(vec):
-        states = _unstack(vec, num, n)
-        dq = dae.dq_dx_batch(states)
-        df = dae.df_dx_batch(states)
-        return assembler.refresh(diffmat, dq, diag_inner=df)
+    system = _ForcedHBSystem(dae, num, period)
 
     if initial is None:
         x0 = np.zeros((num, n))
@@ -134,21 +175,72 @@ def harmonic_balance_forced(dae, period, num_samples=31, initial=None,
             raise ValueError(
                 f"initial must have shape {(num, n)}, got {x0.shape}"
             )
-    opts = newton_options or NewtonOptions(atol=1e-9, max_iterations=60)
-    result = newton_solve(
-        residual,
-        jacobian,
-        _stack(x0),
-        options=opts,
-        linear_solver=ReusableLUSolver(),
+    core = _make_core(
+        solver_options, newton_options,
+        NewtonOptions(atol=1e-9, max_iterations=60),
     )
-    return HBResult(_unstack(result.x, num, n), float(period), result.iterations)
+    result = core.solve(system, _stack(x0))
+    return HBResult(
+        _unstack(result.x, num, n), float(period), result.iterations,
+        core.stats.as_dict(),
+    )
+
+
+class _AutonomousHBSystem(CollocationSystem):
+    """Bordered system: ``nu * D1 q + f - b = 0`` plus a phase anchor."""
+
+    def __init__(self, dae, num, condition, forcing_time):
+        self.dae = dae
+        self.num = num
+        self.n = dae.n
+        self.condition = condition
+        self.phase_row = condition.gradient(num, self.n)
+        self.b_const = np.tile(dae.b(forcing_time), num)
+        self.diffmat = fourier_differentiation_matrix(num, period=1.0)
+        self.d_big = kron_diffmat(self.diffmat, self.n, ordering="point")
+        self.assembler = CollocationJacobianAssembler(
+            num,
+            self.n,
+            dq_mask=dae.dq_structure(),
+            df_mask=dae.df_structure(),
+            num_border=1,
+        )
+
+    def residual(self, vec):
+        states = _unstack(vec[:-1], self.num, self.n)
+        nu = vec[-1]
+        q_flat = _stack(self.dae.q_batch(states))
+        f_flat = _stack(self.dae.f_batch(states))
+        core = nu * (self.d_big @ q_flat) + f_flat - self.b_const
+        return np.concatenate([core, [self.condition.residual(states)]])
+
+    def jacobian(self, vec):
+        states = _unstack(vec[:-1], self.num, self.n)
+        nu = vec[-1]
+        dq = self.dae.dq_dx_batch(states)
+        df = self.dae.df_dx_batch(states)
+        q_flat = _stack(self.dae.q_batch(states))
+        freq_column = self.d_big @ q_flat
+        # nu * (d_big @ dq) + df, bordered by frequency column + phase row.
+        return self.assembler.refresh(
+            self.diffmat,
+            dq,
+            diag_inner=df,
+            coupling_scale=nu,
+            border_columns=freq_column[:, None],
+            border_rows=self.phase_row[None, :],
+        )
+
+    def structure(self):
+        return {"num_points": self.num, "n_vars": self.n,
+                "num_border": 1, "size": self.num * self.n + 1}
 
 
 def harmonic_balance_autonomous(dae, frequency_guess, initial,
                                 phase_condition="fourier",
                                 phase_variable=0, num_samples=31,
-                                newton_options=None, forcing_time=0.0):
+                                newton_options=None, forcing_time=0.0,
+                                solver_options=None):
     """Limit cycle *and* frequency of an autonomous oscillator.
 
     Works in normalised time ``t1 in [0, 1)`` where the waveform has period
@@ -174,6 +266,9 @@ def harmonic_balance_autonomous(dae, frequency_guess, initial,
         Spec accepted by :func:`repro.phase_conditions.as_phase_condition`.
     phase_variable:
         Variable the default phase condition applies to.
+    solver_options:
+        :class:`repro.linalg.solver_core.SolverCoreOptions` — Newton
+        policy, linear solver and refresh threads.
 
     Returns
     -------
@@ -184,53 +279,18 @@ def harmonic_balance_autonomous(dae, frequency_guess, initial,
     num = check_odd(num_samples, "num_samples")
     n = dae.n
     condition = as_phase_condition(phase_condition, variable=phase_variable)
-    phase_row = condition.gradient(num, n)
-
-    b_const = np.tile(dae.b(forcing_time), num)
-    diffmat = fourier_differentiation_matrix(num, period=1.0)
-    d_big = kron_diffmat(diffmat, n, ordering="point")
-    assembler = CollocationJacobianAssembler(
-        num,
-        n,
-        dq_mask=dae.dq_structure(),
-        df_mask=dae.df_structure(),
-        num_border=1,
-    )
+    system = _AutonomousHBSystem(dae, num, condition, forcing_time)
 
     initial = np.asarray(initial, dtype=float)
     if initial.shape != (num, n):
         raise ValueError(f"initial must have shape {(num, n)}, got {initial.shape}")
 
-    def residual(vec):
-        states = _unstack(vec[:-1], num, n)
-        nu = vec[-1]
-        q_flat = _stack(dae.q_batch(states))
-        f_flat = _stack(dae.f_batch(states))
-        core = nu * (d_big @ q_flat) + f_flat - b_const
-        return np.concatenate([core, [condition.residual(states)]])
-
-    def jacobian(vec):
-        states = _unstack(vec[:-1], num, n)
-        nu = vec[-1]
-        dq = dae.dq_dx_batch(states)
-        df = dae.df_dx_batch(states)
-        q_flat = _stack(dae.q_batch(states))
-        freq_column = d_big @ q_flat
-        # nu * (d_big @ dq) + df, bordered by frequency column + phase row.
-        return assembler.refresh(
-            diffmat,
-            dq,
-            diag_inner=df,
-            coupling_scale=nu,
-            border_columns=freq_column[:, None],
-            border_rows=phase_row[None, :],
-        )
-
     z0 = np.concatenate([_stack(initial), [float(frequency_guess)]])
-    opts = newton_options or NewtonOptions(atol=1e-9, max_iterations=80)
-    result = newton_solve(
-        residual, jacobian, z0, options=opts, linear_solver=ReusableLUSolver()
+    core = _make_core(
+        solver_options, newton_options,
+        NewtonOptions(atol=1e-9, max_iterations=80),
     )
+    result = core.solve(system, z0)
     nu = float(result.x[-1])
     if nu <= 0:
         raise ConvergenceError(
@@ -238,4 +298,5 @@ def harmonic_balance_autonomous(dae, frequency_guess, initial,
             "the initial waveform probably collapsed to the DC equilibrium"
         )
     samples = _unstack(result.x[:-1], num, n)
-    return HBResult(samples, 1.0 / nu, result.iterations)
+    return HBResult(samples, 1.0 / nu, result.iterations,
+                    core.stats.as_dict())

@@ -22,7 +22,7 @@ alongside the state — the single-sweep monodromy used by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -129,8 +129,24 @@ class _StepController:
             else None
         )
         self._full_solver = opts.linear_solver or ReusableLUSolver()
+        # Dedicated direct-LU solver for the damped full-Newton fallback:
+        # kept for the run's lifetime so its factorisation stats are
+        # reported, and deliberately separate from a custom/iterative
+        # _full_solver (the fallback always wants robust direct factors).
+        self._fallback_solver = ReusableLUSolver()
         self._alpha = None
         self.fallbacks = 0
+
+    def factorizations(self):
+        """Total factorisations across the chord policy, the full-Newton
+        linear solver and the fallback solver (whichever track stats)."""
+        count = self._fallback_solver.stats["factorizations"]
+        if self.chord is not None:
+            count += self.chord.stats["factorizations"]
+        solver_stats = getattr(self._full_solver, "stats", None)
+        if isinstance(solver_stats, dict):
+            count += solver_stats.get("factorizations", 0)
+        return count
 
     def invalidate(self):
         if self.chord is not None:
@@ -197,18 +213,14 @@ class _StepController:
             # predictor.
             self.fallbacks += 1
             self.invalidate()
-            fallback_options = NewtonOptions(
-                atol=self.opts.newton.atol,
-                rtol=self.opts.newton.rtol,
-                max_iterations=self.opts.newton.max_iterations,
-                max_step_halvings=self.opts.newton.max_step_halvings,
-                raise_on_failure=False,
+            fallback_options = replace(
+                self.opts.newton, raise_on_failure=False
             )
             try:
                 result = newton_solve(
                     residual, jacobian, history[-1][1],
                     options=fallback_options,
-                    linear_solver=ReusableLUSolver(),
+                    linear_solver=self._fallback_solver,
                 )
             except ConvergenceError as exc:
                 result = NewtonResult(
@@ -406,10 +418,7 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
             )
 
     stats["newton_fallbacks"] = controller.fallbacks
-    if controller.chord is not None:
-        stats["jacobian_factorizations"] = (
-            controller.chord.stats["factorizations"]
-        )
+    stats["jacobian_factorizations"] = controller.factorizations()
 
     return TransientResult(
         np.asarray(stored_t),
@@ -631,10 +640,7 @@ def simulate_transient_with_sensitivity(dae, x0, t_start, t_stop,
             accepted_since_store = 0
 
     stats["newton_fallbacks"] = controller.fallbacks
-    if controller.chord is not None:
-        stats["jacobian_factorizations"] += (
-            controller.chord.stats["factorizations"]
-        )
+    stats["jacobian_factorizations"] += controller.factorizations()
 
     result = TransientResult(
         np.asarray(stored_t),

@@ -31,13 +31,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConvergenceError, SimulationError
+# Re-exported from repro.grids (the shared home of the grid helpers) for
+# backwards compatibility with existing imports of wampde.envelope.
+from repro.grids import harmonic_axis as harmonic_axis, t1_grid as t1_grid
 from repro.linalg.collocation import CollocationJacobianAssembler
-from repro.linalg.lu_cache import ReusableLUSolver
-from repro.linalg.newton import NewtonOptions, newton_solve
+from repro.linalg.newton import NewtonOptions
+from repro.linalg.solver_core import CollocationSystem, core_from_options
 from repro.linalg.sparse_tools import kron_diffmat
 from repro.phase_conditions import as_phase_condition
 from repro.spectral.diffmat import fourier_differentiation_matrix
-from repro.spectral.grid import collocation_grid, harmonic_indices
 from repro.utils.validation import check_odd, check_positive
 from repro.wampde.bivariate import BivariateWaveform
 from repro.wampde.warping import WarpingFunction
@@ -72,12 +74,21 @@ class WampdeEnvelopeOptions:
         Variable index the default phase condition applies to.
     newton:
         Per-step Newton options.
+    newton_mode:
+        ``"chord"`` (default) carries one factorised step Jacobian across
+        Newton iterations *and* across envelope steps via
+        :class:`repro.linalg.solver_core.SolverCore`, refactorising only
+        on slow contraction, divergence, or an ``h``/``omega`` jump —
+        the policy the transient engine uses across time steps.
+        ``"full"`` recovers a fresh Jacobian per Newton iteration.
     linear_solver:
-        Optional ``(matrix, rhs) -> solution`` callable for the bordered
-        Newton systems — e.g. :class:`repro.linalg.gmres.GmresLinearSolver`
-        for large circuits (the paper's [Saa96] reference); ``None`` uses
-        direct sparse LU with factorisation reuse
-        (:class:`repro.linalg.lu_cache.ReusableLUSolver`).
+        ``None``/"lu" — direct sparse LU with factorisation reuse;
+        ``"gmres"`` — frozen-LU-preconditioned GMRES for large circuits
+        (the paper's [Saa96] reference); or any ``(matrix, rhs) ->
+        solution`` callable.  Non-default values imply full Newton.
+    threads:
+        Worker threads for the collocation Jacobian block refresh
+        (1 = serial).
     store_every:
         Keep every k-th accepted t2 point.
     rtol, atol:
@@ -93,7 +104,9 @@ class WampdeEnvelopeOptions:
     newton: NewtonOptions = field(
         default_factory=lambda: NewtonOptions(atol=1e-9, max_iterations=30)
     )
+    newton_mode: str = "chord"
     linear_solver: object = None
+    threads: int = 1
     store_every: int = 1
     rtol: float = 1e-5
     atol: float = 1e-8
@@ -185,8 +198,15 @@ class WampdeEnvelopeResult:
         return reconstruct_univariate(self, key, times)
 
 
-class _EnvelopeStepper:
-    """Shared per-step Newton kernel for the envelope drivers."""
+class _EnvelopeStepper(CollocationSystem):
+    """Shared per-step Newton kernel for the envelope drivers.
+
+    Implements the :class:`~repro.linalg.solver_core.CollocationSystem`
+    contract — :meth:`step` configures the per-step data, then hands the
+    stepper itself to the shared :class:`~repro.linalg.solver_core.\
+SolverCore`, which owns the Newton policy and (in chord mode) carries the
+    factorised bordered Jacobian across envelope steps.
+    """
 
     def __init__(self, dae, num_t1, options):
         self.dae = dae
@@ -217,15 +237,22 @@ class _EnvelopeStepper:
         # The bordered collocation Jacobian's sparsity never changes across
         # Newton iterations or envelope steps: precompute its CSC structure
         # once and refresh only the numeric data each iteration.
-        self._assembler = CollocationJacobianAssembler(
+        self.assembler = CollocationJacobianAssembler(
             self.num_t1,
             self.n,
             dq_mask=dae.dq_structure(),
             df_mask=dae.df_structure(),
             num_border=1,
         )
-        # ... and reuse the factorisation machinery across the whole run.
-        self.linear_solver = options.linear_solver or ReusableLUSolver()
+        # ... and the shared solver core: Newton policy, linear-solver
+        # selection and factorisation reuse (carried across envelope steps
+        # in chord mode), plus uniform stats for the run.
+        self.core = core_from_options(options)
+        # Per-step configuration consumed by residual()/jacobian().
+        self._b_new_tile = None
+        self._q_old = None
+        self._rhs_old = None
+        self._h = None
         # Memoised (iterate, q_flat, f_flat): jacobian(z) and rhs_terms()
         # re-see the iterate residual(z) just evaluated.
         self._eval_z = None
@@ -252,6 +279,49 @@ class _EnvelopeStepper:
         fast = omega_value * (self.d_big @ q_flat) + f_flat - b_tile
         return fast, q_flat
 
+    def residual(self, z):
+        states = z[:-1].reshape(self.num_t1, self.n)
+        w = z[-1]
+        q_flat, f_flat = self._evaluate_qf(states, z)
+        fast = w * (self.d_big @ q_flat) + f_flat - self._b_new_tile
+        core = (
+            (q_flat - self._q_old) / self._h
+            + self.theta * fast
+            + (1.0 - self.theta) * self._rhs_old
+        )
+        return np.concatenate(
+            [core, [self.condition.residual(states)]]
+        )
+
+    def jacobian(self, z):
+        states = z[:-1].reshape(self.num_t1, self.n)
+        w = z[-1]
+        dq = self.dae.dq_dx_batch(states)
+        df = self.dae.df_dx_batch(states)
+        q_flat, _f_flat = self._evaluate_qf(states, z)
+        omega_col = self.theta * (self.d_big @ q_flat)
+        # core = dq/h + theta * (w * D1 @ dq + df), bordered by the omega
+        # column and the phase row — data-only refresh, fixed pattern.
+        return self.assembler.refresh(
+            self.diffmat,
+            dq,
+            diag_inner=df,
+            coupling_scale=w,
+            outer_coeff=self.theta,
+            # scipy's sparse "/ h" is "* (1/h)"; match it bit for bit.
+            diag_outer=dq * (1.0 / self._h),
+            border_columns=omega_col[:, None],
+            border_rows=self.phase_row[None, :],
+        )
+
+    def structure(self):
+        return {
+            "num_points": self.num_t1,
+            "n_vars": self.n,
+            "num_border": 1,
+            "size": self.num_t1 * self.n + 1,
+        }
+
     def step(self, x_samples, omega, q_old, rhs_old, t2_new, h):
         """One implicit t2 step; returns ``(x_new, omega_new, iterations)``.
 
@@ -261,52 +331,16 @@ class _EnvelopeStepper:
             If the per-step Newton iteration fails.
         """
         num_t1, n = self.num_t1, self.n
-        b_new_tile = np.tile(self.dae.b(t2_new), num_t1)
-        beta = self.theta
-
-        def residual(z):
-            states = z[:-1].reshape(num_t1, n)
-            w = z[-1]
-            q_flat, f_flat = self._evaluate_qf(states, z)
-            fast = w * (self.d_big @ q_flat) + f_flat - b_new_tile
-            core = (
-                (q_flat - q_old) / h
-                + beta * fast
-                + (1.0 - beta) * rhs_old
-            )
-            return np.concatenate(
-                [core, [self.condition.residual(states)]]
-            )
-
-        def jacobian(z):
-            states = z[:-1].reshape(num_t1, n)
-            w = z[-1]
-            dq = self.dae.dq_dx_batch(states)
-            df = self.dae.df_dx_batch(states)
-            q_flat, _f_flat = self._evaluate_qf(states, z)
-            omega_col = beta * (self.d_big @ q_flat)
-            # core = dq/h + beta * (w * D1 @ dq + df), bordered by the omega
-            # column and the phase row — data-only refresh, fixed pattern.
-            return self._assembler.refresh(
-                self.diffmat,
-                dq,
-                diag_inner=df,
-                coupling_scale=w,
-                outer_coeff=beta,
-                # scipy's sparse "/ h" is "* (1/h)"; match it bit for bit.
-                diag_outer=dq * (1.0 / h),
-                border_columns=omega_col[:, None],
-                border_rows=self.phase_row[None, :],
-            )
-
+        self._b_new_tile = np.tile(self.dae.b(t2_new), num_t1)
+        self._q_old = q_old
+        self._rhs_old = rhs_old
+        self._h = h
+        # A jump in the step size or the local frequency reshapes the
+        # Newton matrix discontinuously; the core drops any carried chord
+        # factorisation then (smooth drifts keep it).
+        self.core.note_parameters(h=h, omega=omega)
         z0 = np.concatenate([x_samples.ravel(), [omega]])
-        result = newton_solve(
-            residual,
-            jacobian,
-            z0,
-            options=self.options.newton,
-            linear_solver=self.linear_solver,
-        )
+        result = self.core.solve(self, z0)
         x_new = result.x[:-1].reshape(num_t1, n)
         omega_new = float(result.x[-1])
         if omega_new <= 0:
@@ -400,6 +434,7 @@ def solve_wampde_envelope(dae, initial_samples, omega0, t2_start, t2_stop,
             stored_samples.append(x_samples.copy())
             since_store = 0
 
+    stats["solver"] = stepper.core.stats.as_dict()
     return WampdeEnvelopeResult(
         np.asarray(stored_t2),
         np.asarray(stored_omega),
@@ -554,6 +589,7 @@ def solve_wampde_envelope_adaptive(dae, initial_samples, omega0, t2_start,
                 f"WaMPDE adaptive run exceeded max_steps={max_steps}"
             )
 
+    stats["solver"] = stepper.core.stats.as_dict()
     return WampdeEnvelopeResult(
         np.asarray(stored_t2),
         np.asarray(stored_omega),
@@ -563,11 +599,3 @@ def solve_wampde_envelope_adaptive(dae, initial_samples, omega0, t2_start,
     )
 
 
-def t1_grid(num_t1):
-    """Normalised t1 collocation grid (period 1)."""
-    return collocation_grid(num_t1, 1.0)
-
-
-def harmonic_axis(num_t1):
-    """Centered harmonic indices for a given t1 sample count."""
-    return harmonic_indices(num_t1)

@@ -20,8 +20,8 @@ import scipy.sparse as sp
 
 from repro.errors import SimulationError
 from repro.linalg.collocation import CollocationJacobianAssembler
-from repro.linalg.lu_cache import ReusableLUSolver
-from repro.linalg.newton import NewtonOptions, newton_solve
+from repro.linalg.newton import NewtonOptions
+from repro.linalg.solver_core import CollocationSystem, core_from_options
 from repro.linalg.sparse_tools import kron_diffmat
 from repro.phase_conditions import as_phase_condition
 from repro.spectral.diffmat import fourier_differentiation_matrix
@@ -33,13 +33,21 @@ from repro.wampde.warping import WarpingFunction
 
 @dataclass
 class WampdeQuasiperiodicOptions:
-    """Configuration for :func:`solve_wampde_quasiperiodic`."""
+    """Configuration for :func:`solve_wampde_quasiperiodic`.
+
+    ``newton_mode``/``linear_solver``/``threads`` select the shared
+    :class:`repro.linalg.solver_core.SolverCore` policy, linear solver and
+    Jacobian-refresh threading.
+    """
 
     phase_condition: object = "fourier"
     phase_variable: int = 0
     newton: NewtonOptions = field(
         default_factory=lambda: NewtonOptions(atol=1e-8, max_iterations=60)
     )
+    newton_mode: str = "full"
+    linear_solver: object = None
+    threads: int = 1
 
 
 class WampdeQuasiperiodicResult:
@@ -62,13 +70,14 @@ class WampdeQuasiperiodicResult:
     """
 
     def __init__(self, t2, period2, omega, samples, variable_names,
-                 newton_iterations):
+                 newton_iterations, stats=None):
         self.t2 = np.asarray(t2, dtype=float)
         self.period2 = float(period2)
         self.omega = np.asarray(omega, dtype=float)
         self.samples = np.asarray(samples, dtype=float)
         self.variable_names = tuple(variable_names)
         self.newton_iterations = int(newton_iterations)
+        self.stats = dict(stats or {})
 
     @property
     def mean_frequency(self):
@@ -174,6 +183,107 @@ def envelope_to_quasiperiodic_guess(envelope_result, period2, num_t2,
     return samples, omegas
 
 
+class _QuasiperiodicSystem(CollocationSystem):
+    """Bi-periodic WaMPDE system: N1 frequency unknowns + N1 phase rows.
+
+    Core residual: ``omega(t2_i) * D1 q + D2 q + f - b(t2)`` over the
+    flattened ``(N1, N0)`` grid, bordered by one frequency column and one
+    phase-condition row per t2 slice.
+    """
+
+    def __init__(self, dae, period2, n0, n1, condition):
+        self.dae = dae
+        self.n0 = n0
+        self.n1 = n1
+        self.n = dae.n
+        self.condition = condition
+        self.phase_row_block = condition.gradient(n0, self.n)
+        self.block = n0 * self.n  # unknowns per t2 point
+        self.total = n1 * self.block
+
+        t2_grid = collocation_grid(n1, period2)
+        diffmat1 = fourier_differentiation_matrix(n0, period=1.0)
+        diffmat2 = fourier_differentiation_matrix(n1, period=period2)
+        d1_big = kron_diffmat(diffmat1, self.n, ordering="point")
+        self.d1_all = sp.kron(
+            sp.identity(n1, format="csr"), d1_big, format="csr"
+        )
+        self.d2_all = kron_diffmat(diffmat2, self.block, ordering="point")
+        self.b_flat = np.stack(
+            [np.tile(dae.b(t), n0) for t in t2_grid]
+        ).ravel()
+
+        # Point-coupling matrices over the flattened (t2, t1) grid: the
+        # fast axis couples points within one t2 slice, the slow axis
+        # couples equal t1 indices across slices.  Their combination
+        # drives the pattern-reuse Jacobian assembly (see
+        # repro.linalg.collocation).
+        self.w1 = np.kron(np.eye(n1), diffmat1)
+        self.w2 = np.kron(diffmat2, np.eye(n0))
+        self.assembler = CollocationJacobianAssembler(
+            n1 * n0,
+            self.n,
+            dq_mask=dae.dq_structure(),
+            df_mask=dae.df_structure(),
+            coupling_mask=(self.w1 != 0.0) | (self.w2 != 0.0),
+            num_border=n1,
+        )
+
+    def split(self, z):
+        states = z[:self.total].reshape(self.n1, self.n0, self.n)
+        omegas = z[self.total:]
+        return states, omegas
+
+    def residual(self, z):
+        states, omegas = self.split(z)
+        flat_states = states.reshape(self.n1 * self.n0, self.n)
+        q_flat = self.dae.q_batch(flat_states).ravel()
+        f_flat = self.dae.f_batch(flat_states).ravel()
+        omega_expand = np.repeat(omegas, self.block)
+        core = (
+            omega_expand * (self.d1_all @ q_flat)
+            + self.d2_all @ q_flat
+            + f_flat
+            - self.b_flat
+        )
+        phase = np.array(
+            [self.condition.residual(states[i2]) for i2 in range(self.n1)]
+        )
+        return np.concatenate([core, phase])
+
+    def jacobian(self, z):
+        n1, block, total = self.n1, self.block, self.total
+        states, omegas = self.split(z)
+        flat_states = states.reshape(n1 * self.n0, self.n)
+        dq = self.dae.dq_dx_batch(flat_states)
+        df = self.dae.df_dx_batch(flat_states)
+        # omega(t2) row-scales the fast-axis coupling only.
+        coupling = np.repeat(omegas, self.n0)[:, None] * self.w1 + self.w2
+
+        q_flat = self.dae.q_batch(flat_states).ravel()
+        d1q = self.d1_all @ q_flat
+        columns = np.zeros((total, n1))
+        for i2 in range(n1):
+            sl = slice(i2 * block, (i2 + 1) * block)
+            columns[sl, i2] = d1q[sl]
+
+        rows = np.zeros((n1, total))
+        for i2 in range(n1):
+            rows[i2, i2 * block:(i2 + 1) * block] = self.phase_row_block
+
+        return self.assembler.refresh(
+            coupling,
+            dq,
+            diag_inner=df,
+            border_columns=columns,
+            border_rows=rows,
+        )
+
+    def structure(self):
+        return {"num_points": self.n1 * self.n0, "n_vars": self.n,
+                "num_border": self.n1, "size": self.total + self.n1}
+
+
 def solve_wampde_quasiperiodic(dae, period2, initial_samples, omega0,
                                num_t2=15, options=None):
     """Solve the bi-periodic WaMPDE boundary-value problem.
@@ -229,97 +339,18 @@ def solve_wampde_quasiperiodic(dae, period2, initial_samples, omega0,
         )
 
     condition = as_phase_condition(opts.phase_condition, opts.phase_variable)
-    phase_row_block = condition.gradient(n0, n)
-
     t2_grid = collocation_grid(n1, period2)
-    block = n0 * n  # unknowns per t2 point
-    total = n1 * block
 
-    diffmat1 = fourier_differentiation_matrix(n0, period=1.0)
-    diffmat2 = fourier_differentiation_matrix(n1, period=period2)
-    d1_big = kron_diffmat(diffmat1, n, ordering="point")
-    d1_all = sp.kron(sp.identity(n1, format="csr"), d1_big, format="csr")
-    d2_all = kron_diffmat(diffmat2, block, ordering="point")
-    b_grid = np.stack([np.tile(dae.b(t), n0) for t in t2_grid])
-
-    # Point-coupling matrices over the flattened (t2, t1) grid: the fast
-    # axis couples points within one t2 slice, the slow axis couples equal
-    # t1 indices across slices.  Their combination drives the pattern-reuse
-    # Jacobian assembly (see repro.linalg.collocation).
-    num_pts = n1 * n0
-    w1 = np.kron(np.eye(n1), diffmat1)
-    w2 = np.kron(diffmat2, np.eye(n0))
-    assembler = CollocationJacobianAssembler(
-        num_pts,
-        n,
-        dq_mask=dae.dq_structure(),
-        df_mask=dae.df_structure(),
-        coupling_mask=(w1 != 0.0) | (w2 != 0.0),
-        num_border=n1,
-    )
-
-    def split(z):
-        states = z[:total].reshape(n1, n0, n)
-        omegas = z[total:]
-        return states, omegas
-
-    def residual(z):
-        states, omegas = split(z)
-        flat_states = states.reshape(n1 * n0, n)
-        q_flat = dae.q_batch(flat_states).ravel()
-        f_flat = dae.f_batch(flat_states).ravel()
-        omega_expand = np.repeat(omegas, block)
-        core = (
-            omega_expand * (d1_all @ q_flat)
-            + d2_all @ q_flat
-            + f_flat
-            - b_grid.ravel()
-        )
-        phase = np.array(
-            [condition.residual(states[i2]) for i2 in range(n1)]
-        )
-        return np.concatenate([core, phase])
-
-    def jacobian(z):
-        states, omegas = split(z)
-        flat_states = states.reshape(n1 * n0, n)
-        dq = dae.dq_dx_batch(flat_states)
-        df = dae.df_dx_batch(flat_states)
-        # omega(t2) row-scales the fast-axis coupling only.
-        coupling = np.repeat(omegas, n0)[:, None] * w1 + w2
-
-        q_flat = dae.q_batch(flat_states).ravel()
-        d1q = d1_all @ q_flat
-        columns = np.zeros((total, n1))
-        for i2 in range(n1):
-            sl = slice(i2 * block, (i2 + 1) * block)
-            columns[sl, i2] = d1q[sl]
-
-        rows = np.zeros((n1, total))
-        for i2 in range(n1):
-            rows[i2, i2 * block:(i2 + 1) * block] = phase_row_block
-
-        return assembler.refresh(
-            coupling,
-            dq,
-            diag_inner=df,
-            border_columns=columns,
-            border_rows=rows,
-        )
-
+    system = _QuasiperiodicSystem(dae, period2, n0, n1, condition)
+    core = core_from_options(opts)
     z0 = np.concatenate([initial_samples.ravel(), omega0])
-    result = newton_solve(
-        residual,
-        jacobian,
-        z0,
-        options=opts.newton,
-        linear_solver=ReusableLUSolver(),
-    )
-    states, omegas = split(result.x)
+    result = core.solve(system, z0)
+    states, omegas = system.split(result.x)
     if np.any(omegas <= 0):
         raise SimulationError(
             "quasiperiodic WaMPDE converged to non-positive local frequency"
         )
     return WampdeQuasiperiodicResult(
-        t2_grid, period2, omegas, states, dae.variable_names, result.iterations
+        t2_grid, period2, omegas, states, dae.variable_names,
+        result.iterations, core.stats.as_dict(),
     )

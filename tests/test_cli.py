@@ -25,6 +25,34 @@ class TestParser:
         )
         assert args.horizon == "1e-4"
 
+    def test_solver_knobs_parsed(self):
+        args = build_parser().parse_args(
+            ["vco", "--newton", "full", "--linear-solver", "gmres",
+             "--threads", "4"]
+        )
+        assert args.newton == "full"
+        assert args.linear_solver == "gmres"
+        assert args.threads == 4
+
+    def test_chord_plus_gmres_rejected(self):
+        from repro.cli import _envelope_options
+
+        args = build_parser().parse_args(
+            ["vco", "--newton", "chord", "--linear-solver", "gmres"]
+        )
+        with pytest.raises(SystemExit, match="chord"):
+            _envelope_options(args)
+
+    def test_gmres_alone_implies_full_mode(self):
+        from repro.cli import _envelope_options
+
+        args = build_parser().parse_args(
+            ["vco", "--linear-solver", "gmres"]
+        )
+        options = _envelope_options(args)
+        assert options.newton_mode == "full"
+        assert options.linear_solver == "gmres"
+
 
 class TestCommands:
     def test_info_runs(self, capsys):
