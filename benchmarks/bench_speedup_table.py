@@ -81,6 +81,82 @@ def _bench_ported_solvers():
     return entries
 
 
+def _bench_ensemble_sweep(batch=8):
+    """Batched control-voltage sweep versus the serial loop (ratcheted).
+
+    The ensemble tentpole's win condition: ``batch`` scenarios of the
+    vacuum VCO advanced in lock-step by
+    :func:`repro.transient.ensemble.simulate_transient_ensemble` must run
+    in far less than ``batch`` times the single-run wall time.  The entry
+    ratchets the batched wall time; the >= 2x speedup over the serial
+    loop is asserted outright so a dispatch-overhead regression fails the
+    bench even before the baseline comparison.
+    """
+    from dataclasses import replace
+
+    from repro.circuits.library import T_NOMINAL, VcoParams
+    from repro.dae import ensemble_from_factory
+    from repro.transient import (
+        TransientOptions,
+        simulate_transient,
+        simulate_transient_ensemble,
+    )
+
+    base = VcoParams.vacuum()
+    control_voltages = np.linspace(0.8, 2.4, batch)
+
+    def factory(vc):
+        return MemsVcoDae(
+            replace(base, control_offset=vc), constant_control=True
+        )
+
+    def stacked_factory(values):
+        return MemsVcoDae(
+            replace(base, control_offset=np.asarray(values)),
+            constant_control=True,
+        )
+
+    ensemble = ensemble_from_factory(
+        factory, control_voltages, stacked_factory
+    )
+    x0 = np.tile([1.0, 0.0, 0.0, 0.0], (batch, 1))
+    options = TransientOptions(integrator="trap", dt=T_NOMINAL / 100)
+    horizon = 40 * T_NOMINAL
+
+    with WallTimer() as batched_timer:
+        batched = simulate_transient_ensemble(
+            ensemble, x0, 0.0, horizon, options
+        )
+    with WallTimer() as serial_timer:
+        serial_finals = []
+        for index, vc in enumerate(control_voltages):
+            run = simulate_transient(
+                factory(vc), x0[index], 0.0, horizon, options
+            )
+            serial_finals.append(run.x[-1])
+
+    # Lock-step results must match the independent runs within solver
+    # tolerance — the speedup is worthless otherwise.
+    finals = batched.x[-1]
+    scale = np.maximum(np.abs(serial_finals), 1e-12)
+    mismatch = float(np.max(np.abs(finals - serial_finals) / scale))
+    assert mismatch < 1e-4, f"ensemble diverged from serial runs: {mismatch}"
+
+    speedup = serial_timer.elapsed / batched_timer.elapsed
+    assert speedup >= 2.0, (
+        f"batched ensemble only {speedup:.2f}x faster than the serial "
+        f"loop at B={batch} (require >= 2x)"
+    )
+    return {
+        "name": "ensemble_sweep",
+        "steps": int(batched.stats["steps"]) * batch,
+        "wall_time_s": batched_timer.elapsed,
+        "serial_wall_time_s": serial_timer.elapsed,
+        "batch_size": batch,
+        "speedup_vs_serial_loop": speedup,
+    }
+
+
 def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
     params, samples, f0 = air_ic
     horizon = fig12_data["horizon"]
@@ -144,6 +220,17 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
         title="SolverCore-ported steady-state workloads (ratcheted)",
     ))
 
+    ensemble_entry = _bench_ensemble_sweep()
+    print(format_table(
+        ["metric", "value"],
+        [["scenarios (B)", ensemble_entry["batch_size"]],
+         ["batched wall time [s]", ensemble_entry["wall_time_s"]],
+         ["serial-loop wall time [s]", ensemble_entry["serial_wall_time_s"]],
+         ["speedup vs serial loop",
+          ensemble_entry["speedup_vs_serial_loop"]]],
+        title="Ensemble control-voltage sweep (ratcheted; >= 2x enforced)",
+    ))
+
     payload = {
         "schema_version": 1,
         "bench": "speedup_table",
@@ -178,6 +265,7 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
                     fig12_data["wampde"]["phase_error_cycles"],
             },
             *ported,
+            ensemble_entry,
         ],
         "speedup_vs_accurate_ode": speedup,
     }

@@ -27,6 +27,36 @@ import numpy as np
 from repro.errors import DeviceError
 
 
+def per_scenario_parameter(value, name, device_name, positive=True):
+    """Coerce a component value to ``float`` or a 1-D per-scenario stack.
+
+    Devices that accept a ``(B,)`` array here become *stacked* devices:
+    row ``b`` of every batched stamp is evaluated with the ``b``-th
+    parameter value, which is how :class:`repro.circuits.mna.CircuitDAE`
+    carries an ensemble of component spreads through one evaluation (see
+    :mod:`repro.dae.ensemble`).  A stacked device must only be evaluated
+    through the ``*_local_batch`` methods with batches matching ``B``.
+    """
+    if np.ndim(value) == 0:
+        value = float(value)
+        if positive and not value > 0:
+            raise DeviceError(
+                f"{device_name!r} needs positive {name}, got {value!r}"
+            )
+        return value
+    stack = np.asarray(value, dtype=float)
+    if stack.ndim != 1:
+        raise DeviceError(
+            f"{device_name!r} {name} must be a scalar or 1-D per-scenario "
+            f"stack, got shape {stack.shape}"
+        )
+    if positive and not np.all(stack > 0):
+        raise DeviceError(
+            f"{device_name!r} needs positive {name}, got {stack!r}"
+        )
+    return stack
+
+
 class Device(ABC):
     """Base class for all circuit devices.
 

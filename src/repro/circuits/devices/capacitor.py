@@ -4,24 +4,27 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.circuits.devices.base import Device
-from repro.errors import DeviceError
+from repro.circuits.devices.base import Device, per_scenario_parameter
 
 
 class Capacitor(Device):
     """Linear capacitor between ``node_a`` and ``node_b``.
 
     Contributes charge ``C * (v_a - v_b)`` to the KCL rows of its terminals.
+
+    Parameters
+    ----------
+    capacitance:
+        Capacitance in farads; must be positive.  May be a ``(B,)``
+        per-scenario stack (see
+        :func:`repro.circuits.devices.base.per_scenario_parameter`).
     """
 
     def __init__(self, name, node_a, node_b, capacitance):
         super().__init__(name, (node_a, node_b))
-        capacitance = float(capacitance)
-        if not capacitance > 0:
-            raise DeviceError(
-                f"capacitor {name!r} needs positive capacitance, got {capacitance!r}"
-            )
-        self.capacitance = capacitance
+        self.capacitance = per_scenario_parameter(
+            capacitance, "capacitance", name
+        )
 
     def q_local(self, u):
         charge = self.capacitance * (u[0] - u[1])
@@ -44,10 +47,12 @@ class Capacitor(Device):
 
     def dq_local_batch(self, U):
         U = np.asarray(U, dtype=float)
-        c = self.capacitance
-        return np.broadcast_to(
-            np.array([[c, -c], [-c, c]]), (U.shape[0], 2, 2)
-        ).copy()
+        out = np.empty((U.shape[0], 2, 2))
+        out[:, 0, 0] = self.capacitance
+        out[:, 0, 1] = -out[:, 0, 0]
+        out[:, 1, 0] = -out[:, 0, 0]
+        out[:, 1, 1] = out[:, 0, 0]
+        return out
 
     def f_local_batch(self, U):
         return np.zeros((np.asarray(U).shape[0], 2))

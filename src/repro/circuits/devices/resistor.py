@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from repro.circuits.devices.base import TwoTerminalStatic
-from repro.errors import DeviceError
+from repro.circuits.devices.base import TwoTerminalStatic, per_scenario_parameter
 
 
 class Resistor(TwoTerminalStatic):
@@ -12,17 +11,16 @@ class Resistor(TwoTerminalStatic):
     Parameters
     ----------
     resistance:
-        Resistance in ohms; must be positive and finite.
+        Resistance in ohms; must be positive.  May be a ``(B,)``
+        per-scenario stack (see
+        :func:`repro.circuits.devices.base.per_scenario_parameter`).
     """
 
     def __init__(self, name, node_a, node_b, resistance):
         super().__init__(name, node_a, node_b)
-        resistance = float(resistance)
-        if not resistance > 0:
-            raise DeviceError(
-                f"resistor {name!r} needs positive resistance, got {resistance!r}"
-            )
-        self.resistance = resistance
+        self.resistance = per_scenario_parameter(
+            resistance, "resistance", name
+        )
 
     def current(self, v):
         return v / self.resistance

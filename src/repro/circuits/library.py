@@ -173,6 +173,14 @@ class MemsVcoDae(SemiExplicitDAE):
 
     The batch methods are vectorised; the multi-time engines rely on them
     for speed.  Equivalence with the netlist build is asserted in the tests.
+
+    Every :class:`VcoParams` field may also be a ``(B,)`` per-scenario
+    stack (the dataclass performs no coercion): the batch methods then
+    evaluate row ``b`` with the ``b``-th parameter value, which is how
+    :class:`repro.dae.ensemble.EnsembleDAE.from_stacked` carries a whole
+    control-voltage sweep through one vectorised evaluation.  A stacked
+    instance must only be used through the ``*_batch`` methods with
+    batches of exactly ``B`` rows.
     """
 
     def __init__(self, params=None, constant_control=False):
@@ -253,6 +261,24 @@ class MemsVcoDae(SemiExplicitDAE):
         out[:, 2] = -u
         out[:, 3] = p.damping * u + p.stiffness * z
         return out
+
+    def qf_batch(self, states):
+        # Ensemble hot path: one unpack and one capacitance evaluation for
+        # both stacks (mirrors the single-point qf fast path).
+        states = np.asarray(states, dtype=float)
+        p = self.params
+        v, il, z, u = states.T
+        q = np.empty_like(states)
+        q[:, 0] = self.capacitance(z) * v
+        q[:, 1] = p.inductance * il
+        q[:, 2] = z
+        q[:, 3] = p.mass * u
+        f = np.empty_like(states)
+        f[:, 0] = il - p.g1 * v + p.g3 * v**3
+        f[:, 1] = -v
+        f[:, 2] = -u
+        f[:, 3] = p.damping * u + p.stiffness * z
+        return q, f
 
     def b_batch(self, times):
         times = np.asarray(times, dtype=float).ravel()

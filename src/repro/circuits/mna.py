@@ -237,6 +237,26 @@ class CircuitDAE(SemiExplicitDAE):
             ),
         )
 
+    def qf_batch(self, states):
+        # One gather per device serves both stamps (the ensemble engine
+        # calls this at every Newton iterate).
+        states = np.asarray(states, dtype=float)
+        m = states.shape[0]
+        q_parts = []
+        f_parts = []
+        for slot in self._slots:
+            local = self._gather_batch(states, slot)
+            q_parts.append(
+                (slot, slot.device.q_local_batch(local)[:, slot.row_sel])
+            )
+            f_parts.append(
+                (slot, slot.device.f_local_batch(local)[:, slot.row_sel])
+            )
+        return (
+            self._accumulate_vector_batch(m, q_parts),
+            self._accumulate_vector_batch(m, f_parts),
+        )
+
     def b_batch(self, times):
         times = np.asarray(times, dtype=float).ravel()
         return self._accumulate_vector_batch(

@@ -26,31 +26,57 @@ class Waveform(ABC):
         """Value at time(s) ``t``."""
 
 
+def _scalar_or_stack(value, name):
+    """Coerce a waveform parameter to ``float`` or a 1-D scenario stack.
+
+    A leading scenario axis lets one waveform carry ``B`` per-scenario
+    values (an ensemble of control voltages, say); it broadcasts against a
+    matching ``(B,)`` time vector in ``__call__``.  See
+    :mod:`repro.dae.ensemble`.
+    """
+    if np.ndim(value) == 0:
+        return float(value)
+    stack = np.asarray(value, dtype=float)
+    if stack.ndim != 1:
+        raise ValidationError(
+            f"{name} must be a scalar or a 1-D per-scenario stack, got "
+            f"shape {stack.shape}"
+        )
+    return stack
+
+
 class DC(Waveform):
-    """Constant value."""
+    """Constant value (scalar, or a per-scenario stack — see ensembles)."""
 
     def __init__(self, value):
-        self.value = float(value)
+        self.value = _scalar_or_stack(value, "value")
 
     def __call__(self, t):
         t = np.asarray(t, dtype=float)
-        return np.full_like(t, self.value) if t.ndim else self.value
+        value = self.value + np.zeros_like(t) if np.ndim(self.value) == 0 \
+            else self.value + 0.0 * t
+        return value if np.ndim(value) else float(self.value)
 
     def __repr__(self):
         return f"DC({self.value!r})"
 
 
 class Sine(Waveform):
-    """Sinusoid ``offset + amplitude * sin(2*pi*frequency*(t - delay) + phase)``."""
+    """Sinusoid ``offset + amplitude * sin(2*pi*frequency*(t - delay) + phase)``.
+
+    ``amplitude``/``offset``/``phase``/``delay`` may be per-scenario stacks
+    (1-D arrays) that broadcast against a matching time vector; the
+    frequency stays scalar (ensembles advance in lock-step on one grid).
+    """
 
     def __init__(self, amplitude=1.0, frequency=1.0, offset=0.0, phase=0.0,
                  delay=0.0):
         check_positive(frequency, "frequency")
-        self.amplitude = float(amplitude)
+        self.amplitude = _scalar_or_stack(amplitude, "amplitude")
         self.frequency = float(frequency)
-        self.offset = float(offset)
-        self.phase = float(phase)
-        self.delay = float(delay)
+        self.offset = _scalar_or_stack(offset, "offset")
+        self.phase = _scalar_or_stack(phase, "phase")
+        self.delay = _scalar_or_stack(delay, "delay")
         self.period = 1.0 / self.frequency
 
     def __call__(self, t):

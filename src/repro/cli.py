@@ -35,8 +35,10 @@ def _add_solver_args(parser):
              "(default) or frozen-LU-preconditioned GMRES (large circuits)",
     )
     parser.add_argument(
-        "--threads", type=int, default=1,
-        help="worker threads for the collocation Jacobian refresh",
+        "--threads", type=int, default=None,
+        help="worker threads for the collocation Jacobian refresh "
+             "(default: automatic — large refreshes thread themselves; "
+             "pass 1 to force a serial refresh)",
     )
 
 
@@ -105,6 +107,69 @@ def _cmd_info(args):
     return 0
 
 
+def _run_tuning_sweep(args):
+    """Tuning-curve sweep over the control voltage (paper Figs 7/10 law).
+
+    ``--ensemble`` (the default) settles every control voltage in one
+    lock-step batched transient and refines each point with autonomous HB;
+    ``--no-ensemble`` runs classic point-by-point continuation.  Prints
+    the per-scenario SolverStats either way.
+    """
+    from dataclasses import replace
+
+    from repro.circuits.library import MemsVcoDae, T_NOMINAL, VcoParams
+    from repro.linalg.solver_core import SolverStats
+    from repro.steadystate import oscillator_frequency_sweep
+    from repro.utils import format_table, write_csv
+
+    if args.newton or args.linear_solver or args.threads is not None:
+        # The sweep's solves are the batched ensemble chord loop plus
+        # per-point HB with its own defaults; silently ignoring explicit
+        # solver flags would be worse than refusing them.
+        raise SystemExit(
+            "error: --newton/--linear-solver/--threads configure the "
+            "envelope run and are not supported with --sweep"
+        )
+    params = VcoParams.vacuum() if args.variant == "vacuum" else \
+        VcoParams.air()
+    values = np.linspace(args.sweep_min, args.sweep_max, args.sweep)
+
+    def factory(vc):
+        return MemsVcoDae(
+            replace(params, control_offset=vc), constant_control=True
+        )
+
+    def stacked_factory(stack):
+        return MemsVcoDae(
+            replace(params, control_offset=np.asarray(stack)),
+            constant_control=True,
+        )
+
+    method = "ensemble" if args.ensemble else "continuation"
+    sweep = oscillator_frequency_sweep(
+        factory, values, period_guess=T_NOMINAL, num_t1=args.num_t1,
+        method=method, stacked_factory=stacked_factory,
+    )
+    print(format_table(
+        ["Vc [V]", "frequency [MHz]", "amplitude [Vpp]"],
+        [[v, f / 1e6, a] for v, f, a in
+         zip(sweep.values, sweep.frequencies, sweep.amplitudes)],
+        title=f"{args.variant} VCO tuning curve ({method}, "
+              f"{values.size} points)",
+    ))
+    for value, stats in zip(sweep.values, sweep.solver_stats):
+        print(f"scenario Vc={value:.3f} V: "
+              f"{SolverStats(**stats).summary()}")
+    if args.csv:
+        path = write_csv(
+            f"{args.csv}/vco_{args.variant}_tuning_sweep.csv",
+            ["vc_v", "frequency_hz", "amplitude_vpp"],
+            [sweep.values, sweep.frequencies, sweep.amplitudes],
+        )
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_vco(args):
     """Run a WaMPDE envelope of the chosen VCO variant; print Fig 7/10."""
     from repro.circuits.library import MemsVcoDae, T_NOMINAL, VcoParams
@@ -113,6 +178,9 @@ def _cmd_vco(args):
         oscillator_initial_condition,
         solve_wampde_envelope,
     )
+
+    if args.sweep:
+        return _run_tuning_sweep(args)
 
     if args.variant == "vacuum":
         params, horizon, steps = VcoParams.vacuum(), 60e-6, 600
@@ -263,6 +331,20 @@ def build_parser():
     vco.add_argument("--num-t1", dest="num_t1", type=int, default=25,
                      help="odd t1 sample count (harmonics = (N-1)/2)")
     vco.add_argument("--csv", help="directory for CSV output")
+    vco.add_argument(
+        "--sweep", type=int, default=0, metavar="N",
+        help="instead of the envelope, sweep the tuning curve over N "
+             "control voltages and print per-scenario solver stats",
+    )
+    vco.add_argument(
+        "--ensemble", action=argparse.BooleanOptionalAction, default=True,
+        help="run the sweep through the lock-step ensemble path "
+             "(--no-ensemble = point-by-point continuation)",
+    )
+    vco.add_argument("--sweep-min", type=float, default=0.4,
+                     help="lowest swept control voltage [V]")
+    vco.add_argument("--sweep-max", type=float, default=2.6,
+                     help="highest swept control voltage [V]")
     _add_solver_args(vco)
 
     sub.add_parser("fm", help="§3 signal-representation story")

@@ -13,6 +13,7 @@ verifying integrator orders and solver correctness.
 """
 
 from repro.dae.base import SemiExplicitDAE, FunctionDAE
+from repro.dae.ensemble import EnsembleDAE, ensemble_from_factory
 from repro.dae.scaled import ScaledDAE
 from repro.dae.manufactured import (
     LinearRCDae,
@@ -24,6 +25,8 @@ from repro.dae.manufactured import (
 __all__ = [
     "SemiExplicitDAE",
     "FunctionDAE",
+    "EnsembleDAE",
+    "ensemble_from_factory",
     "ScaledDAE",
     "LinearRCDae",
     "HarmonicOscillatorDae",

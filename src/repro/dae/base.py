@@ -63,6 +63,16 @@ class SemiExplicitDAE(ABC):
 
     # -- batched evaluation ------------------------------------------------
 
+    def qf_batch(self, states):
+        """Evaluate ``(q_batch, f_batch)`` together over ``(m, n)`` states.
+
+        The ensemble transient engine calls this at every Newton iterate
+        (one row per scenario); systems whose ``q`` and ``f`` share
+        sub-expressions should override it the same way they override
+        :meth:`qf`.  The default delegates.
+        """
+        return self.q_batch(states), self.f_batch(states)
+
     def q_batch(self, states):
         """Apply :meth:`q` row-wise to ``states`` of shape ``(m, n)``."""
         states = np.asarray(states, dtype=float)

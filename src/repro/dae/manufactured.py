@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dae.base import SemiExplicitDAE
+from repro.errors import ValidationError
 from repro.utils.validation import check_nonnegative, check_positive
 
 
@@ -134,8 +135,18 @@ class VanDerPolDae(SemiExplicitDAE):
     """
 
     def __init__(self, mu=0.2):
-        check_nonnegative(mu, "mu")
-        self.mu = float(mu)
+        # mu may be a (B,) per-scenario stack: the batch methods then
+        # evaluate row b with mu[b], so one instance carries a whole
+        # nonlinearity sweep (see repro.dae.ensemble).
+        if np.ndim(mu) == 0:
+            check_nonnegative(mu, "mu")
+            self.mu = float(mu)
+        else:
+            self.mu = np.asarray(mu, dtype=float)
+            if self.mu.ndim != 1 or np.any(self.mu < 0):
+                raise ValidationError(
+                    f"mu must be a non-negative scalar or 1-D stack, got {mu!r}"
+                )
         self.n = 2
         self.variable_names = ("y", "w")
 

@@ -1,16 +1,20 @@
-"""Shared grid and state-stacking helpers for the collocation solvers.
+"""Shared grid construction and state-stacking helpers.
 
 Every collocation engine (harmonic balance, the quasiperiodic solvers, the
 envelope steppers) flattens ``(points, variables)`` sample grids into the
 point-major vectors Newton iterates on, and works on the normalised
-``t1 in [0, 1)`` spectral grid with centred harmonic indices.  These
-helpers used to be copy-pasted per module; they live here once now.
+``t1 in [0, 1)`` spectral grid with centred harmonic indices.  The basic
+1-D grid constructors (``uniform_grid`` and friends) used to live in a
+second module, :mod:`repro.utils.grids`; they are folded in here so all
+grid construction has one home (the old location re-exports for
+compatibility).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.spectral.grid import collocation_grid, harmonic_indices
 
 
@@ -37,3 +41,52 @@ def t1_grid(num_t1):
 def harmonic_axis(num_t1):
     """Centred harmonic indices for a given t1 sample count."""
     return harmonic_indices(num_t1)
+
+
+def uniform_grid(start, stop, num):
+    """Uniform grid of ``num`` points including both endpoints.
+
+    Equivalent to :func:`numpy.linspace` but validates its arguments.
+    """
+    if num < 2:
+        raise ValidationError(f"uniform_grid needs num >= 2, got {num}")
+    if not stop > start:
+        raise ValidationError(
+            f"uniform_grid needs stop > start, got [{start}, {stop}]"
+        )
+    return np.linspace(start, stop, num)
+
+
+def periodic_grid(period, num):
+    """Uniform grid of ``num`` points on ``[0, period)`` (endpoint excluded).
+
+    This is the natural collocation grid for periodic spectral methods: the
+    point at ``t = period`` is identified with ``t = 0`` and therefore not
+    repeated.
+    """
+    if not (np.isfinite(period) and period > 0):
+        raise ValidationError(
+            f"period must be a positive finite number, got {period!r}"
+        )
+    if num < 1:
+        raise ValidationError(f"periodic_grid needs num >= 1, got {num}")
+    return period * np.arange(num) / num
+
+
+def log_grid(start, stop, num):
+    """Logarithmically spaced grid; both endpoints must be positive."""
+    if not (np.isfinite(start) and start > 0):
+        raise ValidationError(
+            f"start must be a positive finite number, got {start!r}"
+        )
+    if not (np.isfinite(stop) and stop > 0):
+        raise ValidationError(
+            f"stop must be a positive finite number, got {stop!r}"
+        )
+    if num < 2:
+        raise ValidationError(f"log_grid needs num >= 2, got {num}")
+    if not stop > start:
+        raise ValidationError(
+            f"log_grid needs stop > start, got [{start}, {stop}]"
+        )
+    return np.geomspace(start, stop, num)

@@ -35,6 +35,8 @@ zero set changes.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -78,10 +80,14 @@ class CollocationJacobianAssembler:
         Number of border columns/rows (1 for a frequency unknown + phase
         condition, ``N1`` for the quasiperiodic WaMPDE, 0 for none).
     threads:
-        Worker threads for the off-diagonal block refresh (opt-in; the
-        per-block value computation is embarrassingly parallel over
-        coupling pairs and NumPy releases the GIL inside the ufunc loops).
-        1 (the default) keeps the refresh serial; small refreshes stay
+        Worker threads for the off-diagonal block refresh (the per-block
+        value computation is embarrassingly parallel over coupling pairs
+        and NumPy releases the GIL inside the ufunc loops).  ``None``
+        (the default) picks automatically: refreshes with at least
+        ``_THREAD_AUTO_ENTRIES`` candidate off-diagonal entries use up to
+        ``_THREAD_AUTO_WORKERS`` workers, smaller ones stay serial.  Pass
+        ``threads=1`` to opt out explicitly (force a serial refresh) or a
+        larger integer to force a worker count; small refreshes stay
         serial regardless — see ``_THREAD_MIN_ENTRIES``.  The threaded
         path writes disjoint row ranges of preallocated buffers with an
         unchanged per-entry floating-point grouping, so results are
@@ -89,11 +95,10 @@ class CollocationJacobianAssembler:
     """
 
     def __init__(self, num_points, n_vars, dq_mask=None, df_mask=None,
-                 coupling_mask=None, num_border=0, threads=1):
+                 coupling_mask=None, num_border=0, threads=None):
         m = int(num_points)
         n = int(n_vars)
         k = int(num_border)
-        self.threads = max(int(threads), 1)
         self._executor = None
         self._executor_threads = None
         if m < 1 or n < 1 or k < 0:
@@ -130,6 +135,17 @@ class CollocationJacobianAssembler:
         self._pair_j = pairs[:, 1]
         self._off_r, self._off_c = np.nonzero(dq_mask)
         self._diag_r, self._diag_c = np.nonzero(diag_mask)
+
+        if threads is None:
+            # Auto policy: thread the refresh only where it demonstrably
+            # pays (bit-identical either way — only wall time changes).
+            off_entries = self._pair_i.size * self._off_r.size
+            threads = (
+                min(self._THREAD_AUTO_WORKERS, os.cpu_count() or 1)
+                if off_entries >= self._THREAD_AUTO_ENTRIES
+                else 1
+            )
+        self.threads = max(int(threads), 1)
 
         # Candidate (row, col) of every structural entry, in the exact order
         # refresh() lays the values out (off blocks, diag blocks, border
@@ -187,6 +203,15 @@ class CollocationJacobianAssembler:
     #: Below this many off-diagonal entries the refresh stays serial even
     #: when ``threads > 1`` (thread dispatch would dominate the arithmetic).
     _THREAD_MIN_ENTRIES = 1 << 14
+
+    #: ``threads=None`` (auto) turns the threaded refresh on from this many
+    #: candidate off-diagonal entries — 4x the serial floor, so auto-chosen
+    #: refreshes are comfortably past the dispatch break-even point.
+    _THREAD_AUTO_ENTRIES = 1 << 16
+
+    #: Worker cap for the auto policy: the refresh is memory-bandwidth
+    #: bound, so returns diminish quickly beyond a few workers.
+    _THREAD_AUTO_WORKERS = 4
 
     def _get_executor(self):
         # ``threads`` may be raised after construction (the solver core

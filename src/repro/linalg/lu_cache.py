@@ -92,6 +92,82 @@ class FrozenFactorization:
         raise RuntimeError("FrozenFactorization.solve called before factor")
 
 
+class BlockFactorization:
+    """Factor ``B`` independent ``(n, n)`` blocks; solve all in one shot.
+
+    The ensemble transient engine's per-scenario Newton matrices form a
+    block-diagonal system that never couples scenarios, so the
+    factorisation batches perfectly:
+
+    * a ``(B, n, n)`` dense stack with ``n <= INVERSE_LIMIT`` — one batched
+      LAPACK :func:`numpy.linalg.inv` call; each :meth:`solve` is a single
+      batched mat-vec (same trade-off as
+      :class:`FrozenFactorization`'s inverse regime, and the common case:
+      ensembles exist precisely because the per-scenario systems are tiny);
+    * a larger dense stack — per-block LAPACK LU (the loop runs only on
+      refactorisation, which the chord policy makes rare);
+    * a sparse block-diagonal matrix (from
+      :class:`repro.linalg.transient_assembler.TransientStepAssembler` in
+      batch mode) — one SuperLU factorisation of the whole block diagonal.
+
+    ``solve`` takes and returns ``(B, n)`` right-hand sides (row ``b`` is
+    scenario ``b``'s system).
+    """
+
+    #: Largest per-block dense size for which the batched inverse is used.
+    INVERSE_LIMIT = FrozenFactorization.INVERSE_LIMIT
+
+    def __init__(self):
+        self._mode = None
+        self._inv = None
+        self._lus = None
+        self._splu = None
+        self._shape = None
+
+    @property
+    def ready(self):
+        """Whether :meth:`factor` has been called."""
+        return self._mode is not None
+
+    def factor(self, blocks):
+        """Factorise a ``(B, n, n)`` stack or sparse block-diagonal matrix."""
+        if sp.issparse(blocks):
+            csc = blocks if sp.isspmatrix_csc(blocks) else blocks.tocsc()
+            self._splu = spla.splu(csc)
+            self._mode = "sparse"
+            return self
+        stack = np.asarray(blocks, dtype=float)
+        if stack.ndim != 3 or stack.shape[1] != stack.shape[2]:
+            raise ValueError(
+                f"blocks must be a (B, n, n) stack, got shape {stack.shape}"
+            )
+        self._shape = stack.shape[:2]
+        if stack.shape[1] <= self.INVERSE_LIMIT:
+            self._inv = np.linalg.inv(stack)
+            self._mode = "inverse"
+        else:
+            self._lus = [sla.lu_factor(block) for block in stack]
+            self._mode = "lu"
+        return self
+
+    def solve(self, rhs):
+        """Solve every scenario's system; ``rhs`` and the result are ``(B, n)``."""
+        if self._mode == "inverse":
+            return (self._inv @ np.asarray(rhs, dtype=float)[:, :, None])[
+                :, :, 0
+            ]
+        if self._mode == "lu":
+            rhs = np.asarray(rhs, dtype=float)
+            out = np.empty(self._shape)
+            for b, lu in enumerate(self._lus):
+                out[b] = sla.lu_solve(lu, rhs[b], check_finite=False)
+            return out
+        if self._mode == "sparse":
+            rhs = np.asarray(rhs, dtype=float)
+            return self._splu.solve(rhs.ravel()).reshape(rhs.shape)
+        raise RuntimeError("BlockFactorization.solve called before factor")
+
+
 class ReusableLUSolver:
     """LU solver with pattern-aware CSC conversion and factorisation reuse.
 
@@ -205,6 +281,27 @@ SolverCore`) can report uniform factorisation counts; ``stats["solves"]``
             self.stats["factorizations"] += 1
             self._dense_a = a.copy()
         return sla.lu_solve(self._dense_lu, rhs)
+
+    def export_frozen(self):
+        """Snapshot the current factors as a :class:`FrozenFactorization`.
+
+        Lets a chord policy *adopt* the factorisation a damped full-Newton
+        fallback just paid for instead of discarding it (see
+        :meth:`repro.linalg.solver_core.SolverCore._solve_chord`).  Returns
+        ``None`` when no reusable factors are held — before the first
+        solve, or in the small-dense regime where :meth:`_solve_dense`
+        factors inside LAPACK ``solve`` without keeping anything.
+        """
+        frozen = FrozenFactorization()
+        if self._lu is not None:
+            frozen._splu = self._lu
+            frozen._mode = "sparse"
+            return frozen
+        if self._dense_lu is not None:
+            frozen._lu = self._dense_lu
+            frozen._mode = "lu"
+            return frozen
+        return None
 
     def __call__(self, matrix, rhs):
         self.stats["solves"] += 1

@@ -267,7 +267,7 @@ class StaleJacobianNewton:
         x = np.asarray(x0, dtype=float).ravel()
         f = np.asarray(residual(x), dtype=float).ravel()
         stats["residual_evaluations"] += 1
-        norm = float(np.max(np.abs(f))) if f.size else 0.0
+        norm = float(np.abs(f).max()) if f.size else 0.0
         history = [norm]
         if norm <= atol:
             return NewtonResult(x, True, 0, norm, history)
@@ -282,7 +282,7 @@ class StaleJacobianNewton:
             iteration += 1
             stats["iterations"] += 1
             dx = self._factor.solve(f)
-            if not np.all(np.isfinite(dx)):
+            if not np.isfinite(dx).all():
                 if fresh:
                     self._have = False
                     raise SingularJacobianError(
@@ -297,7 +297,7 @@ class StaleJacobianNewton:
             x_new = x - dx
             f_new = np.asarray(residual(x_new), dtype=float).ravel()
             stats["residual_evaluations"] += 1
-            norm_new = float(np.max(np.abs(f_new)))
+            norm_new = float(np.abs(f_new).max())
 
             if norm_new <= atol:
                 history.append(norm_new)
@@ -318,17 +318,17 @@ class StaleJacobianNewton:
                     x_new = x - step * dx
                     f_new = np.asarray(residual(x_new), dtype=float).ravel()
                     stats["residual_evaluations"] += 1
-                    norm_new = float(np.max(np.abs(f_new)))
+                    norm_new = float(np.abs(f_new).max())
                     if np.isfinite(norm_new) and norm_new < norm:
                         break
                     if halving < opts.max_step_halvings - 1:
                         step *= 0.5
 
             update_small = bool(
-                np.all(
+                (
                     np.abs(x_new - x)
                     <= opts.rtol * np.maximum(np.abs(x_new), 1.0)
-                )
+                ).all()
             )
             slow = norm_new > self.contraction * norm
             x, f, norm = x_new, f_new, norm_new

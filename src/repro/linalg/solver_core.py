@@ -90,8 +90,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, fields
 
-import numpy as np
-
 from repro.errors import ConvergenceError
 from repro.linalg.lu_cache import ReusableLUSolver
 from repro.linalg.newton import (
@@ -192,11 +190,14 @@ class SolverCoreOptions:
         or the local frequency ``omega``) that drops the chord
         factorisation.
     threads:
-        Worker threads for the assembler block refresh.  The core pushes
-        this into ``system.assembler`` (when the system exposes its
-        :class:`~repro.linalg.collocation.CollocationJacobianAssembler`
-        under that attribute, as every built-in system does) at solve
-        time; 1 = serial.
+        Worker threads for the assembler block refresh.  ``None`` (the
+        default) leaves the assembler's own choice in place — large
+        refreshes thread automatically, see
+        :class:`~repro.linalg.collocation.CollocationJacobianAssembler` —
+        while an explicit integer overrides it (``1`` forces the refresh
+        serial).  The core pushes the value into ``system.assembler``
+        (when the system exposes its assembler under that attribute, as
+        every built-in system does) at solve time.
     """
 
     mode: str = "full"
@@ -204,7 +205,7 @@ class SolverCoreOptions:
     linear_solver: object = None
     contraction: float = 0.1
     invalidate_rtol: float = 0.25
-    threads: int = 1
+    threads: int | None = None
 
 
 class CollocationSystem:
@@ -240,18 +241,16 @@ class FunctionSystem(CollocationSystem):
     """Adapter wrapping plain ``residual``/``jacobian`` callables."""
 
     def __init__(self, residual, jacobian, structure=None):
-        self._residual = residual
-        self._jacobian = jacobian
-        self._structure = dict(structure or {})
-
-    def residual(self, z):
-        return self._residual(z)
-
-    def jacobian(self, z):
-        return self._jacobian(z)
+        # The callables are exposed directly: SolverCore reads
+        # ``system.residual`` / ``system.jacobian`` as attributes, so the
+        # adapter adds no per-call frame (the transient engine builds one
+        # of these per time step).
+        self.residual = residual
+        self.jacobian = jacobian
+        self._structure = structure
 
     def structure(self):
-        return dict(self._structure)
+        return dict(self._structure or {})
 
 
 def core_from_options(options):
@@ -316,6 +315,7 @@ class SolverCore:
         self.options = opts
         self.stats = SolverStats()
         self._params = {}
+        self._counters = {"residual": 0, "jacobian": 0}
         # A custom/iterative linear solver implies full Newton: the chord
         # policy owns its own (direct) factorisation.
         custom_linear = opts.linear_solver not in (None, "lu")
@@ -327,6 +327,26 @@ class SolverCore:
             else None
         )
         self._linear_solver = _resolve_linear_solver(opts.linear_solver)
+        # The damped full-Newton fallback always wants robust direct
+        # factors: reuse the primary solver when it is already a direct
+        # ReusableLUSolver, otherwise keep a dedicated one (e.g. when the
+        # primary is GMRES or a custom callable).
+        self._fallback_solver = (
+            self._linear_solver
+            if isinstance(self._linear_solver, ReusableLUSolver)
+            else ReusableLUSolver()
+        )
+        # Stats dicts that carry factorisation counts, resolved once — the
+        # per-solve accounting reads them on the hot path.
+        sources = []
+        if self._chord is not None:
+            sources.append(self._chord.stats)
+        solver_stats = getattr(self._linear_solver, "stats", None)
+        if isinstance(solver_stats, dict):
+            sources.append(solver_stats)
+        if self._fallback_solver is not self._linear_solver:
+            sources.append(self._fallback_solver.stats)
+        self._fact_sources = tuple(sources)
 
     @property
     def mode(self):
@@ -358,62 +378,94 @@ class SolverCore:
                 self.invalidate()
             self._params[key] = value
 
+    def adopt_factorization(self, factorization):
+        """Adopt an externally factorised Jacobian as the chord factor.
+
+        Used by the sensitivity sweep, which factorises the exact step
+        Jacobian at every accepted point anyway — the next step's chord
+        Newton gets a perfectly fresh matrix for free.  A no-op in full
+        mode (full Newton never reuses factors).
+        """
+        if self._chord is not None:
+            self._chord.adopt(factorization)
+
     def _apply_threads(self, system):
-        """Wire ``options.threads`` into the system's assembler, if any."""
+        """Wire ``options.threads`` into the system's assembler, if any.
+
+        ``None`` keeps the assembler's own (auto) choice; an explicit
+        integer overrides it in either direction — ``threads=1`` is the
+        opt-out that forces a serial refresh.
+        """
         threads = self.options.threads
-        if threads <= 1:
+        if threads is None:
             return
         assembler = getattr(system, "assembler", None)
-        if assembler is not None and assembler.threads < threads:
-            assembler.threads = int(threads)
+        if assembler is not None:
+            assembler.threads = max(int(threads), 1)
 
-    def _backend_factorizations(self):
-        """Current factorisation count across the possible backends."""
-        count = 0
-        if self._chord is not None:
-            count += self._chord.stats["factorizations"]
-        stats = getattr(self._linear_solver, "stats", None)
-        if isinstance(stats, dict):
-            count += stats.get("factorizations", 0)
-        return count
-
-    def solve(self, system, z0):
+    def solve(self, system, z0, fallback_z0=None):
         """Solve ``system.residual(z) = 0`` from ``z0``.
 
         Returns the :class:`repro.linalg.newton.NewtonResult`; failure
         semantics follow ``options.newton.raise_on_failure``.  All
         activity is accumulated into :attr:`stats`.
+
+        Parameters
+        ----------
+        fallback_z0:
+            Optional start point for the damped full-Newton fallback —
+            e.g. the last accepted state of a step sequence, which is
+            more robust than a failed predictor.  In chord mode the
+            fallback defaults to ``z0``; in full mode a fallback runs
+            *only* when ``fallback_z0`` is given (single boundary-value
+            solves have no more robust point to restart from).
         """
         stats = self.stats
-        counters = {"residual": 0, "jacobian": 0}
+        chord = self._chord
+        counters = self._counters
+        counters["residual"] = 0
+        counters["jacobian"] = 0
+        if chord is not None:
+            # The chord policy counts its own residual evaluations, and it
+            # calls ``jacobian`` exactly once per refactorisation — so the
+            # raw callables go in uninstrumented and the counts come from
+            # stats deltas below.  This keeps Python-frame overhead out of
+            # the per-step hot path (the transient engine solves here a
+            # few hundred thousand times per run); only the rare fallback
+            # pays for counting wrappers (see :meth:`_fallback`).
+            residual = system.residual
+            jacobian = system.jacobian
+            chord_stats = chord.stats
+            chord_resid_before = chord_stats["residual_evaluations"]
+            chord_fact_before = chord_stats["factorizations"]
+            chord_before = chord_stats["iterations"]
+        else:
 
-        def residual(z):
-            counters["residual"] += 1
-            return system.residual(z)
+            def residual(z):
+                counters["residual"] += 1
+                return system.residual(z)
 
-        def jacobian(z):
-            counters["jacobian"] += 1
-            return system.jacobian(z)
+            def jacobian(z):
+                counters["jacobian"] += 1
+                return system.jacobian(z)
 
-        self._apply_threads(system)
-        fact_before = self._backend_factorizations()
-        chord_before = (
-            self._chord.stats["iterations"] if self._chord is not None else 0
-        )
+        if self.options.threads is not None:
+            self._apply_threads(system)
+        fact_before = 0
+        for source in self._fact_sources:
+            fact_before += source["factorizations"]
         fallbacks_before = stats.fallbacks
         result = None
         raised_iterations = 0
         start = time.perf_counter()
         try:
-            if self._chord is not None:
-                result = self._solve_chord(residual, jacobian, z0)
+            if chord is not None:
+                result = self._solve_chord(
+                    residual, jacobian, z0, fallback_z0
+                )
             else:
-                result = newton_solve(
-                    residual,
-                    jacobian,
-                    z0,
-                    options=self.options.newton,
-                    linear_solver=self._linear_solver,
+                result = self._solve_full(
+                    residual, jacobian, z0, fallback_z0
                 )
         except ConvergenceError as exc:
             raised_iterations = exc.iterations or 0
@@ -425,21 +477,28 @@ class SolverCore:
             stats.wall_time_s += time.perf_counter() - start
             stats.residual_evaluations += counters["residual"]
             stats.jacobian_refreshes += counters["jacobian"]
-            stats.factorizations += (
-                self._backend_factorizations() - fact_before
-            )
+            fact_after = 0
+            for source in self._fact_sources:
+                fact_after += source["factorizations"]
+            stats.factorizations += fact_after - fact_before
             stats.solves += 1
             newton_iterations = (
                 result.iterations if result is not None else raised_iterations
             )
-            if self._chord is not None:
+            if chord is not None:
+                stats.residual_evaluations += (
+                    chord_stats["residual_evaluations"] - chord_resid_before
+                )
+                stats.jacobian_refreshes += (
+                    chord_stats["factorizations"] - chord_fact_before
+                )
                 # Count every chord iteration burned, including the ones a
                 # failed attempt spent before the full-Newton fallback
                 # (whose own iterations are newton_iterations; without a
                 # fallback result.iterations IS the chord count, so don't
                 # double-add).
                 stats.iterations += (
-                    self._chord.stats["iterations"] - chord_before
+                    chord_stats["iterations"] - chord_before
                 )
                 if stats.fallbacks > fallbacks_before:
                     stats.iterations += newton_iterations
@@ -447,9 +506,8 @@ class SolverCore:
                 stats.iterations += newton_iterations
         return result
 
-    def _solve_chord(self, residual, jacobian, z0):
+    def _solve_chord(self, residual, jacobian, z0, fallback_z0=None):
         """Chord attempt with a damped full-Newton fallback."""
-        opts = self.options.newton
         try:
             result = self._chord.solve(residual, jacobian, z0)
         except ConvergenceError:
@@ -458,12 +516,66 @@ class SolverCore:
             result = None
         if result is not None and result.converged:
             return result
+        return self._fallback(
+            residual, jacobian, z0 if fallback_z0 is None else fallback_z0
+        )
+
+    def _solve_full(self, residual, jacobian, z0, fallback_z0=None):
+        """Full Newton; retried from ``fallback_z0`` when one is given."""
+        try:
+            result = newton_solve(
+                residual,
+                jacobian,
+                z0,
+                options=self.options.newton,
+                linear_solver=self._linear_solver,
+            )
+        except ConvergenceError:
+            if fallback_z0 is None:
+                raise
+            result = None
+        if result is not None and (result.converged or fallback_z0 is None):
+            return result
+        return self._fallback(residual, jacobian, fallback_z0)
+
+    def _fallback(self, residual, jacobian, z0):
+        """Damped full Newton with fresh direct factorisations.
+
+        A converged fallback's last factorisation is *adopted* as the
+        chord factor instead of being discarded: the fallback paid for a
+        Jacobian at (nearly) the converged state, which is exactly what
+        the chord policy would refactorise next solve.  (Adoption needs
+        the backend to hold reusable factors — see
+        :meth:`repro.linalg.lu_cache.ReusableLUSolver.export_frozen`;
+        small dense systems solve directly and skip it.)
+        """
         self.stats.fallbacks += 1
         self.invalidate()
-        return newton_solve(
+        if self._chord is not None:
+            # Chord solves hand the raw system callables around (the chord
+            # policy self-counts); the fallback's newton_solve does not, so
+            # instrument here.  Full-mode callables arrive pre-wrapped.
+            counters = self._counters
+            raw_residual, raw_jacobian = residual, jacobian
+
+            def residual(z):
+                counters["residual"] += 1
+                return raw_residual(z)
+
+            def jacobian(z):
+                counters["jacobian"] += 1
+                return raw_jacobian(z)
+
+        result = newton_solve(
             residual,
             jacobian,
             z0,
-            options=opts,
-            linear_solver=self._linear_solver,
+            options=self.options.newton,
+            linear_solver=self._fallback_solver,
         )
+        if result.converged and self._chord is not None:
+            export = getattr(self._fallback_solver, "export_frozen", None)
+            frozen = export() if export is not None else None
+            if frozen is not None:
+                self._chord.adopt(frozen)
+        return result

@@ -39,7 +39,7 @@ class MpdeEnvelopeOptions:
     )
     newton_mode: str = "chord"
     linear_solver: object = None
-    threads: int = 1
+    threads: int | None = None
     store_every: int = 1
 
 

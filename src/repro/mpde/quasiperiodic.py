@@ -32,7 +32,7 @@ class MpdeQuasiperiodicOptions:
     )
     newton_mode: str = "full"
     linear_solver: object = None
-    threads: int = 1
+    threads: int | None = None
 
 
 class MpdeQuasiperiodicResult:

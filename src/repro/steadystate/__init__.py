@@ -24,7 +24,11 @@ from repro.steadystate.harmonic_balance import (
     harmonic_balance_autonomous,
 )
 from repro.steadystate.entrainment import find_locked_orbit, stretch_cycle
-from repro.steadystate.sweep import FrequencySweepResult, oscillator_frequency_sweep
+from repro.steadystate.sweep import (
+    FrequencySweepResult,
+    ensemble_frequency_sweep,
+    oscillator_frequency_sweep,
+)
 
 __all__ = [
     "dc_operating_point",
@@ -40,5 +44,6 @@ __all__ = [
     "find_locked_orbit",
     "stretch_cycle",
     "FrequencySweepResult",
+    "ensemble_frequency_sweep",
     "oscillator_frequency_sweep",
 ]

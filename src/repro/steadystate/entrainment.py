@@ -10,16 +10,22 @@ from a free-running cycle (retried over initial phase shifts, since the
 locked phase offset relative to the injection is unknown a priori),
 filtered by amplitude (to discard the small non-oscillating response
 branch) and verified for *stability* by stroboscopic transient sampling.
+The retry search batches those independent verification transients —
+every surviving candidate orbit is probed in one lock-step ensemble run
+(:func:`repro.transient.ensemble.simulate_transient_ensemble`) instead of
+one serial transient per candidate.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.dae.ensemble import EnsembleDAE
+from repro.errors import ConvergenceError, SimulationError
 from repro.linalg.newton import NewtonOptions
 from repro.steadystate.harmonic_balance import harmonic_balance_forced
 from repro.transient.engine import TransientOptions, simulate_transient
+from repro.transient.ensemble import simulate_transient_ensemble
 from repro.utils.validation import check_positive
 
 
@@ -84,6 +90,10 @@ def find_locked_orbit(dae, period, base_cycle, min_peak_to_peak=2.0,
         atol=1e-9, max_iterations=30, raise_on_failure=False
     )
 
+    # Phase-retry HB attempts: collect the distinct large-amplitude
+    # candidate orbits (different initial phases usually converge onto the
+    # same forced solution, so the candidate list is short).
+    candidates = []
     for shift in range(0, num, max(int(phase_step), 1)):
         rolled = np.roll(base_cycle, shift, axis=0)
         guess = (
@@ -100,16 +110,60 @@ def find_locked_orbit(dae, period, base_cycle, min_peak_to_peak=2.0,
         trace = solution.samples[:, variable]
         if trace.max() - trace.min() < min_peak_to_peak:
             continue
-        probe = simulate_transient(
-            dae, solution.samples[0], 0.0, stability_periods * period,
-            TransientOptions(integrator="trap", dt=period / 300),
-        )
-        strobe_times = (
-            np.arange(stability_periods - 6, stability_periods) * period
-        )
-        strobe = probe.sample(strobe_times, variable)
-        if np.max(
+        scale = float(np.max(np.abs(solution.samples))) or 1.0
+        if any(
+            np.allclose(solution.samples, seen.samples,
+                        rtol=1e-6, atol=1e-6 * scale)
+            for seen in candidates
+        ):
+            continue
+        candidates.append(solution)
+    if not candidates:
+        return None
+
+    # One lock-step ensemble transient verifies every candidate's
+    # stability at once (same DAE, different initial states: a trivially
+    # stacked ensemble — scalar parameters broadcast over the batch).
+    probe_options = TransientOptions(integrator="trap", dt=period / 300)
+    probe_horizon = stability_periods * period
+    strobe_times = (
+        np.arange(stability_periods - 6, stability_periods) * period
+    )
+
+    def is_stable(trace_result, solution, index):
+        strobe = trace_result.member(index).sample(strobe_times, variable)
+        return np.max(
             np.abs(strobe - solution.samples[0, variable])
-        ) < stability_tolerance:
+        ) < stability_tolerance
+
+    ensemble = EnsembleDAE.from_stacked(
+        dae, len(candidates), members=[dae] * len(candidates)
+    )
+    try:
+        probe = simulate_transient_ensemble(
+            ensemble,
+            np.stack([sol.samples[0] for sol in candidates]),
+            0.0, probe_horizon, probe_options,
+        )
+    except SimulationError:
+        # One diverging candidate's probe must not abort the search (the
+        # lock-step grid couples otherwise independent transients): retry
+        # serially, disqualifying only the candidates that diverge.
+        for solution in candidates:
+            try:
+                single = simulate_transient(
+                    dae, solution.samples[0], 0.0, probe_horizon,
+                    probe_options,
+                )
+            except SimulationError:
+                continue
+            strobe = single.sample(strobe_times, variable)
+            if np.max(
+                np.abs(strobe - solution.samples[0, variable])
+            ) < stability_tolerance:
+                return solution
+        return None
+    for index, solution in enumerate(candidates):
+        if is_stable(probe, solution, index):
             return solution
     return None

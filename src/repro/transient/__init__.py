@@ -19,6 +19,10 @@ from repro.transient.engine import (
     simulate_transient,
     simulate_transient_with_sensitivity,
 )
+from repro.transient.ensemble import (
+    EnsembleTransientResult,
+    simulate_transient_ensemble,
+)
 from repro.transient.results import TransientResult
 from repro.transient.events import zero_crossings, rising_level_crossings
 
@@ -30,8 +34,10 @@ __all__ = [
     "TransientOptions",
     "TransientSensitivityResult",
     "simulate_transient",
+    "simulate_transient_ensemble",
     "simulate_transient_with_sensitivity",
     "TransientResult",
+    "EnsembleTransientResult",
     "zero_crossings",
     "rising_level_crossings",
 ]

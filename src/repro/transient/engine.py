@@ -5,10 +5,13 @@ The inner loop is built around *reuse*:
 * the step Jacobian ``alpha * dQ + beta * dF`` is assembled through a
   :class:`repro.linalg.transient_assembler.TransientStepAssembler` whose
   structure is computed once per run from the DAE's structural masks;
-* the per-step Newton solve defaults to the stale-Jacobian chord policy
+* the per-step Newton solve runs through the shared
+  :class:`repro.linalg.solver_core.SolverCore` — the same driver the
+  collocation engines use — defaulting to the stale-Jacobian chord policy
   (:class:`repro.linalg.newton.StaleJacobianNewton`): one factorisation is
   reused across Newton iterations *and* accepted steps, refreshed only on
-  slow convergence or a step-size change;
+  slow convergence or a step-size change, with a damped full-Newton
+  fallback whose freshly factorised Jacobian the chord policy adopts;
 * in fixed-step runs the forcing ``b(t)`` is evaluated for the whole grid
   in one batched call up front, and each accepted step reuses the ``q`` /
   ``f`` values of its final Newton residual for the integrator history
@@ -22,17 +25,17 @@ alongside the state — the single-sweep monodromy used by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ConvergenceError, SimulationError
-from repro.linalg.lu_cache import FrozenFactorization, ReusableLUSolver
-from repro.linalg.newton import (
-    NewtonOptions,
-    NewtonResult,
-    StaleJacobianNewton,
-    newton_solve,
+from repro.linalg.lu_cache import FrozenFactorization
+from repro.linalg.newton import NewtonOptions, NewtonResult
+from repro.linalg.solver_core import (
+    FunctionSystem,
+    SolverCore,
+    SolverCoreOptions,
 )
 from repro.linalg.transient_assembler import TransientStepAssembler
 from repro.transient.integrators import get_integrator
@@ -109,10 +112,16 @@ TransientStepAssembler`); if the solver exposes ``invalidate()`` it is
 class _StepController:
     """Per-run Newton machinery shared by all steps of one transient run.
 
-    Owns the pattern-reuse Jacobian assembler, the stale-factorisation
-    policy (or the full-Newton linear solver), and the fallback path: a
-    chord failure is retried once with damped full Newton and fresh
-    factorisations before the step is declared failed.
+    Owns the pattern-reuse Jacobian assembler and a
+    :class:`repro.linalg.solver_core.SolverCore` carrying the whole Newton
+    policy — the same core every collocation engine uses: chord with a
+    damped full-Newton fallback (the engine default), full Newton with an
+    optional custom linear solver, dt-jump invalidation via
+    ``note_parameters``, and the uniform
+    :class:`~repro.linalg.solver_core.SolverStats` surfaced as
+    ``result.stats["solver"]``.  The controller itself only adapts the
+    step residual/Jacobian closures and the engine's failure semantics
+    (a step must *return* non-convergence so the dt controller can react).
     """
 
     def __init__(self, dae, opts):
@@ -121,45 +130,37 @@ class _StepController:
         self.assembler = TransientStepAssembler(
             dae.dq_structure(), dae.df_structure()
         )
-        self.chord = (
-            StaleJacobianNewton(
-                options=opts.newton, contraction=opts.refresh_contraction
-            )
+        mode = (
+            "chord"
             if opts.stale_jacobian and opts.linear_solver is None
-            else None
+            else "full"
         )
-        self._full_solver = opts.linear_solver or ReusableLUSolver()
-        # Dedicated direct-LU solver for the damped full-Newton fallback:
-        # kept for the run's lifetime so its factorisation stats are
-        # reported, and deliberately separate from a custom/iterative
-        # _full_solver (the fallback always wants robust direct factors).
-        self._fallback_solver = ReusableLUSolver()
-        self._alpha = None
-        self.fallbacks = 0
+        self.core = SolverCore(SolverCoreOptions(
+            mode=mode,
+            newton=opts.newton,
+            linear_solver=opts.linear_solver,
+            contraction=opts.refresh_contraction,
+            # The engine's historical dt policy: drop frozen factors when
+            # the integrator weight alpha ~ 1/dt jumps by more than 25%.
+            invalidate_rtol=0.25,
+        ))
+        self._last_alpha = None
+
+    @property
+    def fallbacks(self):
+        """Steps that fell back to damped full Newton."""
+        return self.core.stats.fallbacks
 
     def factorizations(self):
-        """Total factorisations across the chord policy, the full-Newton
-        linear solver and the fallback solver (whichever track stats)."""
-        count = self._fallback_solver.stats["factorizations"]
-        if self.chord is not None:
-            count += self.chord.stats["factorizations"]
-        solver_stats = getattr(self._full_solver, "stats", None)
-        if isinstance(solver_stats, dict):
-            count += solver_stats.get("factorizations", 0)
-        return count
+        """Total factorisations across the core's backends."""
+        return self.core.stats.factorizations
 
     def invalidate(self):
-        if self.chord is not None:
-            self.chord.invalidate()
-        invalidate = getattr(self._full_solver, "invalidate", None)
-        if invalidate is not None:
-            invalidate()
+        self.core.invalidate()
 
-    def _notify_alpha(self, alpha):
-        """Drop frozen factors when the integrator weight jumps (dt change)."""
-        old, self._alpha = self._alpha, alpha
-        if old is not None and abs(alpha - old) > 0.25 * abs(old):
-            self.invalidate()
+    def adopt(self, factorization):
+        """Adopt an exact, externally factorised step Jacobian (chord)."""
+        self.core.adopt_factorization(factorization)
 
     def solve_step(self, integrator, history, t_new, b_new, x_guess):
         """Solve one implicit step towards ``t_new``.
@@ -170,7 +171,11 @@ class _StepController:
         """
         dae = self.dae
         alpha, rhs_const, beta = integrator.residual_terms(dae, history, t_new)
-        self._notify_alpha(alpha)
+        if alpha != self._last_alpha:
+            # Fixed-step runs keep one alpha; skip the (kwargs) call on
+            # the unchanged common case.
+            self.core.note_parameters(alpha=alpha)
+            self._last_alpha = alpha
         stash = [None, None]
 
         def residual(x_trial):
@@ -190,45 +195,25 @@ class _StepController:
                 alpha, dae.dq_dx(x_trial), beta, dae.df_dx(x_trial)
             )
 
-        result = None
         try:
-            if self.chord is not None:
-                result = self.chord.solve(residual, jacobian, x_guess)
-            else:
-                result = newton_solve(
-                    residual, jacobian, x_guess, options=self.opts.newton,
-                    linear_solver=self._full_solver,
-                )
-        except ConvergenceError:
+            # The fallback restarts from the last accepted state rather
+            # than the (possibly bad) predictor.
+            result = self.core.solve(
+                FunctionSystem(residual, jacobian), x_guess,
+                fallback_z0=history[-1][1],
+            )
+        except ConvergenceError as exc:
             # Includes SingularJacobianError: a singular or non-finite step
             # Jacobian at some trial iterate is treated as a step failure —
             # a smaller dt makes the step matrix more diagonally dominant —
             # and surfaces as a SimulationError with step/time context if
             # the controller runs out of dt.
-            result = None
-
-        if result is None or not result.converged:
-            # Fallback: damped full Newton with fresh factorisations, from
-            # the last accepted state rather than the (possibly bad)
-            # predictor.
-            self.fallbacks += 1
-            self.invalidate()
-            fallback_options = replace(
-                self.opts.newton, raise_on_failure=False
+            result = NewtonResult(
+                np.asarray(history[-1][1], dtype=float), False,
+                exc.iterations or 0,
+                float("nan") if exc.residual_norm is None
+                else exc.residual_norm,
             )
-            try:
-                result = newton_solve(
-                    residual, jacobian, history[-1][1],
-                    options=fallback_options,
-                    linear_solver=self._fallback_solver,
-                )
-            except ConvergenceError as exc:
-                result = NewtonResult(
-                    np.asarray(history[-1][1], dtype=float), False,
-                    exc.iterations or 0,
-                    float("nan") if exc.residual_norm is None
-                    else exc.residual_norm,
-                )
         return result, stash[0], stash[1], alpha, beta
 
 
@@ -419,6 +404,7 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
 
     stats["newton_fallbacks"] = controller.fallbacks
     stats["jacobian_factorizations"] = controller.factorizations()
+    stats["solver"] = controller.core.stats.as_dict()
 
     return TransientResult(
         np.asarray(stored_t),
@@ -592,8 +578,7 @@ def simulate_transient_with_sensitivity(dae, x0, t_start, t_stop,
             controller.assembler.refresh(alpha, dq_new, beta, df_new)
         )
         stats["jacobian_factorizations"] += 1
-        if controller.chord is not None:
-            controller.chord.adopt(factor)
+        controller.adopt(factor)
 
         weights = integrator.history_weights(history, t_new)
         used = sens_history[-len(weights):]
@@ -641,6 +626,7 @@ def simulate_transient_with_sensitivity(dae, x0, t_start, t_stop,
 
     stats["newton_fallbacks"] = controller.fallbacks
     stats["jacobian_factorizations"] += controller.factorizations()
+    stats["solver"] = controller.core.stats.as_dict()
 
     result = TransientResult(
         np.asarray(stored_t),

@@ -1,0 +1,588 @@
+"""Lock-step transient simulation of scenario ensembles.
+
+:func:`simulate_transient_ensemble` advances all ``B`` scenarios of an
+:class:`repro.dae.ensemble.EnsembleDAE` on one shared fixed-step grid from
+a single Python loop.  The per-step work is the same as
+:func:`repro.transient.engine.simulate_transient`'s — predictor, chord
+Newton, history recycling — but every piece carries a leading scenario
+axis:
+
+* residuals and Jacobian blocks come from one vectorised ``(B, n)`` /
+  ``(B, n, n)`` ensemble evaluation per iterate instead of ``B`` separate
+  calls;
+* the step matrix is the block diagonal of the per-scenario
+  ``alpha*dQ + dF`` blocks, assembled by one pattern-reuse
+  :class:`~repro.linalg.transient_assembler.TransientStepAssembler` in
+  batch mode and factorised by one batched
+  :class:`~repro.linalg.lu_cache.BlockFactorization`;
+* Newton convergence is judged **per scenario**: scenarios that have
+  converged freeze in place while the rest keep iterating, and the chord
+  refresh policy (a vectorised mirror of
+  :class:`~repro.linalg.newton.StaleJacobianNewton`) refactorises all
+  blocks together when any active scenario contracts too slowly;
+* a scenario that diverges under the lock-step chord iteration is rescued
+  *individually* — its member DAE is handed to a standard
+  :class:`~repro.transient.engine._StepController`, i.e. the same
+  :class:`~repro.linalg.solver_core.SolverCore` chord-with-fallback policy
+  a single-scenario run uses — so one pathological scenario never stalls
+  the ensemble.
+
+Because Python/NumPy dispatch dominates small-system transient loops (see
+ROADMAP), batching B scenarios makes the ensemble run in far less than
+B times the single-run wall time; the ``ensemble_sweep`` bench entry
+ratchets that speedup.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.dae.ensemble import EnsembleDAE
+from repro.errors import SimulationError, SingularJacobianError
+from repro.linalg.lu_cache import BlockFactorization
+from repro.linalg.solver_core import SolverStats
+from repro.linalg.transient_assembler import TransientStepAssembler
+from repro.transient.engine import (
+    _MAX_FORCING_GRID,
+    TransientOptions,
+    _StepController,
+    _extrapolate,
+)
+from repro.transient.integrators import get_integrator
+from repro.transient.results import TransientResult
+from repro.utils.validation import check_positive
+
+
+class EnsembleTransientResult:
+    """Lock-step time series of a scenario ensemble.
+
+    Attributes
+    ----------
+    t:
+        Shared accepted time points, shape ``(T,)``.
+    x:
+        States, shape ``(T, B, n)`` — ``x[:, b]`` is scenario ``b``'s
+        trajectory.
+    variable_names:
+        Member-level labels, length ``n``.
+    stats:
+        Aggregate counters plus per-scenario detail:
+        ``stats["solver_per_scenario"]`` holds one
+        :class:`~repro.linalg.solver_core.SolverStats` dict per scenario
+        (lock-step scenarios share residual evaluations, Jacobian
+        refreshes, factorisations and wall time; iterations and fallbacks
+        are tracked per scenario).
+    """
+
+    def __init__(self, t, x, variable_names, stats=None):
+        self.t = np.asarray(t, dtype=float)
+        self.x = np.asarray(x, dtype=float)
+        if self.x.ndim != 3 or self.x.shape[0] != self.t.size:
+            raise ValueError(
+                f"states must be (T, B, n) aligned with t, got {self.x.shape}"
+            )
+        self.variable_names = tuple(variable_names)
+        self.stats = dict(stats or {})
+
+    @property
+    def batch_size(self):
+        """Number of scenarios ``B``."""
+        return self.x.shape[1]
+
+    @property
+    def n(self):
+        """Unknowns per scenario."""
+        return self.x.shape[2]
+
+    def member(self, index):
+        """Scenario ``index``'s trajectory as a plain TransientResult."""
+        stats = {
+            key: value for key, value in self.stats.items()
+            if np.isscalar(value)
+        }
+        per_scenario = self.stats.get("solver_per_scenario")
+        if per_scenario is not None:
+            stats["solver"] = dict(per_scenario[index])
+        return TransientResult(
+            self.t, self.x[:, index], self.variable_names, stats
+        )
+
+    def __len__(self):
+        return self.t.size
+
+
+class _EnsembleChord:
+    """Vectorised chord Newton over the scenario axis.
+
+    A lock-step mirror of :class:`repro.linalg.newton.StaleJacobianNewton`:
+    one batched block factorisation is reused across iterations and
+    accepted steps; convergence, line-search damping and contraction
+    monitoring are all per scenario.  A scenario whose update goes
+    non-finite under *fresh* factors is abandoned to the caller's
+    per-scenario fallback instead of poisoning the whole batch.
+    """
+
+    def __init__(self, options, contraction, refresh_every_iteration=False):
+        self.options = options
+        self.contraction = float(contraction)
+        self.refresh_every_iteration = bool(refresh_every_iteration)
+        self.factor = BlockFactorization()
+        self._have = False
+        self.stats = {
+            "factorizations": 0,
+            "iterations": 0,
+            "residual_evaluations": 0,
+            "jacobian_refreshes": 0,
+        }
+
+    def invalidate(self):
+        """Drop the stored factors; the next solve refactorises."""
+        self._have = False
+
+    def _refactor(self, jacobian, states):
+        try:
+            self.factor.factor(jacobian(states))
+        except (RuntimeError, np.linalg.LinAlgError) as exc:
+            self._have = False
+            raise SingularJacobianError(
+                f"ensemble chord refactorisation failed: {exc}"
+            ) from exc
+        self._have = True
+        self.stats["factorizations"] += 1
+        self.stats["jacobian_refreshes"] += 1
+
+    def solve(self, residual, jacobian, states0):
+        """Iterate all scenarios from ``states0`` (``(B, n)``).
+
+        Returns ``(states, converged, iterations)`` where ``converged``
+        and ``iterations`` are per-scenario ``(B,)`` arrays.  Scenarios
+        with ``converged[b] = False`` are left at their best iterate for
+        the caller's fallback.
+        """
+        opts = self.options
+        atol = opts.atol
+        stats = self.stats
+        states = np.array(states0, dtype=float)
+        batch = states.shape[0]
+        iterations = np.zeros(batch, dtype=int)
+
+        residuals = residual(states)
+        stats["residual_evaluations"] += 1
+        norms = np.abs(residuals).max(axis=1)
+        converged = norms <= atol
+        num_left = batch - int(converged.sum())
+        if num_left == 0:
+            return states, converged, iterations
+        abandoned = np.zeros(batch, dtype=bool)
+
+        fresh = False
+        if self.refresh_every_iteration or not self._have:
+            self._refactor(jacobian, states)
+            fresh = True
+
+        iteration = 0
+        while iteration < opts.max_iterations and num_left:
+            active = ~(converged | abandoned)
+            all_active = num_left == batch
+            iteration += 1
+            stats["iterations"] += 1
+            if all_active:
+                iterations += 1
+            else:
+                iterations[active] += 1
+            if self.refresh_every_iteration and iteration > 1:
+                self._refactor(jacobian, states)
+                fresh = True
+
+            updates = self.factor.solve(residuals)
+            finite = np.isfinite(updates).all(axis=1)
+            if not finite.all() and not finite[active].all():
+                if not fresh:
+                    self._refactor(jacobian, states)
+                    fresh = True
+                    iterations[active] -= 1
+                    stats["iterations"] -= 1
+                    iteration -= 1
+                    continue
+                # Fresh factors and still non-finite: hand those scenarios
+                # to the per-scenario fallback, keep iterating the rest.
+                abandoned |= active & ~finite
+                active = active & finite
+                all_active = False
+                num_left = int(active.sum())
+                if not num_left:
+                    break
+
+            # Converged/abandoned scenarios freeze in place; the masked
+            # update keeps their rows (and history stash rows) consistent.
+            if all_active:
+                trial = states - updates
+            else:
+                trial = np.where(active[:, None], states - updates, states)
+            trial_residuals = residual(trial)
+            stats["residual_evaluations"] += 1
+            trial_norms = np.abs(trial_residuals).max(axis=1)
+
+            improved = (trial_norms < norms) | (trial_norms <= atol)
+            if not improved.all():
+                uphill = active & ~improved
+                if uphill.any():
+                    if not fresh:
+                        # Blame staleness first: refactorise at the
+                        # current iterates and retry the iteration for
+                        # everyone.
+                        self._refactor(jacobian, states)
+                        fresh = True
+                        iterations[active] -= 1
+                        stats["iterations"] -= 1
+                        iteration -= 1
+                        continue
+                    # Fresh factors and still no descent: per-scenario
+                    # damped line search, keeping the smallest trial when
+                    # the budget is exhausted (mirrors newton_solve / the
+                    # serial chord).
+                    step = np.where(active, 1.0, 0.0)
+                    need = uphill.copy()
+                    for halving in range(opts.max_step_halvings):
+                        step[need] *= 0.5
+                        trial = np.where(
+                            active[:, None],
+                            states - step[:, None] * updates, states,
+                        )
+                        trial_residuals = residual(trial)
+                        stats["residual_evaluations"] += 1
+                        trial_norms = np.abs(trial_residuals).max(axis=1)
+                        need = uphill & ~(
+                            np.isfinite(trial_norms) & (trial_norms < norms)
+                        )
+                        if not need.any():
+                            break
+
+            moved = np.abs(trial - states)
+            update_small = (
+                moved <= opts.rtol * np.maximum(np.abs(trial), 1.0)
+            ).all(axis=1)
+            slow = trial_norms > self.contraction * norms
+            states, residuals, norms = trial, trial_residuals, trial_norms
+            newly = active & (
+                (norms <= atol) | (update_small & np.isfinite(norms))
+            )
+            if newly.any():
+                converged = converged | newly
+                active = ~(converged | abandoned)
+                num_left = int(active.sum())
+                if not num_left:
+                    break
+            if not fresh and (slow & active).any():
+                self._refactor(jacobian, states)
+                fresh = True
+
+        if not converged.all():
+            # Failed scenarios invalidate the shared factors: the caller
+            # retries (fallback or smaller dt) and wants a fresh start.
+            self.invalidate()
+        return states, converged, iterations
+
+
+class _EnsembleStepController:
+    """Per-run ensemble Newton machinery (assembler, chord, fallback).
+
+    The vectorised chord loop handles the common case; scenarios it
+    cannot converge are retried one by one through the standard serial
+    :class:`~repro.transient.engine._StepController` (the shared
+    ``SolverCore`` chord-with-fallback policy) using their member DAEs.
+    """
+
+    def __init__(self, ensemble, opts):
+        if opts.linear_solver is not None:
+            raise SimulationError(
+                "ensemble transients use the batched block factorisation; "
+                "custom linear solvers are a single-scenario option"
+            )
+        self.ensemble = ensemble
+        self.opts = opts
+        self.assembler = TransientStepAssembler(
+            ensemble.dq_structure(), ensemble.df_structure(),
+            batch=ensemble.batch_size,
+        )
+        self.chord = _EnsembleChord(
+            opts.newton, opts.refresh_contraction,
+            refresh_every_iteration=not opts.stale_jacobian,
+        )
+        self._alpha = None
+        self.iterations = np.zeros(ensemble.batch_size, dtype=int)
+        self.fallbacks = np.zeros(ensemble.batch_size, dtype=int)
+        self._member_controllers = {}
+
+    def factorizations(self):
+        """Batched factorisations plus any per-scenario fallback ones."""
+        count = self.chord.stats["factorizations"]
+        for controller in self._member_controllers.values():
+            count += controller.factorizations()
+        return count
+
+    def invalidate(self):
+        self.chord.invalidate()
+
+    def _notify_alpha(self, alpha):
+        """Drop frozen factors when the integrator weight jumps (dt change)."""
+        old, self._alpha = self._alpha, alpha
+        if old is not None and abs(alpha - old) > 0.25 * abs(old):
+            self.invalidate()
+
+    def _member_controller(self, index):
+        controller = self._member_controllers.get(index)
+        if controller is None:
+            controller = _StepController(
+                self.ensemble.member(index), self.opts
+            )
+            self._member_controllers[index] = controller
+        return controller
+
+    def solve_step(self, integrator, history, t_new, b_new, x_guess):
+        """Advance every scenario one implicit step towards ``t_new``.
+
+        Returns ``(states, converged, q_new, fb_new)`` with the usual
+        history payload; ``converged`` is the per-scenario mask after the
+        fallback pass.
+        """
+        ensemble = self.ensemble
+        alpha, rhs_const, beta = integrator.residual_terms(
+            ensemble, history, t_new
+        )
+        self._notify_alpha(alpha)
+        stash = [None, None]
+
+        def residual(states):
+            charges, statics = ensemble.qf_rows(states)
+            balance = statics - b_new
+            stash[0] = charges
+            stash[1] = balance
+            out = alpha * charges
+            out += rhs_const
+            out += beta * balance
+            return out
+
+        assembler = self.assembler
+
+        def jacobian(states):
+            return assembler.refresh(
+                alpha, ensemble.dq_rows(states), beta,
+                ensemble.df_rows(states),
+            )
+
+        try:
+            states, converged, iterations = self.chord.solve(
+                residual, jacobian, x_guess
+            )
+        except SingularJacobianError:
+            # A singular batched refactorisation fails the whole step; the
+            # engine reacts with a smaller dt, which makes every block
+            # more diagonally dominant.
+            batch = ensemble.batch_size
+            return (
+                np.array(history[-1][1], dtype=float),
+                np.zeros(batch, dtype=bool),
+                history[-1][2], history[-1][3],
+            )
+        self.iterations += iterations
+
+        if not converged.all() and ensemble.has_members:
+            # Per-scenario rescue through the standard serial controller.
+            q_rows, fb_rows = stash
+            for index in np.nonzero(~converged)[0]:
+                self.fallbacks[index] += 1
+                controller = self._member_controller(index)
+                member_history = [
+                    (t_i, x_i[index], q_i[index], fb_i[index])
+                    for (t_i, x_i, q_i, fb_i) in history
+                ]
+                result, q_member, fb_member, _a, _b = controller.solve_step(
+                    integrator, member_history, t_new,
+                    np.asarray(b_new)[index], np.asarray(x_guess)[index],
+                )
+                self.iterations[index] += result.iterations
+                if result.converged:
+                    states[index] = result.x
+                    q_rows[index] = q_member
+                    fb_rows[index] = fb_member
+                    converged[index] = True
+
+        return states, converged, stash[0], stash[1]
+
+
+def simulate_transient_ensemble(ensemble, x0, t_start, t_stop, options=None):
+    """Integrate all scenarios of an ensemble on one fixed-step grid.
+
+    Parameters
+    ----------
+    ensemble:
+        An :class:`repro.dae.ensemble.EnsembleDAE` (a plain
+        :class:`~repro.dae.base.SemiExplicitDAE` is wrapped as a
+        single-scenario ensemble).
+    x0:
+        Per-scenario initial states, shape ``(B, n)`` (a single ``(n,)``
+        vector is broadcast to every scenario).
+    t_start, t_stop:
+        Shared simulation window.
+    options:
+        :class:`~repro.transient.engine.TransientOptions`; must describe a
+        fixed-step run (the lock-step grid has one dt for every scenario)
+        and use the default (direct, batched) linear solver.
+
+    Returns
+    -------
+    EnsembleTransientResult
+
+    Notes
+    -----
+    Trajectories match ``B`` independent
+    :func:`~repro.transient.engine.simulate_transient` runs within Newton
+    tolerance — the discretisation is identical; only the iteration
+    grouping differs.  A Newton failure halves the shared dt (after the
+    per-scenario fallback), so one stiff scenario slows the grid for all;
+    split pathological scenarios into their own ensemble if that matters.
+    """
+    if not isinstance(ensemble, EnsembleDAE):
+        ensemble = EnsembleDAE.from_stacked(ensemble, 1, members=[ensemble])
+    opts = options or TransientOptions()
+    integrator = get_integrator(opts.integrator)
+    if opts.adaptive:
+        raise SimulationError(
+            "ensemble transients are fixed-step (one lock-step grid); run "
+            "adaptive scenarios individually"
+        )
+    if opts.dt is None:
+        raise SimulationError("ensemble transient requires options.dt")
+    check_positive(opts.dt, "options.dt")
+    if not t_stop > t_start:
+        raise SimulationError(
+            f"t_stop must exceed t_start, got [{t_start}, {t_stop}]"
+        )
+
+    batch, n = ensemble.batch_size, ensemble.n
+    states = np.array(x0, dtype=float)
+    if states.ndim == 1:
+        states = np.broadcast_to(states, (batch, states.size)).copy()
+    if states.shape != (batch, n):
+        raise SimulationError(
+            f"initial states must have shape {(batch, n)}, got {states.shape}"
+        )
+
+    t = float(t_start)
+    dt = float(opts.dt)
+    controller = _EnsembleStepController(ensemble, opts)
+
+    charges, statics = ensemble.qf_rows(states)
+    history = [(t, states.copy(), charges, statics - ensemble.b_rows(t))]
+
+    # Fixed-step fast path: the whole (T, B, n) forcing grid up front.
+    span = t_stop - t_start
+    n_steps = max(int(np.ceil(span / dt - 1e-9)), 1)
+    t_grid = b_grid = None
+    grid_idx = 0
+    if n_steps * batch <= _MAX_FORCING_GRID:
+        t_grid = t_start + dt * np.arange(1, n_steps + 1)
+        t_grid[-1] = t_stop
+        b_grid = ensemble.b_rows_grid(t_grid)
+
+    run_start = time.perf_counter()
+    stored_t = [t]
+    stored_x = [states.copy()]
+    stats = {
+        "steps": 0,
+        "newton_iterations": 0,
+        "newton_failures": 0,
+        "newton_fallbacks": 0,
+        "jacobian_factorizations": 0,
+        "scenarios": batch,
+    }
+    accepted_since_store = 0
+    history_cap = max(integrator.steps, 2) + 1
+
+    while t < t_stop - 1e-15 * max(abs(t_stop), 1.0):
+        if t_grid is not None:
+            t_new = t_grid[grid_idx]
+            b_new = b_grid[grid_idx]
+            dt = t_new - t
+        else:
+            dt = min(dt, t_stop - t)
+            t_new = t + dt
+            b_new = ensemble.b_rows(t_new)
+
+        x_guess = _extrapolate(history, t_new)
+        new_states, converged, q_new, fb_new = controller.solve_step(
+            integrator, history, t_new, b_new, x_guess
+        )
+
+        if not converged.all():
+            stats["newton_failures"] += 1
+            dt *= 0.5
+            # The shared grid is no longer uniform; per-step forcing from
+            # here on.
+            t_grid = b_grid = None
+            if dt < opts.dt_min:
+                failed = np.nonzero(~converged)[0]
+                raise SimulationError(
+                    f"step size underflow at step {stats['steps']}, "
+                    f"t={t:.6e}: Newton diverged for scenario(s) "
+                    f"{failed.tolist()} with dt={2 * dt:.3e}"
+                )
+            continue
+
+        t = float(t_new)
+        states = new_states
+        history.append((t, states.copy(), q_new, fb_new))
+        if len(history) > history_cap:
+            history.pop(0)
+        if t_grid is not None:
+            grid_idx += 1
+
+        stats["steps"] += 1
+        accepted_since_store += 1
+        if accepted_since_store >= opts.store_every or t >= t_stop:
+            stored_t.append(t)
+            stored_x.append(states.copy())
+            accepted_since_store = 0
+        if stats["steps"] >= opts.max_steps:
+            raise SimulationError(
+                f"exceeded max_steps={opts.max_steps} at t={t:.6e}"
+            )
+
+    chord_stats = controller.chord.stats
+    stats["newton_iterations"] = int(controller.iterations.sum())
+    stats["newton_fallbacks"] = int(controller.fallbacks.sum())
+    stats["jacobian_factorizations"] = controller.factorizations()
+    shared = {
+        "solves": stats["steps"],
+        "residual_evaluations": chord_stats["residual_evaluations"],
+        "jacobian_refreshes": chord_stats["jacobian_refreshes"],
+        "factorizations": stats["jacobian_factorizations"],
+        # Lock-step wall time is shared: every scenario's steps happen
+        # inside the same loop iterations.
+        "wall_time_s": time.perf_counter() - run_start,
+    }
+    stats["solver"] = SolverStats(
+        iterations=stats["newton_iterations"],
+        fallbacks=stats["newton_fallbacks"],
+        **shared,
+    ).as_dict()
+    # Lock-step scenarios share refreshes/factorisations/residual sweeps;
+    # iterations and fallbacks are genuinely per scenario.
+    stats["solver_per_scenario"] = [
+        SolverStats(
+            iterations=int(controller.iterations[b]),
+            fallbacks=int(controller.fallbacks[b]),
+            **shared,
+        ).as_dict()
+        for b in range(batch)
+    ]
+
+    return EnsembleTransientResult(
+        np.asarray(stored_t),
+        np.asarray(stored_x),
+        ensemble.variable_names,
+        stats,
+    )

@@ -10,10 +10,23 @@ from repro.utils.validation import (
     as_2d_array,
 )
 from repro.utils.timing import WallTimer
-from repro.utils.grids import uniform_grid, periodic_grid, log_grid
 from repro.utils.tables import format_table
 from repro.utils.ascii_plot import ascii_plot
 from repro.utils.csvio import write_csv, read_csv
+
+#: Grid constructors that moved to :mod:`repro.grids`; resolved lazily so
+#: importing this package never triggers the spectral import chain that
+#: :mod:`repro.grids` pulls in (avoiding an import cycle through
+#: ``repro.spectral.grid`` → ``repro.utils.validation``).
+_MOVED_TO_REPRO_GRIDS = ("uniform_grid", "periodic_grid", "log_grid")
+
+
+def __getattr__(name):
+    if name in _MOVED_TO_REPRO_GRIDS:
+        import repro.grids
+
+        return getattr(repro.grids, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "check_finite",

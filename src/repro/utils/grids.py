@@ -1,44 +1,13 @@
-"""Grid construction helpers shared by the spectral and PDE code."""
+"""Compatibility shim: the grid constructors live in :mod:`repro.grids`.
+
+This module used to hold ``uniform_grid``/``periodic_grid``/``log_grid``
+while :mod:`repro.grids` held the collocation stacking helpers; the two
+were folded together (all grid construction now has one home).  Import
+from :mod:`repro.grids` in new code.
+"""
 
 from __future__ import annotations
 
-import numpy as np
+from repro.grids import log_grid, periodic_grid, uniform_grid
 
-from repro.errors import ValidationError
-from repro.utils.validation import check_positive
-
-
-def uniform_grid(start, stop, num):
-    """Uniform grid of ``num`` points including both endpoints.
-
-    Equivalent to :func:`numpy.linspace` but validates its arguments.
-    """
-    if num < 2:
-        raise ValidationError(f"uniform_grid needs num >= 2, got {num}")
-    if not stop > start:
-        raise ValidationError(f"uniform_grid needs stop > start, got [{start}, {stop}]")
-    return np.linspace(start, stop, num)
-
-
-def periodic_grid(period, num):
-    """Uniform grid of ``num`` points on ``[0, period)`` (endpoint excluded).
-
-    This is the natural collocation grid for periodic spectral methods: the
-    point at ``t = period`` is identified with ``t = 0`` and therefore not
-    repeated.
-    """
-    check_positive(period, "period")
-    if num < 1:
-        raise ValidationError(f"periodic_grid needs num >= 1, got {num}")
-    return period * np.arange(num) / num
-
-
-def log_grid(start, stop, num):
-    """Logarithmically spaced grid; both endpoints must be positive."""
-    check_positive(start, "start")
-    check_positive(stop, "stop")
-    if num < 2:
-        raise ValidationError(f"log_grid needs num >= 2, got {num}")
-    if not stop > start:
-        raise ValidationError(f"log_grid needs stop > start, got [{start}, {stop}]")
-    return np.geomspace(start, stop, num)
+__all__ = ["uniform_grid", "periodic_grid", "log_grid"]

@@ -87,8 +87,9 @@ class WampdeEnvelopeOptions:
         (the paper's [Saa96] reference); or any ``(matrix, rhs) ->
         solution`` callable.  Non-default values imply full Newton.
     threads:
-        Worker threads for the collocation Jacobian block refresh
-        (1 = serial).
+        Worker threads for the collocation Jacobian block refresh.
+        ``None`` (default) lets the assembler thread large refreshes
+        automatically; ``1`` forces a serial refresh (explicit opt-out).
     store_every:
         Keep every k-th accepted t2 point.
     rtol, atol:
@@ -106,7 +107,7 @@ class WampdeEnvelopeOptions:
     )
     newton_mode: str = "chord"
     linear_solver: object = None
-    threads: int = 1
+    threads: int | None = None
     store_every: int = 1
     rtol: float = 1e-5
     atol: float = 1e-8

@@ -463,3 +463,162 @@ class TestChordFallback:
         chord_burn = core._chord.stats["iterations"]
         assert chord_burn > 0
         assert core.stats.iterations == chord_burn + result.iterations
+
+
+class TestFallbackFactorAdoption:
+    """The chord policy must *adopt* the damped full-Newton fallback's
+    freshly factorised Jacobian instead of discarding it (ROADMAP item)."""
+
+    @staticmethod
+    def _linear_sparse_problem(matrix, rhs):
+        import scipy.sparse as sp
+
+        csc = sp.csc_matrix(matrix)
+
+        def residual(z):
+            return csc @ z - rhs
+
+        def jacobian(z):
+            return csc.copy()
+
+        return residual, jacobian
+
+    @staticmethod
+    def _core_after_fallback(rng):
+        """Drive a chord core through refactor-then-fail into the fallback.
+
+        max_iterations=1 lets full Newton solve the linear system exactly
+        while the chord attempt (one stale step, internal refresh, budget
+        exhausted) is forced onto the fallback path.
+        """
+        n = 40
+        a1 = np.diag(np.arange(2.0, 2.0 + n)) \
+            + 0.1 * rng.standard_normal((n, n))
+        core = SolverCore(SolverCoreOptions(
+            mode="chord",
+            newton=NewtonOptions(atol=1e-9, max_iterations=1,
+                                 raise_on_failure=False),
+        ))
+        res1, jac1 = TestFallbackFactorAdoption._linear_sparse_problem(
+            a1, np.ones(n)
+        )
+        assert core.solve(FunctionSystem(res1, jac1), np.zeros(n)).converged
+        assert core.stats.fallbacks == 0
+
+        # A very different matrix: the stale factors cannot contract, the
+        # single-iteration budget expires, the fallback solves it fresh.
+        a2 = 3.0 * a1 + np.diag(np.arange(n))
+        res2, jac2 = TestFallbackFactorAdoption._linear_sparse_problem(
+            a2, rng.standard_normal(n)
+        )
+        result = core.solve(FunctionSystem(res2, jac2), np.zeros(n))
+        assert result.converged
+        assert core.stats.fallbacks == 1
+        return core, res2, jac2, a2
+
+    def test_chord_reuses_adopted_factors_after_fallback(self, rng):
+        core, res2, jac2, a2 = self._core_after_fallback(rng)
+        before = core.stats.factorizations
+
+        # Same matrix, new right-hand side: the adopted fallback factors
+        # are exact, so the next chord solve must not refactorise at all —
+        # one fewer refactorisation on the fallback path than the old
+        # discard-and-refresh behaviour.
+        rhs3 = rng.standard_normal(a2.shape[0])
+        res3, jac3 = self._linear_sparse_problem(a2, rhs3)
+        result = core.solve(FunctionSystem(res3, jac3), np.zeros(a2.shape[0]))
+        assert result.converged
+        np.testing.assert_allclose(result.x, np.linalg.solve(a2, rhs3),
+                                   atol=1e-7)
+        assert core.stats.factorizations == before
+        assert core.stats.fallbacks == 1  # no new fallback either
+
+    def test_export_frozen_snapshots(self, rng):
+        import scipy.sparse as sp
+
+        from repro.linalg.lu_cache import ReusableLUSolver as Solver
+
+        solver = Solver()
+        assert solver.export_frozen() is None  # nothing factored yet
+
+        n = 40
+        a = sp.csc_matrix(np.diag(np.arange(1.0, 1.0 + n)))
+        b = rng.standard_normal(n)
+        solver(a, b)
+        frozen = solver.export_frozen()
+        assert frozen is not None
+        np.testing.assert_allclose(frozen.solve(b), b / np.arange(1.0, 1.0 + n),
+                                   atol=1e-12)
+
+        dense = Solver()
+        a_dense = np.diag(np.arange(1.0, 1.0 + n))
+        dense(a_dense, b)
+        frozen_dense = dense.export_frozen()
+        np.testing.assert_allclose(frozen_dense.solve(b),
+                                   np.linalg.solve(a_dense, b), atol=1e-12)
+
+        small = Solver()
+        small(np.eye(4), np.ones(4))  # small-dense direct path: no factors
+        assert small.export_frozen() is None
+
+
+class TestFallbackStartPoint:
+    def test_full_mode_fallback_requires_fallback_z0(self):
+        calls = {"n": 0}
+
+        def residual(z):
+            calls["n"] += 1
+            # Non-contracting plateau from the bad start, trivial from the
+            # good one.
+            if abs(z[0]) > 50.0:
+                return np.array([1e6])
+            return z - 1.0
+
+        def jacobian(z):
+            return np.eye(1)
+
+        opts = SolverCoreOptions(
+            mode="full",
+            newton=NewtonOptions(max_iterations=3, max_step_halvings=2,
+                                 raise_on_failure=False),
+        )
+        bad = np.array([100.0])
+        good = np.array([0.0])
+        # Without a fallback point the failure is returned as-is.
+        result = SolverCore(opts).solve(
+            FunctionSystem(residual, jacobian), bad
+        )
+        assert not result.converged
+        # With one, the fallback rescues the solve (and is counted).
+        core = SolverCore(opts)
+        result = core.solve(
+            FunctionSystem(residual, jacobian), bad, fallback_z0=good
+        )
+        assert result.converged
+        np.testing.assert_allclose(result.x, [1.0], atol=1e-8)
+        assert core.stats.fallbacks == 1
+
+
+class TestAutoThreadDefault:
+    def test_large_assembler_threads_by_default(self):
+        from repro.linalg.collocation import CollocationJacobianAssembler
+
+        # Comfortably past _THREAD_AUTO_ENTRIES candidate off-entries.
+        big = CollocationJacobianAssembler(300, 16)
+        assert big.threads > 1 or (__import__("os").cpu_count() or 1) == 1
+        # Small refreshes stay serial under the auto policy.
+        small = CollocationJacobianAssembler(5, 2)
+        assert small.threads == 1
+        # The explicit opt-out still wins.
+        opted_out = CollocationJacobianAssembler(300, 16, threads=1)
+        assert opted_out.threads == 1
+
+    def test_explicit_threads_1_opt_out_pushed_by_core(self):
+        from repro.linalg.collocation import CollocationJacobianAssembler
+
+        residual, jacobian = quadratic_system()
+        system = FunctionSystem(residual, jacobian)
+        system.assembler = CollocationJacobianAssembler(3, 1, threads=7)
+        core = SolverCore(SolverCoreOptions(threads=1))
+        core.solve(system, np.zeros(3))
+        assert system.assembler.threads == 1

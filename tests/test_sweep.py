@@ -75,3 +75,103 @@ class TestSweepMechanics:
             oscillator_frequency_sweep(
                 lambda _v: VanDerPolDae(), [], period_guess=6.3
             )
+
+
+class _NanVdp(VanDerPolDae):
+    """Van der Pol whose statics go NaN — HB can never converge on it."""
+
+    def f(self, x):
+        return np.full(2, np.nan)
+
+    def f_batch(self, states):
+        return np.full(np.asarray(states).shape, np.nan)
+
+    def qf(self, x):
+        return self.q(x), self.f(x)
+
+
+class TestSweepFailurePaths:
+    """ConvergenceError mid-sweep must leave a truncated-but-consistent
+    FrequencySweepResult (and name the failing value when raising)."""
+
+    @staticmethod
+    def _broken_factory(broken_above):
+        def factory(mu):
+            if mu > broken_above:
+                return _NanVdp(mu=0.2)
+            return VanDerPolDae(mu=float(mu))
+
+        return factory
+
+    def test_continuation_truncate_returns_consistent_prefix(self):
+        values = np.array([0.2, 0.5, 5.0, 0.4])
+        sweep = oscillator_frequency_sweep(
+            self._broken_factory(1.0), values, period_guess=6.3,
+            on_failure="truncate",
+        )
+        np.testing.assert_array_equal(sweep.values, values[:2])
+        assert sweep.frequencies.shape == (2,)
+        assert sweep.amplitudes.shape == (2,)
+        assert len(sweep.solver_stats) == 2
+        assert np.all(np.isfinite(sweep.frequencies))
+
+    def test_continuation_raise_names_value_and_attaches_partial(self):
+        from repro.errors import ConvergenceError
+
+        values = np.array([0.2, 0.5, 5.0])
+        # The bisection retries name the innermost failing value; the
+        # outer message always carries the "frequency sweep failed"
+        # context.
+        with pytest.raises(ConvergenceError,
+                           match="frequency sweep failed") as excinfo:
+            oscillator_frequency_sweep(
+                self._broken_factory(1.0), values, period_guess=6.3,
+            )
+        partial = excinfo.value.partial_result
+        np.testing.assert_array_equal(partial.values, values[:2])
+        assert partial.frequencies.shape == (2,)
+        assert partial.amplitudes.shape == (2,)
+
+    def test_ensemble_truncate_returns_consistent_prefix(self):
+        from repro.steadystate import ensemble_frequency_sweep
+
+        def factory(mu):
+            # A NaN member fails already at the DC stage — it must be
+            # truncated away instead of poisoning the lock-step settle.
+            if mu > 1.0:
+                return _NanVdp(mu=0.2)
+            return VanDerPolDae(mu=float(mu))
+
+        values = np.array([0.2, 0.6, 5.0, 0.4])
+        sweep = ensemble_frequency_sweep(
+            factory, values, period_guess=6.3, on_failure="truncate",
+        )
+        np.testing.assert_array_equal(sweep.values, values[:2])
+        assert sweep.frequencies.shape == (2,)
+        assert sweep.amplitudes.shape == (2,)
+        assert len(sweep.solver_stats) == 2
+        assert np.all(np.isfinite(sweep.frequencies))
+
+    def test_ensemble_raise_names_value_and_attaches_partial(self):
+        from repro.errors import ConvergenceError
+        from repro.steadystate import ensemble_frequency_sweep
+
+        def factory(mu):
+            if mu > 1.0:
+                return _NanVdp(mu=0.2)
+            return VanDerPolDae(mu=float(mu))
+
+        values = np.array([0.2, 0.6, 5.0])
+        with pytest.raises(ConvergenceError, match="5.0") as excinfo:
+            ensemble_frequency_sweep(factory, values, period_guess=6.3)
+        partial = excinfo.value.partial_result
+        np.testing.assert_array_equal(partial.values, values[:2])
+        assert partial.frequencies.shape == (2,)
+        assert partial.amplitudes.shape == (2,)
+
+    def test_invalid_on_failure_rejected(self):
+        with pytest.raises(ValueError, match="on_failure"):
+            oscillator_frequency_sweep(
+                lambda _v: VanDerPolDae(), [0.2], period_guess=6.3,
+                on_failure="ignore",
+            )

@@ -1,0 +1,104 @@
+"""Tests for post-hoc event extraction (repro/transient/events.py)."""
+
+import numpy as np
+import pytest
+
+from repro.transient import rising_level_crossings, zero_crossings
+
+
+class TestZeroCrossings:
+    def test_linear_interpolation_refines_crossing(self):
+        # Samples straddle the true crossing at t = 1/3: the event time
+        # must be refined by interpolation, not snapped to a sample.
+        t = np.array([0.0, 1.0])
+        y = np.array([-1.0, 2.0])
+        crossings = zero_crossings(t, y, direction=+1)
+        np.testing.assert_allclose(crossings, [1.0 / 3.0])
+
+    def test_refinement_accuracy_on_sine(self):
+        # A coarsely sampled sine: interpolated crossings land within
+        # O(dt^2) of the analytic zeros, far better than the sample
+        # spacing itself.  (Phase offset keeps the zeros strictly between
+        # samples so every event exercises the refinement.)
+        t = np.linspace(0.0, 2.0, 41)  # dt = 0.05
+        shift = 0.1 / (2 * np.pi)
+        y = np.sin(2 * np.pi * (t + shift))
+        rising = zero_crossings(t, y, direction=+1)
+        np.testing.assert_allclose(rising, [1.0 - shift, 2.0 - shift],
+                                   atol=2e-3)
+        falling = zero_crossings(t, y, direction=-1)
+        np.testing.assert_allclose(falling, [0.5 - shift, 1.5 - shift],
+                                   atol=2e-3)
+
+    def test_direction_filtering(self):
+        t = np.linspace(0.0, 1.0, 201)
+        y = np.cos(2 * np.pi * t)
+        both = zero_crossings(t, y, direction=0)
+        rising = zero_crossings(t, y, direction=+1)
+        falling = zero_crossings(t, y, direction=-1)
+        assert rising.size == 1 and falling.size == 1 and both.size == 2
+        np.testing.assert_allclose(np.sort(both),
+                                   np.sort(np.r_[rising, falling]))
+
+    def test_exact_zero_at_sample_reported_once(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0])
+        y = np.array([-1.0, 0.0, 1.0, 2.0])
+        crossings = zero_crossings(t, y, direction=+1)
+        np.testing.assert_allclose(crossings, [1.0])
+
+    def test_simultaneous_events_on_different_signals(self):
+        # Two variables crossing zero inside the same step must each
+        # report the same refined event time (the engine stores one shared
+        # grid, so simultaneity is exact when the interpolants agree).
+        t = np.array([0.0, 1.0, 2.0])
+        y1 = np.array([-1.0, -0.5, 0.5])
+        y2 = np.array([-2.0, -1.0, 1.0])
+        c1 = zero_crossings(t, y1, direction=+1)
+        c2 = zero_crossings(t, y2, direction=+1)
+        np.testing.assert_allclose(c1, [1.5])
+        np.testing.assert_allclose(c2, [1.5])
+
+    def test_multiple_crossings_in_adjacent_intervals(self):
+        # A fast oscillation crossing every interval: all crossings are
+        # found, ordered, and none merged.
+        t = np.arange(6.0)
+        y = np.array([1.0, -1.0, 1.0, -1.0, 1.0, -1.0])
+        crossings = zero_crossings(t, y, direction=0)
+        np.testing.assert_allclose(crossings, [0.5, 1.5, 2.5, 3.5, 4.5])
+
+    def test_no_crossing_and_short_input(self):
+        assert zero_crossings([0.0, 1.0], [1.0, 2.0]).size == 0
+        assert zero_crossings([0.0], [1.0]).size == 0
+        assert zero_crossings([], []).size == 0
+
+    def test_touching_zero_reported_once(self):
+        # y touches zero at a sample and returns upward: the documented
+        # semantics report an exact sample zero exactly once (on the
+        # departing interval), never twice.
+        t = np.array([0.0, 1.0, 2.0])
+        y = np.array([1.0, 0.0, 1.0])
+        crossings = zero_crossings(t, y, direction=+1)
+        np.testing.assert_allclose(crossings, [1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            zero_crossings([0.0, 1.0], [1.0, 2.0, 3.0])
+
+
+class TestRisingLevelCrossings:
+    def test_level_shift(self):
+        t = np.linspace(0.0, 1.0, 101)
+        y = np.sin(2 * np.pi * t)
+        crossings = rising_level_crossings(t, y, level=0.5)
+        # sin rises through 0.5 once per period, at t = asin(0.5)/(2 pi).
+        np.testing.assert_allclose(
+            crossings, [np.arcsin(0.5) / (2 * np.pi)], atol=1e-3
+        )
+
+    def test_matches_zero_crossings_of_shifted_signal(self):
+        t = np.linspace(0.0, 3.0, 61)
+        y = np.cos(3.0 * t)
+        np.testing.assert_allclose(
+            rising_level_crossings(t, y, level=0.25),
+            zero_crossings(t, y - 0.25, direction=+1),
+        )
