@@ -40,6 +40,13 @@ def _add_solver_args(parser):
              "(default: automatic — large refreshes thread themselves; "
              "pass 1 to force a serial refresh)",
     )
+    parser.add_argument(
+        "--recovery", choices=("default", "extended"), default=None,
+        help="solver recovery ladder: 'default' retries a failed solve "
+             "with damped full Newton only, 'extended' escalates through "
+             "Jacobian refresh, GMRES retry and pseudo-transient "
+             "continuation before giving up",
+    )
 
 
 def _envelope_options(args, **kwargs):
@@ -66,6 +73,12 @@ def _envelope_options(args, **kwargs):
             # explicit "lu" is the default direct solver and keeps chord.
             options.newton_mode = "full"
     options.threads = args.threads
+    if getattr(args, "recovery", None):
+        options.ladder = args.recovery
+    if getattr(args, "checkpoint_every", 0):
+        options.checkpoint_every = args.checkpoint_every
+    if getattr(args, "checkpoint_path", None):
+        options.checkpoint_path = args.checkpoint_path
     return options
 
 
@@ -76,6 +89,15 @@ def _print_solver_stats(stats):
     solver = (stats or {}).get("solver")
     if solver:
         print(f"solver: {SolverStats(**solver).summary()}")
+    recovery = (stats or {}).get("recovery")
+    if recovery and recovery.get("escalated_solves"):
+        rungs = ", ".join(
+            f"{rung}x{count}"
+            for rung, count in sorted(recovery["rung_counts"].items())
+        )
+        print(f"recovery: {recovery['escalated_solves']} escalated "
+              f"solve(s), {recovery['total_attempts']} ladder attempt(s): "
+              f"{rungs}")
 
 
 def _cmd_info(args):
@@ -122,13 +144,15 @@ def _run_tuning_sweep(args):
     from repro.steadystate import oscillator_frequency_sweep
     from repro.utils import format_table, write_csv
 
-    if args.newton or args.linear_solver or args.threads is not None:
+    if (args.newton or args.linear_solver or args.threads is not None
+            or args.recovery or args.checkpoint_every or args.resume_from):
         # The sweep's solves are the batched ensemble chord loop plus
         # per-point HB with its own defaults; silently ignoring explicit
         # solver flags would be worse than refusing them.
         raise SystemExit(
-            "error: --newton/--linear-solver/--threads configure the "
-            "envelope run and are not supported with --sweep"
+            "error: --newton/--linear-solver/--threads/--recovery/"
+            "--checkpoint-every/--resume-from configure the envelope run "
+            "and are not supported with --sweep"
         )
     params = VcoParams.vacuum() if args.variant == "vacuum" else \
         VcoParams.air()
@@ -198,7 +222,8 @@ def _cmd_vco(args):
     print(f"free-running: {f0/1e6:.4f} MHz")
     forced = MemsVcoDae(params)
     env = solve_wampde_envelope(
-        forced, samples, f0, 0.0, horizon, steps, _envelope_options(args)
+        forced, samples, f0, 0.0, horizon, steps, _envelope_options(args),
+        resume_from=args.resume_from,
     )
     _print_solver_stats(env.stats)
 
@@ -345,6 +370,22 @@ def build_parser():
                      help="lowest swept control voltage [V]")
     vco.add_argument("--sweep-max", type=float, default=2.6,
                      help="highest swept control voltage [V]")
+    vco.add_argument(
+        "--checkpoint-every", dest="checkpoint_every", type=int, default=0,
+        metavar="K",
+        help="spool a resume checkpoint every K envelope steps "
+             "(0 disables)",
+    )
+    vco.add_argument(
+        "--checkpoint-path", dest="checkpoint_path", default=None,
+        metavar="FILE",
+        help="file the checkpoints are written to (atomically replaced)",
+    )
+    vco.add_argument(
+        "--resume-from", dest="resume_from", default=None, metavar="FILE",
+        help="resume an interrupted envelope run from a checkpoint file "
+             "written by --checkpoint-path (same variant/horizon/steps)",
+    )
     _add_solver_args(vco)
 
     sub.add_parser("fm", help="§3 signal-representation story")

@@ -66,20 +66,37 @@ class FrozenFactorization:
         return self._mode is not None
 
     def factor(self, matrix):
-        """Factorise ``matrix``; snapshots everything it needs."""
-        if sp.issparse(matrix):
-            csc = matrix if sp.isspmatrix_csc(matrix) else matrix.tocsc()
-            self._splu = spla.splu(csc)
-            self._mode = "sparse"
+        """Factorise ``matrix``; snapshots everything it needs.
+
+        Failure is atomic: a singular/unfactorisable matrix leaves the
+        object *unready* (previous factors dropped) rather than silently
+        answering subsequent solves with the factors of an older, entirely
+        different matrix.
+        """
+        try:
+            if sp.issparse(matrix):
+                csc = matrix if sp.isspmatrix_csc(matrix) else matrix.tocsc()
+                splu = spla.splu(csc)
+                self._inv = self._lu = None
+                self._splu = splu
+                self._mode = "sparse"
+                return self
+            a = np.asarray(matrix, dtype=float)
+            if a.shape[0] <= self.INVERSE_LIMIT:
+                inv = np.linalg.inv(a)
+                self._lu = self._splu = None
+                self._inv = inv
+                self._mode = "inverse"
+            else:
+                lu = sla.lu_factor(a)
+                self._inv = self._splu = None
+                self._lu = lu
+                self._mode = "lu"
             return self
-        a = np.asarray(matrix, dtype=float)
-        if a.shape[0] <= self.INVERSE_LIMIT:
-            self._inv = np.linalg.inv(a)
-            self._mode = "inverse"
-        else:
-            self._lu = sla.lu_factor(a)
-            self._mode = "lu"
-        return self
+        except Exception:
+            self._mode = None
+            self._inv = self._lu = self._splu = None
+            raise
 
     def solve(self, rhs):
         """Solve against the stored factors; ``rhs`` may be 1-D or 2-D."""
@@ -286,8 +303,9 @@ SolverCore`) can report uniform factorisation counts; ``stats["solves"]``
         """Snapshot the current factors as a :class:`FrozenFactorization`.
 
         Lets a chord policy *adopt* the factorisation a damped full-Newton
-        fallback just paid for instead of discarding it (see
-        :meth:`repro.linalg.solver_core.SolverCore._solve_chord`).  Returns
+        fallback just paid for instead of discarding it (see the
+        ``"full_newton"`` recovery rung of
+        :class:`repro.linalg.solver_core.SolverCore`).  Returns
         ``None`` when no reusable factors are held — before the first
         solve, or in the small-dense regime where :meth:`_solve_dense`
         factors inside LAPACK ``solve`` without keeping anything.

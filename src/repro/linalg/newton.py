@@ -133,6 +133,18 @@ def newton_solve(residual, jacobian, x0, options=None, linear_solver=None):
         )
     norm = float(np.linalg.norm(f, ord=np.inf))
     history = [norm]
+    if not np.isfinite(norm):
+        # A non-finite starting residual cannot contract (NaN comparisons
+        # are all False): fail immediately instead of burning the whole
+        # iteration budget on doomed factorisations and line searches.
+        if opts.raise_on_failure:
+            raise ConvergenceError(
+                f"non-finite initial residual (norm {norm}) — "
+                f"evaluation produced NaN/Inf at the starting point",
+                iterations=0,
+                residual_norm=norm,
+            )
+        return NewtonResult(x, False, 0, norm, history)
 
     for iteration in range(1, opts.max_iterations + 1):
         if norm <= opts.atol:
@@ -243,13 +255,16 @@ class StaleJacobianNewton:
         self._factor = factorization
         self._have = True
 
-    def _refactor(self, jacobian, x):
+    def _refactor(self, jacobian, x, iterations=0,
+                  residual_norm=float("nan")):
         try:
             self._factor.factor(jacobian(x))
         except (RuntimeError, np.linalg.LinAlgError) as exc:
             self._have = False
             raise SingularJacobianError(
-                f"chord-Newton refactorisation failed: {exc}"
+                f"chord-Newton refactorisation failed: {exc}",
+                iterations=iterations,
+                residual_norm=residual_norm,
             ) from exc
         self._have = True
         self.stats["factorizations"] += 1
@@ -271,10 +286,22 @@ class StaleJacobianNewton:
         history = [norm]
         if norm <= atol:
             return NewtonResult(x, True, 0, norm, history)
+        if not np.isfinite(norm):
+            # Mirrors newton_solve: a NaN/Inf starting residual is a dead
+            # end for the chord iteration too.  The stored factorisation
+            # is kept — the factors are not to blame for a bad evaluation.
+            if opts.raise_on_failure:
+                raise ConvergenceError(
+                    f"non-finite initial residual (norm {norm}) — "
+                    f"evaluation produced NaN/Inf at the starting point",
+                    iterations=0,
+                    residual_norm=norm,
+                )
+            return NewtonResult(x, False, 0, norm, history)
 
         fresh = False
         if not self._have:
-            self._refactor(jacobian, x)
+            self._refactor(jacobian, x, residual_norm=norm)
             fresh = True
 
         iteration = 0
@@ -291,7 +318,8 @@ class StaleJacobianNewton:
                         iterations=iteration,
                         residual_norm=norm,
                     )
-                self._refactor(jacobian, x)
+                self._refactor(jacobian, x, iterations=iteration,
+                               residual_norm=norm)
                 fresh = True
                 continue
             x_new = x - dx
@@ -307,7 +335,8 @@ class StaleJacobianNewton:
                 if not fresh:
                     # Blame staleness first: refactorise at the current
                     # iterate and retry the iteration.
-                    self._refactor(jacobian, x)
+                    self._refactor(jacobian, x, iterations=iteration,
+                                   residual_norm=norm)
                     fresh = True
                     continue
                 # Fresh Jacobian and still no descent: damped line search,
@@ -336,7 +365,8 @@ class StaleJacobianNewton:
             if norm <= atol or (update_small and np.isfinite(norm)):
                 return NewtonResult(x, True, iteration, norm, history)
             if slow and not fresh:
-                self._refactor(jacobian, x)
+                self._refactor(jacobian, x, iterations=iteration,
+                               residual_norm=norm)
                 fresh = True
 
         self.invalidate()

@@ -88,7 +88,7 @@ the chord factorisation survives smooth steps and is dropped on jumps.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 
 from repro.errors import ConvergenceError
 from repro.linalg.lu_cache import ReusableLUSolver
@@ -96,6 +96,14 @@ from repro.linalg.newton import (
     NewtonOptions,
     StaleJacobianNewton,
     newton_solve,
+)
+from repro.resilience.recovery import (
+    LADDER_RUNGS,
+    RecoveryAttempt,
+    RecoveryLog,
+    RecoveryPolicy,
+    default_ladder,
+    extended_ladder,
 )
 
 #: Accepted Newton policies.
@@ -198,6 +206,24 @@ class SolverCoreOptions:
         serial).  The core pushes the value into ``system.assembler``
         (when the system exposes its assembler under that attribute, as
         every built-in system does) at solve time.
+    ladder:
+        Recovery-ladder escalation policy walked when a solve fails:
+        ``None``/``"default"`` — the mode's historical policy (chord with
+        a damped full-Newton fallback, or full Newton with an optional
+        restart); ``"extended"`` — every strategy in
+        :data:`repro.resilience.recovery.LADDER_RUNGS` order (Jacobian
+        refresh, GMRES retry and pseudo-transient continuation appended);
+        or an explicit tuple of rung names.  Rungs that do not apply
+        (chord rungs on a full-mode core, a fallback restart with no
+        restart point) are skipped at run time.  Every escalation is
+        recorded in :attr:`SolverCore.recovery`.
+    rung_budgets:
+        Optional ``{rung: attempts}`` retry budgets (default 1 each);
+        a chord retry beyond the first drops the frozen factors.
+    continuation_stages:
+        Pseudo-transient stages marched by the ``"continuation"`` rung.
+    continuation_dtau:
+        Initial pseudo-time step of the ``"continuation"`` rung.
     """
 
     mode: str = "full"
@@ -206,6 +232,10 @@ class SolverCoreOptions:
     contraction: float = 0.1
     invalidate_rtol: float = 0.25
     threads: int | None = None
+    ladder: object = None
+    rung_budgets: dict | None = None
+    continuation_stages: int = 5
+    continuation_dtau: float = 1e-2
 
 
 class CollocationSystem:
@@ -274,6 +304,12 @@ def core_from_options(options):
         invalidate_rtol=getattr(options, "invalidate_rtol",
                                 defaults.invalidate_rtol),
         threads=getattr(options, "threads", defaults.threads),
+        ladder=getattr(options, "ladder", defaults.ladder),
+        rung_budgets=getattr(options, "rung_budgets", defaults.rung_budgets),
+        continuation_stages=getattr(options, "continuation_stages",
+                                    defaults.continuation_stages),
+        continuation_dtau=getattr(options, "continuation_dtau",
+                                  defaults.continuation_dtau),
     ))
 
 
@@ -347,11 +383,51 @@ class SolverCore:
         if self._fallback_solver is not self._linear_solver:
             sources.append(self._fallback_solver.stats)
         self._fact_sources = tuple(sources)
+        # Recovery ladder: the escalation policy solve() walks on failure,
+        # plus the structured log of every escalation.  The log rides on
+        # the stats object as a plain attribute (not a dataclass field),
+        # so SolverStats.as_dict() payloads keep their historical keys.
+        self._ladder = self._resolve_ladder(opts.ladder)
+        self._policy = RecoveryPolicy(
+            rungs=self._ladder,
+            budgets=dict(opts.rung_budgets or {}),
+            continuation_stages=opts.continuation_stages,
+            continuation_dtau=opts.continuation_dtau,
+        )
+        self.recovery = RecoveryLog()
+        self.stats.recovery = self.recovery
+
+    def _resolve_ladder(self, spec):
+        """Materialise the options ``ladder`` spec into a rung tuple."""
+        if spec is None or spec == "default":
+            return default_ladder(self.mode)
+        if spec == "extended":
+            return extended_ladder(self.mode)
+        if isinstance(spec, str):
+            raise ValueError(
+                f"ladder must be None, 'default', 'extended' or a tuple of "
+                f"rung names, got {spec!r}"
+            )
+        rungs = tuple(spec)
+        for rung in rungs:
+            if rung not in LADDER_RUNGS:
+                raise ValueError(
+                    f"unknown ladder rung {rung!r}; valid rungs are "
+                    f"{LADDER_RUNGS}"
+                )
+        if not rungs:
+            raise ValueError("ladder must contain at least one rung")
+        return rungs
 
     @property
     def mode(self):
         """Effective Newton policy (``"chord"`` or ``"full"``)."""
         return "chord" if self._chord is not None else "full"
+
+    @property
+    def ladder(self):
+        """The resolved recovery-ladder rung tuple."""
+        return self._ladder
 
     def invalidate(self):
         """Drop any frozen factors; the next solve starts fresh."""
@@ -459,14 +535,7 @@ class SolverCore:
         raised_iterations = 0
         start = time.perf_counter()
         try:
-            if chord is not None:
-                result = self._solve_chord(
-                    residual, jacobian, z0, fallback_z0
-                )
-            else:
-                result = self._solve_full(
-                    residual, jacobian, z0, fallback_z0
-                )
+            result = self._run_ladder(residual, jacobian, z0, fallback_z0)
         except ConvergenceError as exc:
             raised_iterations = exc.iterations or 0
             raise
@@ -506,39 +575,148 @@ class SolverCore:
                 stats.iterations += newton_iterations
         return result
 
-    def _solve_chord(self, residual, jacobian, z0, fallback_z0=None):
-        """Chord attempt with a damped full-Newton fallback."""
-        try:
-            result = self._chord.solve(residual, jacobian, z0)
-        except ConvergenceError:
-            # Includes SingularJacobianError: treat a stale/singular chord
-            # matrix as "retry with fresh factorisations" before failing.
-            result = None
-        if result is not None and result.converged:
+    def _run_ladder(self, residual, jacobian, z0, fallback_z0):
+        """Walk the recovery ladder until a rung converges.
+
+        The default ladders reproduce the historical escalation exactly
+        (chord → damped full-Newton fallback; full Newton → optional
+        restart from ``fallback_z0``), including the failure semantics: a
+        rung that raises :class:`~repro.errors.ConvergenceError` with no
+        rung left to try re-raises it (with the :class:`RecoveryLog`
+        attached as ``exc.recovery``), and a final non-converged result
+        under ``raise_on_failure=False`` is returned as-is.  Solves that
+        converge on their first rung record nothing — the log only fills
+        on escalation, keeping the hot path allocation-free.
+        """
+        chord = self._chord
+        policy = self._policy
+        attempts = []
+        solve_index = self.stats.solves
+        result = None
+        last_exc = None
+        counted = None
+
+        def counting():
+            # Chord rungs hand the raw callables around (the chord policy
+            # self-counts); every full-Newton-style rung needs counting
+            # wrappers in chord mode.  Full-mode callables arrive from
+            # solve() pre-wrapped.
+            nonlocal counted
+            if counted is None:
+                if chord is None:
+                    counted = (residual, jacobian)
+                else:
+                    counters = self._counters
+
+                    def counting_residual(z):
+                        counters["residual"] += 1
+                        return residual(z)
+
+                    def counting_jacobian(z):
+                        counters["jacobian"] += 1
+                        return jacobian(z)
+
+                    counted = (counting_residual, counting_jacobian)
+            return counted
+
+        # The restart point for the expensive rungs: the caller-provided
+        # last-good state when there is one; in chord mode z0 doubles as
+        # the restart (the historical fallback default); in full mode the
+        # "full_newton" rung is skipped without an explicit restart point
+        # (a single boundary-value solve has nowhere better to start).
+        restart = fallback_z0
+        if restart is None and chord is not None:
+            restart = z0
+
+        converged = False
+        for rung in self._ladder:
+            if rung in ("chord", "refresh") and chord is None:
+                continue
+            if rung == "full_newton" and restart is None:
+                continue
+            for retry in range(policy.budget(rung)):
+                result, last_exc, detail = self._attempt_rung(
+                    rung, retry, residual, jacobian, counting, z0,
+                    restart if restart is not None else z0,
+                )
+                converged = result is not None and result.converged
+                if attempts or not converged:
+                    # A solve that succeeds on its very first attempt is
+                    # not an escalation: record nothing (hot path).
+                    if last_exc is not None:
+                        iterations = last_exc.iterations or 0
+                        residual_norm = (
+                            float("nan") if last_exc.residual_norm is None
+                            else last_exc.residual_norm
+                        )
+                    else:
+                        iterations = result.iterations
+                        residual_norm = result.residual_norm
+                    attempts.append(RecoveryAttempt(
+                        solve=solve_index,
+                        rung=rung,
+                        converged=converged,
+                        iterations=iterations,
+                        residual_norm=residual_norm,
+                        detail=detail,
+                    ))
+                if converged:
+                    break
+            if converged:
+                break
+
+        if attempts:
+            self.recovery.extend(attempts)
+        if converged or (result is not None and last_exc is None):
             return result
-        return self._fallback(
-            residual, jacobian, z0 if fallback_z0 is None else fallback_z0
+        if last_exc is not None:
+            last_exc.recovery = self.recovery
+            raise last_exc
+        raise ConvergenceError(
+            f"no applicable recovery rung for this solve "
+            f"(ladder {self._ladder}, mode {self.mode!r})",
+            iterations=0,
+            residual_norm=float("nan"),
+            recovery=self.recovery,
         )
 
-    def _solve_full(self, residual, jacobian, z0, fallback_z0=None):
-        """Full Newton; retried from ``fallback_z0`` when one is given."""
+    def _attempt_rung(self, rung, retry, residual, jacobian, counting, z0,
+                      restart):
+        """Run one rung attempt; returns ``(result, exception, detail)``."""
         try:
-            result = newton_solve(
-                residual,
-                jacobian,
-                z0,
-                options=self.options.newton,
-                linear_solver=self._linear_solver,
-            )
-        except ConvergenceError:
-            if fallback_z0 is None:
-                raise
-            result = None
-        if result is not None and (result.converged or fallback_z0 is None):
-            return result
-        return self._fallback(residual, jacobian, fallback_z0)
+            if rung == "chord":
+                if retry:
+                    # A retry of the chord rung implies the factors were
+                    # part of the problem: drop them first.
+                    self.invalidate()
+                return self._chord.solve(residual, jacobian, z0), None, ""
+            if rung == "refresh":
+                self.invalidate()
+                return (
+                    self._chord.solve(residual, jacobian, z0),
+                    None,
+                    "chord retry with fresh factorisation",
+                )
+            if rung == "newton":
+                result = newton_solve(
+                    residual,
+                    jacobian,
+                    z0,
+                    options=self.options.newton,
+                    linear_solver=self._linear_solver,
+                )
+                return result, None, ""
+            if rung == "full_newton":
+                return self._rung_full_newton(counting, restart)
+            if rung == "gmres":
+                return self._rung_gmres(counting, restart)
+            if rung == "continuation":
+                return self._rung_continuation(counting, restart)
+        except ConvergenceError as exc:
+            return None, exc, str(exc)
+        raise ValueError(f"unknown ladder rung {rung!r}")
 
-    def _fallback(self, residual, jacobian, z0):
+    def _rung_full_newton(self, counting, z0):
         """Damped full Newton with fresh direct factorisations.
 
         A converged fallback's last factorisation is *adopted* as the
@@ -551,21 +729,7 @@ class SolverCore:
         """
         self.stats.fallbacks += 1
         self.invalidate()
-        if self._chord is not None:
-            # Chord solves hand the raw system callables around (the chord
-            # policy self-counts); the fallback's newton_solve does not, so
-            # instrument here.  Full-mode callables arrive pre-wrapped.
-            counters = self._counters
-            raw_residual, raw_jacobian = residual, jacobian
-
-            def residual(z):
-                counters["residual"] += 1
-                return raw_residual(z)
-
-            def jacobian(z):
-                counters["jacobian"] += 1
-                return raw_jacobian(z)
-
+        residual, jacobian = counting()
         result = newton_solve(
             residual,
             jacobian,
@@ -573,9 +737,80 @@ class SolverCore:
             options=self.options.newton,
             linear_solver=self._fallback_solver,
         )
+        self._maybe_adopt(self._fallback_solver, result)
+        return result, None, "damped full Newton from restart point"
+
+    def _rung_gmres(self, counting, z0):
+        """Full Newton through a fresh LU-preconditioned GMRES solver.
+
+        A different linear-algebra route around a badly conditioned
+        direct factorisation: the complete-LU preconditioner is rebuilt
+        per call (``freeze=False``), and GMRES solves the current matrix
+        to its own tolerance rather than trusting one factorisation.
+        """
+        from repro.linalg.gmres import GmresLinearSolver
+
+        self.invalidate()
+        residual, jacobian = counting()
+        result = newton_solve(
+            residual,
+            jacobian,
+            z0,
+            options=self.options.newton,
+            linear_solver=GmresLinearSolver(
+                preconditioner="lu", freeze=False
+            ),
+        )
+        return result, None, "GMRES retry with per-iteration LU preconditioner"
+
+    def _rung_continuation(self, counting, z0):
+        """Pseudo-transient continuation: the ladder's last resort.
+
+        Embeds ``F(z) = 0`` in the artificial flow ``dz/dtau = -F(z)``
+        and marches implicit-Euler steps of growing ``dtau`` from the
+        restart point (see
+        :func:`repro.resilience.continuation.pseudo_transient_march`);
+        the stages run through plain ``newton_solve`` with the direct
+        fallback solver, so the rung never recurses into the ladder.
+        """
+        from repro.resilience.continuation import pseudo_transient_march
+
+        self.invalidate()
+        residual, jacobian = counting()
+        stage_options = replace(
+            self.options.newton or NewtonOptions(), raise_on_failure=False
+        )
+        solver = self._fallback_solver
+
+        def stage_solve(system, start):
+            return newton_solve(
+                system.residual,
+                system.jacobian,
+                start,
+                options=stage_options,
+                linear_solver=solver,
+            )
+
+        policy = self._policy
+        result, trail = pseudo_transient_march(
+            stage_solve,
+            FunctionSystem(residual, jacobian),
+            z0,
+            stages=policy.continuation_stages,
+            dtau=policy.continuation_dtau,
+        )
+        self._maybe_adopt(solver, result)
+        stage_iterations = sum(r.iterations for _, r in trail)
+        return result, None, (
+            f"pseudo-transient continuation: {len(trail)} stage(s), "
+            f"{stage_iterations} stage iteration(s), "
+            f"dtau0={policy.continuation_dtau:g}"
+        )
+
+    def _maybe_adopt(self, solver, result):
+        """Adopt a converged rung's last factorisation as the chord factor."""
         if result.converged and self._chord is not None:
-            export = getattr(self._fallback_solver, "export_frozen", None)
+            export = getattr(solver, "export_frozen", None)
             frozen = export() if export is not None else None
             if frozen is not None:
                 self._chord.adopt(frozen)
-        return result

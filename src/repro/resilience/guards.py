@@ -1,0 +1,193 @@
+"""Finite-value guards at the device/DAE evaluation boundary.
+
+A NaN born inside one device model surfaces, many frames later, as an
+opaque "Newton failed to converge" — by which time the non-finite entry
+has been smeared across the whole residual by the linear solve.  The
+:class:`GuardedDAE` wrapper checks every evaluation *output* (and
+optionally the state input) with one whole-array ``np.isfinite`` test —
+no per-entry Python on the hot path — and, only on failure, runs the
+post-mortem :func:`diagnose_nonfinite` walk that re-evaluates the circuit
+device by device to attribute the first non-finite value to a specific
+device and unknown, raised as :class:`repro.errors.NonFiniteError`.
+
+The guard is a diagnostic mode, not a recovery rung: ``NonFiniteError``
+is a :class:`~repro.errors.SimulationError` (not a ``ConvergenceError``),
+so it bypasses the recovery ladder and the transient dt controller and
+surfaces immediately with its attribution.  Recovery from transient
+non-finite *trial* evaluations is the solvers' own job (the Newton
+kernels reject non-finite updates and line-search trials); the guard is
+for finding the model bug that makes *every* evaluation poisonous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NonFiniteError
+
+#: DAE evaluation methods wrapped by :class:`GuardedDAE`.
+GUARDED_METHODS = (
+    "q", "f", "b", "dq_dx", "df_dx", "qf",
+    "q_batch", "f_batch", "b_batch", "qf_batch",
+    "dq_dx_batch", "df_dx_batch",
+)
+
+
+def first_nonfinite(values):
+    """Flat index of the first non-finite entry of ``values`` (or None)."""
+    flat = np.asarray(values, dtype=float).ravel()
+    bad = ~np.isfinite(flat)
+    if not bad.any():
+        return None
+    return int(np.argmax(bad))
+
+
+def _variable_for(dae, method, values, index):
+    """Best-effort unknown name for flat ``index`` into ``values``."""
+    names = getattr(dae, "variable_names", None)
+    if not names:
+        return None
+    shape = np.asarray(values, dtype=float).shape
+    n = len(names)
+    if method in ("dq_dx", "df_dx"):
+        index = index // shape[-1]          # row = equation = unknown
+    elif method.endswith("_batch") or len(shape) > 1:
+        index = index % shape[-1]           # column = unknown
+    return names[index] if 0 <= index < n else None
+
+
+def _device_for(dae, method, x_or_t):
+    """Walk a circuit's devices for the first non-finite local value.
+
+    Post-mortem only — runs after a whole-array check already failed, so
+    per-device Python cost is irrelevant.  Returns ``(device_name,
+    detail)`` or ``(None, None)`` for non-circuit DAEs.
+    """
+    slots = getattr(dae, "_slots", None)
+    gather = getattr(dae, "_gather", None)
+    if slots is None or gather is None:
+        return None, None
+    base = method.replace("_batch", "")
+    if base in ("qf",):
+        candidates = ("q", "f")
+    elif base in ("q", "f", "b", "dq_dx", "df_dx"):
+        candidates = (base,)
+    else:
+        return None, None
+    local_name = {
+        "q": "q_local", "f": "f_local", "b": "b_local",
+        "dq_dx": "dq_dx_local", "df_dx": "df_dx_local",
+    }
+    for slot in slots:
+        device = slot.device
+        if base != "b":
+            local_x = gather(np.asarray(x_or_t, dtype=float), slot.columns)
+            if not np.isfinite(local_x).all():
+                return (
+                    getattr(device, "name", type(device).__name__),
+                    "non-finite local state input",
+                )
+        for kind in candidates:
+            evaluate = getattr(device, local_name[kind], None)
+            if evaluate is None:
+                continue
+            try:
+                local = evaluate(x_or_t if base == "b" else local_x)
+            except Exception:
+                continue
+            if not np.isfinite(np.asarray(local, dtype=float)).all():
+                return (
+                    getattr(device, "name", type(device).__name__),
+                    f"non-finite {kind}_local output",
+                )
+    return None, None
+
+
+def diagnose_nonfinite(dae, method, x_or_t, values):
+    """Build the attributed :class:`NonFiniteError` for a failed check."""
+    index = first_nonfinite(values)
+    variable = (
+        _variable_for(dae, method, values, index)
+        if index is not None else None
+    )
+    device, detail = _device_for(dae, method, x_or_t)
+    parts = [f"non-finite value in {method}() output"]
+    if variable is not None:
+        parts.append(f"unknown {variable!r}")
+    if device is not None:
+        parts.append(f"device {device!r}" + (f" ({detail})" if detail else ""))
+    return NonFiniteError(
+        "; first attributed to ".join([parts[0], ", ".join(parts[1:])])
+        if len(parts) > 1 else parts[0],
+        method=method,
+        variable=variable,
+        device=device,
+    )
+
+
+class GuardedDAE:
+    """Finite-checking proxy around a :class:`~repro.dae.base.SemiExplicitDAE`.
+
+    Every method in :data:`GUARDED_METHODS` is wrapped with a whole-array
+    ``np.isfinite(...).all()`` output check (and, with
+    ``check_inputs=True``, the same check on the state argument).  All
+    other attributes — ``n``, ``variable_names``, structure masks,
+    anything engine-specific — delegate to the wrapped DAE.
+
+    Use :func:`guard_dae` for construction.
+    """
+
+    def __init__(self, dae, check_inputs=False):
+        self._dae = dae
+        self._check_inputs = bool(check_inputs)
+        self.n = dae.n
+        self.variable_names = dae.variable_names
+        for method in GUARDED_METHODS:
+            inner = getattr(dae, method, None)
+            if inner is not None:
+                setattr(self, method, self._wrap(method, inner))
+
+    def __getattr__(self, name):
+        return getattr(self._dae, name)
+
+    def _check_output(self, method, argument, values):
+        if isinstance(values, tuple):
+            for part in values:
+                self._check_output(method, argument, part)
+            return
+        array = np.asarray(values)
+        if not np.isfinite(array).all():
+            raise diagnose_nonfinite(self._dae, method, argument, array)
+
+    def _wrap(self, method, inner):
+        takes_state = method not in ("b", "b_batch")
+        check_inputs = self._check_inputs
+
+        def guarded(argument):
+            if check_inputs and takes_state:
+                state = np.asarray(argument, dtype=float)
+                if not np.isfinite(state).all():
+                    index = first_nonfinite(state)
+                    names = self.variable_names
+                    variable = (
+                        names[index % len(names)] if names else None
+                    )
+                    raise NonFiniteError(
+                        f"non-finite state passed to {method}()"
+                        + (f" (unknown {variable!r})" if variable else ""),
+                        method=method,
+                        variable=variable,
+                    )
+            values = inner(argument)
+            self._check_output(method, argument, values)
+            return values
+
+        guarded.__name__ = f"guarded_{method}"
+        return guarded
+
+
+def guard_dae(dae, check_inputs=False):
+    """Wrap ``dae`` with finite-value guards (idempotent)."""
+    if isinstance(dae, GuardedDAE):
+        return dae
+    return GuardedDAE(dae, check_inputs=check_inputs)

@@ -8,7 +8,12 @@ import numpy as np
 
 from repro.errors import ConvergenceError
 from repro.linalg.newton import NewtonOptions
-from repro.linalg.solver_core import FunctionSystem, core_from_options
+from repro.linalg.solver_core import core_from_options
+from repro.resilience.continuation import (
+    GminShiftedSystem,
+    SourceScaledSystem,
+)
+from repro.resilience.recovery import RecoveryAttempt, RecoveryLog
 
 
 @dataclass
@@ -41,33 +46,53 @@ class DcOptions:
     source_steps: int = 8
 
 
-def _solve_once(core, dae, x0, t0, gmin, source_scale):
-    """One Newton attempt with shunt gmin and scaled sources."""
-    b0 = source_scale * dae.b(t0)
+class _DcSystem:
+    """The plain DC system ``f(x) - b(t0) = 0`` (dense Jacobian).
 
-    def residual(x):
-        return dae.f(x) + gmin * x - b0
+    The continuation stages are :class:`GminShiftedSystem` /
+    :class:`SourceScaledSystem` wrappers around this one object — the
+    SPICE gmin/source ladders expressed as system embeddings rather than
+    bespoke residual closures.
+    """
 
-    def jacobian(x):
-        jac = np.asarray(dae.df_dx(x), dtype=float)
-        if gmin:
-            jac = jac + gmin * np.eye(dae.n)
-        return jac
+    assembler = None
 
-    # The continuation parameters reshape the system between attempts;
-    # registering them drops any chord factors carried across stages.
-    core.note_parameters(gmin=gmin, source_scale=source_scale)
-    system = FunctionSystem(
-        residual, jacobian, structure={"size": dae.n, "dense": True}
-    )
-    return core.solve(system, x0)
+    def __init__(self, dae, b0):
+        self.dae = dae
+        self.b0 = b0
+
+    def residual(self, x):
+        return self.dae.f(x) - self.b0
+
+    def jacobian(self, x):
+        return np.asarray(self.dae.df_dx(x), dtype=float)
+
+    def structure(self):
+        return {"size": self.dae.n, "dense": True}
+
+
+def _record(log, stage, rung, result, detail):
+    log.extend([RecoveryAttempt(
+        solve=stage,
+        rung=rung,
+        converged=result.converged,
+        iterations=result.iterations,
+        residual_norm=result.residual_norm,
+        detail=detail,
+    )])
 
 
 def dc_operating_point(dae, t0=0.0, x0=None, options=None):
     """Find ``x`` with ``f(x) = b(t0)`` (the quiescent point of the DAE).
 
     Tries a direct Newton solve first, then gmin stepping, then source
-    stepping — the standard SPICE escalation ladder.
+    stepping — the standard SPICE escalation ladder, with each
+    continuation stage expressed as a
+    :mod:`repro.resilience.continuation` system wrapper.  On total
+    failure the raised :class:`~repro.errors.ConvergenceError` carries
+    the final iteration count, residual norm and the
+    :class:`~repro.resilience.recovery.RecoveryLog` of every stage tried
+    (as ``exc.recovery``).
 
     Returns
     -------
@@ -82,24 +107,38 @@ def dc_operating_point(dae, t0=0.0, x0=None, options=None):
     opts = options or DcOptions()
     x = np.zeros(dae.n) if x0 is None else np.array(x0, dtype=float).ravel()
     core = core_from_options(opts)
+    base = _DcSystem(dae, dae.b(t0))
+    log = RecoveryLog()
 
-    result = _solve_once(core, dae, x, t0, 0.0, 1.0)
+    def attempt(system, start, gmin, scale):
+        # The continuation parameters reshape the system between attempts;
+        # registering them drops any chord factors carried across stages.
+        core.note_parameters(gmin=gmin, source_scale=scale)
+        return core.solve(system, start)
+
+    result = attempt(base, x, 0.0, 1.0)
     if result.converged:
         return result.x
+    _record(log, 0, "newton", result, "direct Newton")
 
     # gmin stepping: solve with a large shunt conductance, then relax it.
     if opts.gmin_steps > 0:
         x_cont = x.copy()
         gmins = np.geomspace(opts.gmin_start, 1e-12, opts.gmin_steps)
         ok = True
-        for gmin in gmins:
-            result = _solve_once(core, dae, x_cont, t0, float(gmin), 1.0)
+        for stage, gmin in enumerate(gmins, start=1):
+            result = attempt(
+                GminShiftedSystem(base, float(gmin)), x_cont, float(gmin), 1.0
+            )
+            _record(log, stage, "continuation", result, f"gmin={gmin:.3e}")
             if not result.converged:
                 ok = False
                 break
             x_cont = result.x
         if ok:
-            result = _solve_once(core, dae, x_cont, t0, 0.0, 1.0)
+            result = attempt(base, x_cont, 0.0, 1.0)
+            _record(log, opts.gmin_steps + 1, "continuation", result,
+                    "gmin ladder final plain solve")
             if result.converged:
                 return result.x
 
@@ -107,8 +146,14 @@ def dc_operating_point(dae, t0=0.0, x0=None, options=None):
     if opts.source_steps > 0:
         x_cont = np.zeros(dae.n)
         ok = True
-        for scale in np.linspace(0.0, 1.0, opts.source_steps + 1)[1:]:
-            result = _solve_once(core, dae, x_cont, t0, 0.0, float(scale))
+        scales = np.linspace(0.0, 1.0, opts.source_steps + 1)[1:]
+        for stage, scale in enumerate(scales, start=1):
+            result = attempt(
+                SourceScaledSystem(base, base.b0, float(scale)), x_cont,
+                0.0, float(scale),
+            )
+            _record(log, stage, "continuation", result,
+                    f"source_scale={scale:.3f}")
             if not result.converged:
                 ok = False
                 break
@@ -118,5 +163,8 @@ def dc_operating_point(dae, t0=0.0, x0=None, options=None):
 
     raise ConvergenceError(
         "DC operating point failed: direct Newton, gmin stepping and source "
-        "stepping all diverged"
+        "stepping all diverged",
+        iterations=result.iterations,
+        residual_norm=result.residual_norm,
+        recovery=log,
     )

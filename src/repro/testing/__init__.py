@@ -1,0 +1,13 @@
+"""Deterministic test harnesses (fault injection) for the repro library."""
+
+from repro.testing.faults import (
+    FaultyDAE,
+    FaultyLinearSolver,
+    FaultySystem,
+)
+
+__all__ = [
+    "FaultyDAE",
+    "FaultyLinearSolver",
+    "FaultySystem",
+]

@@ -25,6 +25,7 @@ alongside the state — the single-sweep monodromy used by
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,6 +39,7 @@ from repro.linalg.solver_core import (
     SolverCoreOptions,
 )
 from repro.linalg.transient_assembler import TransientStepAssembler
+from repro.resilience.checkpoint import Checkpoint, CheckpointManager
 from repro.transient.integrators import get_integrator
 from repro.transient.results import TransientResult
 from repro.utils.validation import check_positive
@@ -90,6 +92,19 @@ class TransientOptions:
         pattern-reuse :class:`~repro.linalg.transient_assembler.\
 TransientStepAssembler`); if the solver exposes ``invalidate()`` it is
         called on significant step-size changes.
+    ladder:
+        Recovery-ladder spec forwarded to the step
+        :class:`~repro.linalg.solver_core.SolverCore` (``None`` — the
+        historical policy; ``"extended"`` — Jacobian refresh, GMRES retry
+        and pseudo-transient continuation appended; or an explicit rung
+        tuple, see :class:`~repro.linalg.solver_core.SolverCoreOptions`).
+    checkpoint_every:
+        Accepted steps between resumable snapshots (0 disables periodic
+        snapshots; a failing run still attaches a final checkpoint to its
+        :class:`~repro.errors.SimulationError`).
+    checkpoint_path:
+        Optional file path the latest snapshot is spooled to (atomic
+        write-and-rename), for crash recovery across processes.
     """
 
     integrator: object = "trap"
@@ -107,6 +122,9 @@ TransientStepAssembler`); if the solver exposes ``invalidate()`` it is
     stale_jacobian: bool = True
     refresh_contraction: float = 0.05
     linear_solver: object = None
+    ladder: object = None
+    checkpoint_every: int = 0
+    checkpoint_path: object = None
 
 
 class _StepController:
@@ -143,8 +161,14 @@ class _StepController:
             # The engine's historical dt policy: drop frozen factors when
             # the integrator weight alpha ~ 1/dt jumps by more than 25%.
             invalidate_rtol=0.25,
+            ladder=getattr(opts, "ladder", None),
         ))
         self._last_alpha = None
+        # (alpha, beta, x) of the most recent step-Jacobian assembly — the
+        # metadata a checkpoint stores instead of the (unpicklable)
+        # factorisation itself.  Refreshed inside the jacobian closure, so
+        # it tracks exactly the matrix the chord policy holds factors of.
+        self._jac_meta = None
 
     @property
     def fallbacks(self):
@@ -161,6 +185,49 @@ class _StepController:
     def adopt(self, factorization):
         """Adopt an exact, externally factorised step Jacobian (chord)."""
         self.core.adopt_factorization(factorization)
+
+    def factor_metadata(self):
+        """Checkpointable description of the frozen chord factorisation.
+
+        Returns ``(alpha, beta, x)`` — enough to re-assemble and
+        refactorise the exact matrix the chord policy currently holds —
+        or ``None`` when no factors are frozen (full mode, or right after
+        an invalidation), in which case a resumed run starts unfactored
+        exactly like the live run would have continued.
+        """
+        chord = self.core._chord
+        if chord is not None and chord._have and self._jac_meta is not None:
+            alpha, beta, x = self._jac_meta
+            return (float(alpha), float(beta), np.array(x))
+        return None
+
+    def solver_snapshot(self):
+        """Checkpointable solver-core bookkeeping (stats + parameters)."""
+        return {
+            "stats": self.core.stats.as_dict(),
+            "params": dict(self.core._params),
+            "last_alpha": self._last_alpha,
+        }
+
+    def restore(self, snapshot, factor_meta):
+        """Rebuild the controller state captured by a checkpoint.
+
+        Factorising the re-assembled matrix is deterministic (SuperLU/
+        LAPACK on identical input), so after this call the chord policy
+        makes bit-for-bit the decisions of the uninterrupted run.
+        """
+        stats = self.core.stats
+        for key, value in snapshot["stats"].items():
+            setattr(stats, key, value)
+        self.core._params.update(snapshot["params"])
+        self._last_alpha = snapshot["last_alpha"]
+        if factor_meta is not None and self.core._chord is not None:
+            alpha, beta, x = factor_meta
+            matrix = self.assembler.refresh(
+                alpha, self.dae.dq_dx(x), beta, self.dae.df_dx(x)
+            )
+            self.core.adopt_factorization(FrozenFactorization().factor(matrix))
+            self._jac_meta = (alpha, beta, np.array(x, dtype=float))
 
     def solve_step(self, integrator, history, t_new, b_new, x_guess):
         """Solve one implicit step towards ``t_new``.
@@ -189,8 +256,12 @@ class _StepController:
             return r
 
         assembler = self.assembler
+        controller = self
 
         def jacobian(x_trial):
+            controller._jac_meta = (
+                alpha, beta, np.array(x_trial, dtype=float)
+            )
             return assembler.refresh(
                 alpha, dae.dq_dx(x_trial), beta, dae.df_dx(x_trial)
             )
@@ -250,7 +321,8 @@ def _extrapolate(history, t_new):
     return history[-1][1]
 
 
-def simulate_transient(dae, x0, t_start, t_stop, options=None):
+def simulate_transient(dae, x0, t_start, t_stop, options=None,
+                       resume_from=None):
     """Integrate ``d/dt q(x) + f(x) = b(t)`` from ``t_start`` to ``t_stop``.
 
     Parameters
@@ -260,10 +332,23 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
     x0:
         Initial state; assumed consistent (use
         :func:`repro.steadystate.dc.dc_operating_point` to get one).
+        Ignored when ``resume_from`` is given.
     t_start, t_stop:
-        Simulation window, ``t_stop > t_start``.
+        Simulation window, ``t_stop > t_start``.  A resumed run must be
+        called with the window of the original run.
     options:
-        :class:`TransientOptions`.
+        :class:`TransientOptions`.  ``checkpoint_every``/
+        ``checkpoint_path`` control periodic snapshots; any
+        :class:`~repro.errors.SimulationError` raised mid-run carries a
+        final snapshot as ``exc.checkpoint`` and the accepted trajectory
+        prefix as ``exc.partial_result``.
+    resume_from:
+        A :class:`~repro.resilience.Checkpoint` (or a path to one saved
+        on disk) produced by a previous run with the same ``dae``,
+        window and options.  The run continues from the snapshot and —
+        because the snapshot carries the integrator history, controller
+        parameters and frozen-factorisation metadata — produces a
+        trajectory bit-identical with the uninterrupted run's.
 
     Returns
     -------
@@ -280,41 +365,130 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
             raise SimulationError("fixed-step transient requires options.dt")
         check_positive(opts.dt, "options.dt")
 
-    x = np.array(x0, dtype=float).ravel()
-    if x.size != dae.n:
-        raise SimulationError(
-            f"initial state has length {x.size}, DAE has {dae.n} unknowns"
+    controller = _StepController(dae, opts)
+    manager = CheckpointManager(
+        every=opts.checkpoint_every, path=opts.checkpoint_path
+    )
+
+    if resume_from is not None:
+        if isinstance(resume_from, (str, os.PathLike)):
+            resume_from = Checkpoint.load(resume_from)
+        if resume_from.kind != "transient":
+            raise SimulationError(
+                f"cannot resume a transient run from a "
+                f"{resume_from.kind!r} checkpoint"
+            )
+        payload = resume_from.payload
+        t = float(resume_from.t)
+        dt = float(resume_from.dt)
+        history = [
+            (float(ht), np.array(hx), np.array(hq), np.array(hfb))
+            for ht, hx, hq, hfb in payload["history"]
+        ]
+        x = history[-1][1].copy()
+        stored_t = list(payload["stored_t"])
+        stored_x = [np.array(v) for v in payload["stored_x"]]
+        stats = dict(payload["stats"])
+        accepted_since_store = payload["accepted_since_store"]
+        controller.restore(payload["solver"], payload.get("factor_meta"))
+        t_grid = b_grid = None
+        grid_idx = payload["grid_idx"]
+        if payload["grid_active"] and not opts.adaptive:
+            t_grid, b_grid = _forcing_grid(
+                dae, t_start, t_stop, float(opts.dt)
+            )
+    else:
+        x = np.array(x0, dtype=float).ravel()
+        if x.size != dae.n:
+            raise SimulationError(
+                f"initial state has length {x.size}, DAE has {dae.n} unknowns"
+            )
+
+        t = float(t_start)
+        dt = (
+            float(opts.dt) if opts.dt is not None
+            else (t_stop - t_start) / 1000.0
+        )
+        if opts.adaptive:
+            # The first step has no predictor and therefore no error
+            # control; start tiny and let the controller grow the step
+            # geometrically.
+            dt = min(dt, (t_stop - t_start) * 1e-6)
+            dt = max(dt, opts.dt_min)
+
+        # History entries: (t, x, q, f - b) — integrators consume these.
+        history = [(t, x.copy(), dae.q(x), dae.f(x) - dae.b(t))]
+
+        # Fixed-step fast path: whole forcing grid in one batched call.
+        t_grid = b_grid = None
+        grid_idx = 0
+        if not opts.adaptive:
+            t_grid, b_grid = _forcing_grid(dae, t_start, t_stop, dt)
+
+        stored_t = [t]
+        stored_x = [x.copy()]
+        stats = {
+            "steps": 0,
+            "rejected_steps": 0,
+            "newton_iterations": 0,
+            "newton_failures": 0,
+            "newton_fallbacks": 0,
+            "jacobian_factorizations": 0,
+        }
+        accepted_since_store = 0
+
+    def take_checkpoint():
+        # Reads the enclosing locals at call time, so it always snapshots
+        # the last *accepted* state (failed attempts never advance them).
+        return Checkpoint(
+            kind="transient",
+            step=stats["steps"],
+            t=t,
+            dt=dt,
+            payload={
+                "history": [
+                    (float(ht), np.array(hx), np.array(hq), np.array(hfb))
+                    for ht, hx, hq, hfb in history
+                ],
+                "stored_t": list(stored_t),
+                "stored_x": [np.array(v) for v in stored_x],
+                "accepted_since_store": accepted_since_store,
+                "stats": dict(stats),
+                "grid_active": t_grid is not None,
+                "grid_idx": grid_idx,
+                "t_start": float(t_start),
+                "t_stop": float(t_stop),
+                "solver": controller.solver_snapshot(),
+                "factor_meta": controller.factor_metadata(),
+            },
         )
 
-    t = float(t_start)
-    dt = float(opts.dt) if opts.dt is not None else (t_stop - t_start) / 1000.0
-    if opts.adaptive:
-        # The first step has no predictor and therefore no error control;
-        # start tiny and let the controller grow the step geometrically.
-        dt = min(dt, (t_stop - t_start) * 1e-6)
-        dt = max(dt, opts.dt_min)
-
-    # History entries: (t, x, q, f - b) — integrators consume these.
-    history = [(t, x.copy(), dae.q(x), dae.f(x) - dae.b(t))]
-    controller = _StepController(dae, opts)
-
-    # Fixed-step fast path: the whole forcing grid in one batched call.
-    t_grid = b_grid = None
-    grid_idx = 0
-    if not opts.adaptive:
-        t_grid, b_grid = _forcing_grid(dae, t_start, t_stop, dt)
-
-    stored_t = [t]
-    stored_x = [x.copy()]
-    stats = {
-        "steps": 0,
-        "rejected_steps": 0,
-        "newton_iterations": 0,
-        "newton_failures": 0,
-        "newton_fallbacks": 0,
-        "jacobian_factorizations": 0,
-    }
-    accepted_since_store = 0
+    def fail(message, step_dt, result=None):
+        # Every mid-run failure carries full structured context: where the
+        # engine died, a salvageable trajectory prefix, and a resumable
+        # snapshot of the last accepted state.
+        stats_out = dict(stats)
+        stats_out["newton_fallbacks"] = controller.fallbacks
+        stats_out["jacobian_factorizations"] = controller.factorizations()
+        stats_out["solver"] = controller.core.stats.as_dict()
+        partial = TransientResult(
+            np.asarray(stored_t),
+            np.asarray(stored_x),
+            dae.variable_names,
+            stats_out,
+        )
+        raise SimulationError(
+            message,
+            step=stats["steps"],
+            time=t,
+            dt=step_dt,
+            residual_norm=(
+                result.residual_norm if result is not None else None
+            ),
+            iterations=result.iterations if result is not None else None,
+            checkpoint=manager.take(take_checkpoint),
+            partial_result=partial,
+        )
 
     while t < t_stop - 1e-15 * max(abs(t_stop), 1.0):
         if t_grid is not None:
@@ -339,11 +513,13 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
             # forcing evaluation for the rest of the run.
             t_grid = b_grid = None
             if dt < opts.dt_min:
-                raise SimulationError(
+                fail(
                     f"step size underflow at step {stats['steps']}, "
                     f"t={t:.6e}: Newton diverged with dt={2 * dt:.3e} "
                     f"(residual norm {result.residual_norm:.3e} after "
-                    f"{result.iterations} iterations)"
+                    f"{result.iterations} iterations)",
+                    2 * dt,
+                    result,
                 )
             continue
 
@@ -367,10 +543,12 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
                         opts.dt_min,
                     )
                     if dt <= opts.dt_min:
-                        raise SimulationError(
+                        fail(
                             f"step size underflow at step {stats['steps']}, "
                             f"t={t:.6e}: local-error control rejected "
-                            f"dt={dt:.3e} (error estimate {err:.3e})"
+                            f"dt={dt:.3e} (error estimate {err:.3e})",
+                            dt,
+                            result,
                         )
                     continue
                 growth = 0.9 * err ** (-1.0 / (integrator.order + 1)) if err > 0 else 5.0
@@ -397,14 +575,17 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None):
             accepted_since_store = 0
 
         dt = min(dt_next, opts.dt_max)
+        manager.offer(stats["steps"], take_checkpoint)
         if stats["steps"] >= opts.max_steps:
-            raise SimulationError(
-                f"exceeded max_steps={opts.max_steps} at t={t:.6e}"
+            fail(
+                f"exceeded max_steps={opts.max_steps} at t={t:.6e}", dt
             )
 
     stats["newton_fallbacks"] = controller.fallbacks
     stats["jacobian_factorizations"] = controller.factorizations()
     stats["solver"] = controller.core.stats.as_dict()
+    if controller.core.recovery:
+        stats["recovery"] = controller.core.recovery.as_dict()
 
     return TransientResult(
         np.asarray(stored_t),
@@ -565,7 +746,12 @@ def simulate_transient_with_sensitivity(dae, x0, t_start, t_stop,
                 f"sensitivity sweep cannot adapt its step: Newton diverged "
                 f"at step {stats['steps']}, t={t:.6e}, dt={dt:.3e} "
                 f"(residual norm {result.residual_norm:.3e}); increase the "
-                f"number of steps"
+                f"number of steps",
+                step=stats["steps"],
+                time=t,
+                dt=dt,
+                residual_norm=result.residual_norm,
+                iterations=result.iterations,
             )
         x_new = result.x
 
@@ -627,6 +813,8 @@ def simulate_transient_with_sensitivity(dae, x0, t_start, t_stop,
     stats["newton_fallbacks"] = controller.fallbacks
     stats["jacobian_factorizations"] += controller.factorizations()
     stats["solver"] = controller.core.stats.as_dict()
+    if controller.core.recovery:
+        stats["recovery"] = controller.core.recovery.as_dict()
 
     result = TransientResult(
         np.asarray(stored_t),

@@ -141,13 +141,16 @@ class _EnsembleChord:
         """Drop the stored factors; the next solve refactorises."""
         self._have = False
 
-    def _refactor(self, jacobian, states):
+    def _refactor(self, jacobian, states, iterations=0,
+                  residual_norm=float("nan")):
         try:
             self.factor.factor(jacobian(states))
         except (RuntimeError, np.linalg.LinAlgError) as exc:
             self._have = False
             raise SingularJacobianError(
-                f"ensemble chord refactorisation failed: {exc}"
+                f"ensemble chord refactorisation failed: {exc}",
+                iterations=iterations,
+                residual_norm=residual_norm,
             ) from exc
         self._have = True
         self.stats["factorizations"] += 1
@@ -179,7 +182,8 @@ class _EnsembleChord:
 
         fresh = False
         if self.refresh_every_iteration or not self._have:
-            self._refactor(jacobian, states)
+            self._refactor(jacobian, states,
+                           residual_norm=float(norms.max()))
             fresh = True
 
         iteration = 0
@@ -193,14 +197,16 @@ class _EnsembleChord:
             else:
                 iterations[active] += 1
             if self.refresh_every_iteration and iteration > 1:
-                self._refactor(jacobian, states)
+                self._refactor(jacobian, states, iterations=iteration,
+                               residual_norm=float(norms.max()))
                 fresh = True
 
             updates = self.factor.solve(residuals)
             finite = np.isfinite(updates).all(axis=1)
             if not finite.all() and not finite[active].all():
                 if not fresh:
-                    self._refactor(jacobian, states)
+                    self._refactor(jacobian, states, iterations=iteration,
+                                   residual_norm=float(norms.max()))
                     fresh = True
                     iterations[active] -= 1
                     stats["iterations"] -= 1
@@ -233,7 +239,8 @@ class _EnsembleChord:
                         # Blame staleness first: refactorise at the
                         # current iterates and retry the iteration for
                         # everyone.
-                        self._refactor(jacobian, states)
+                        self._refactor(jacobian, states, iterations=iteration,
+                                       residual_norm=float(norms.max()))
                         fresh = True
                         iterations[active] -= 1
                         stats["iterations"] -= 1
@@ -276,7 +283,8 @@ class _EnsembleChord:
                 if not num_left:
                     break
             if not fresh and (slow & active).any():
-                self._refactor(jacobian, states)
+                self._refactor(jacobian, states, iterations=iteration,
+                               residual_norm=float(norms.max()))
                 fresh = True
 
         if not converged.all():
@@ -528,7 +536,16 @@ def simulate_transient_ensemble(ensemble, x0, t_start, t_stop, options=None):
                 raise SimulationError(
                     f"step size underflow at step {stats['steps']}, "
                     f"t={t:.6e}: Newton diverged for scenario(s) "
-                    f"{failed.tolist()} with dt={2 * dt:.3e}"
+                    f"{failed.tolist()} with dt={2 * dt:.3e}",
+                    step=stats["steps"],
+                    time=t,
+                    dt=2 * dt,
+                    partial_result=EnsembleTransientResult(
+                        stored_t,
+                        stored_x,
+                        ensemble.variable_names,
+                        stats=dict(stats),
+                    ),
                 )
             continue
 
@@ -548,7 +565,16 @@ def simulate_transient_ensemble(ensemble, x0, t_start, t_stop, options=None):
             accepted_since_store = 0
         if stats["steps"] >= opts.max_steps:
             raise SimulationError(
-                f"exceeded max_steps={opts.max_steps} at t={t:.6e}"
+                f"exceeded max_steps={opts.max_steps} at t={t:.6e}",
+                step=stats["steps"],
+                time=t,
+                dt=dt,
+                partial_result=EnsembleTransientResult(
+                    stored_t,
+                    stored_x,
+                    ensemble.variable_names,
+                    stats=dict(stats),
+                ),
             )
 
     chord_stats = controller.chord.stats

@@ -35,9 +35,11 @@ from repro.errors import ConvergenceError, SimulationError
 # backwards compatibility with existing imports of wampde.envelope.
 from repro.grids import harmonic_axis as harmonic_axis, t1_grid as t1_grid
 from repro.linalg.collocation import CollocationJacobianAssembler
+from repro.linalg.lu_cache import FrozenFactorization
 from repro.linalg.newton import NewtonOptions
 from repro.linalg.solver_core import CollocationSystem, core_from_options
 from repro.linalg.sparse_tools import kron_diffmat
+from repro.resilience.checkpoint import Checkpoint, CheckpointManager
 from repro.phase_conditions import as_phase_condition
 from repro.spectral.diffmat import fourier_differentiation_matrix
 from repro.utils.validation import check_odd, check_positive
@@ -96,6 +98,19 @@ class WampdeEnvelopeOptions:
         Local-error weights for the adaptive driver.
     dt2_min, dt2_max:
         Step bounds for the adaptive driver.
+    ladder:
+        Recovery-ladder spec forwarded to the shared
+        :class:`~repro.linalg.solver_core.SolverCore` (``None``/
+        ``"default"``, ``"extended"``, or an explicit rung tuple — see
+        :mod:`repro.resilience.recovery`).
+    checkpoint_every:
+        Take an in-memory resume checkpoint every k accepted envelope
+        steps (0 disables).  A failing march always attaches its most
+        recent checkpoint to the raised
+        :class:`~repro.errors.SimulationError`.
+    checkpoint_path:
+        When set, checkpoints are also spooled to this file
+        (atomically replaced each time) for restart after a crash.
     """
 
     integrator: str = "theta"
@@ -113,6 +128,9 @@ class WampdeEnvelopeOptions:
     atol: float = 1e-8
     dt2_min: float = 0.0
     dt2_max: float = np.inf
+    ladder: object = None
+    checkpoint_every: int = 0
+    checkpoint_path: object = None
 
 
 class WampdeEnvelopeResult:
@@ -259,6 +277,11 @@ SolverCore`, which owns the Newton policy and (in chord mode) carries the
         self._eval_z = None
         self._eval_q = None
         self._eval_f = None
+        # (z, h) of the most recent bordered-Jacobian assembly — the
+        # metadata a checkpoint stores instead of the (unpicklable)
+        # factorisation itself.  Refreshed inside jacobian(), so it tracks
+        # exactly the matrix the chord policy holds factors of.
+        self._jac_meta = None
 
     def _evaluate_qf(self, states, z):
         """Flat ``q_batch``/``f_batch`` at ``z``, memoised on the iterate."""
@@ -295,6 +318,7 @@ SolverCore`, which owns the Newton policy and (in chord mode) carries the
         )
 
     def jacobian(self, z):
+        self._jac_meta = (np.array(z, dtype=float), self._h)
         states = z[:-1].reshape(self.num_t1, self.n)
         w = z[-1]
         dq = self.dae.dq_dx_batch(states)
@@ -322,6 +346,45 @@ SolverCore`, which owns the Newton policy and (in chord mode) carries the
             "num_border": 1,
             "size": self.num_t1 * self.n + 1,
         }
+
+    def factor_metadata(self):
+        """Checkpointable description of the frozen chord factorisation.
+
+        Returns ``(z, h)`` — enough to re-assemble and refactorise the
+        exact bordered matrix the chord policy currently holds — or
+        ``None`` when no factors are held (full-Newton mode, or right
+        after an invalidation), in which case a resumed march starts
+        unfactored exactly like the live run would have continued.
+        """
+        chord = self.core._chord
+        if chord is not None and chord._have and self._jac_meta is not None:
+            z, h = self._jac_meta
+            return (np.array(z, dtype=float), float(h))
+        return None
+
+    def solver_snapshot(self):
+        """Checkpointable solver-core bookkeeping (stats + parameters)."""
+        return {
+            "stats": self.core.stats.as_dict(),
+            "params": dict(self.core._params),
+        }
+
+    def restore(self, snapshot, factor_meta):
+        """Rebuild the stepper state captured by a checkpoint.
+
+        Factorising the re-assembled matrix is deterministic (SuperLU on
+        identical input), so after this call the chord policy makes
+        bit-for-bit the decisions of the uninterrupted march.
+        """
+        stats = self.core.stats
+        for key, value in snapshot["stats"].items():
+            setattr(stats, key, value)
+        self.core._params.update(snapshot["params"])
+        if factor_meta is not None and self.core._chord is not None:
+            z, h = factor_meta
+            self._h = float(h)
+            matrix = self.jacobian(np.asarray(z, dtype=float))
+            self.core.adopt_factorization(FrozenFactorization().factor(matrix))
 
     def step(self, x_samples, omega, q_old, rhs_old, t2_new, h):
         """One implicit t2 step; returns ``(x_new, omega_new, iterations)``.
@@ -373,7 +436,7 @@ def _validate_inputs(dae, initial_samples, omega0, t2_start, t2_stop):
 
 
 def solve_wampde_envelope(dae, initial_samples, omega0, t2_start, t2_stop,
-                          num_steps, options=None):
+                          num_steps, options=None, resume_from=None):
     """Integrate the WaMPDE in ``t2`` with uniform steps.
 
     Parameters
@@ -393,6 +456,12 @@ def solve_wampde_envelope(dae, initial_samples, omega0, t2_start, t2_stop,
         Number of uniform t2 steps.
     options:
         :class:`WampdeEnvelopeOptions`.
+    resume_from:
+        A :class:`~repro.resilience.checkpoint.Checkpoint` (or a path to
+        one saved on disk) from an earlier, interrupted run with the same
+        DAE, window and options.  The march continues from the
+        checkpointed step and produces the result of the uninterrupted
+        run bit for bit.
 
     Returns
     -------
@@ -407,23 +476,92 @@ def solve_wampde_envelope(dae, initial_samples, omega0, t2_start, t2_stop,
 
     stepper = _EnvelopeStepper(dae, initial_samples.shape[0], opts)
     h = (t2_stop - t2_start) / num_steps
+    manager = CheckpointManager(
+        every=int(getattr(opts, "checkpoint_every", 0) or 0),
+        path=getattr(opts, "checkpoint_path", None),
+    )
 
-    x_samples = initial_samples.copy()
-    omega = float(omega0)
-    t2 = float(t2_start)
+    if resume_from is not None:
+        checkpoint = (
+            resume_from
+            if isinstance(resume_from, Checkpoint)
+            else Checkpoint.load(resume_from)
+        )
+        if checkpoint.kind != "wampde_envelope":
+            raise SimulationError(
+                f"cannot resume a WaMPDE envelope march from a "
+                f"{checkpoint.kind!r} checkpoint"
+            )
+        payload = checkpoint.payload
+        x_samples = np.array(payload["x_samples"], dtype=float)
+        omega = float(payload["omega"])
+        t2 = float(payload["t2"])
+        stored_t2 = list(payload["stored_t2"])
+        stored_omega = list(payload["stored_omega"])
+        stored_samples = [np.array(s, dtype=float)
+                          for s in payload["stored_samples"]]
+        stats = dict(payload["stats"])
+        since_store = int(payload["since_store"])
+        start_step = int(checkpoint.step)
+        stepper.restore(payload["solver"], payload["factor_meta"])
+    else:
+        x_samples = initial_samples.copy()
+        omega = float(omega0)
+        t2 = float(t2_start)
+        stored_t2 = [t2]
+        stored_omega = [omega]
+        stored_samples = [x_samples.copy()]
+        stats = {"steps": 0, "newton_iterations": 0}
+        since_store = 0
+        start_step = 0
     rhs_old, q_old = stepper.rhs_terms(x_samples, omega, t2)
 
-    stored_t2 = [t2]
-    stored_omega = [omega]
-    stored_samples = [x_samples.copy()]
-    stats = {"steps": 0, "newton_iterations": 0}
-    since_store = 0
-
-    for step_index in range(num_steps):
-        t2_new = t2_start + (step_index + 1) * h
-        x_samples, omega, iterations = stepper.step(
-            x_samples, omega, q_old, rhs_old, t2_new, h
+    def take_checkpoint():
+        return Checkpoint(
+            kind="wampde_envelope",
+            step=stats["steps"],
+            t=t2,
+            dt=h,
+            payload={
+                "x_samples": x_samples.copy(),
+                "omega": omega,
+                "t2": t2,
+                "stored_t2": list(stored_t2),
+                "stored_omega": list(stored_omega),
+                "stored_samples": [s.copy() for s in stored_samples],
+                "stats": dict(stats),
+                "since_store": since_store,
+                "t2_start": t2_start,
+                "t2_stop": t2_stop,
+                "num_steps": num_steps,
+                "solver": stepper.solver_snapshot(),
+                "factor_meta": stepper.factor_metadata(),
+            },
         )
+
+    for step_index in range(start_step, num_steps):
+        t2_new = t2_start + (step_index + 1) * h
+        try:
+            x_samples, omega, iterations = stepper.step(
+                x_samples, omega, q_old, rhs_old, t2_new, h
+            )
+        except ConvergenceError as exc:
+            partial_stats = dict(stats)
+            partial_stats["solver"] = stepper.core.stats.as_dict()
+            raise SimulationError(
+                f"WaMPDE envelope step {step_index + 1} failed to converge "
+                f"at t2={t2_new:.6e}: {exc}",
+                step=stats["steps"],
+                time=t2,
+                dt=h,
+                iterations=exc.iterations,
+                residual_norm=exc.residual_norm,
+                checkpoint=manager.take(take_checkpoint),
+                partial_result=WampdeEnvelopeResult(
+                    stored_t2, stored_omega, stored_samples,
+                    dae.variable_names, partial_stats,
+                ),
+            ) from exc
         stats["newton_iterations"] += iterations
         t2 = t2_new
         rhs_old, q_old = stepper.rhs_terms(x_samples, omega, t2)
@@ -434,8 +572,11 @@ def solve_wampde_envelope(dae, initial_samples, omega0, t2_start, t2_stop,
             stored_omega.append(omega)
             stored_samples.append(x_samples.copy())
             since_store = 0
+        manager.offer(stats["steps"], take_checkpoint)
 
     stats["solver"] = stepper.core.stats.as_dict()
+    if stepper.core.recovery:
+        stats["recovery"] = stepper.core.recovery.as_dict()
     return WampdeEnvelopeResult(
         np.asarray(stored_t2),
         np.asarray(stored_omega),
@@ -447,7 +588,7 @@ def solve_wampde_envelope(dae, initial_samples, omega0, t2_start, t2_stop,
 
 def solve_wampde_envelope_adaptive(dae, initial_samples, omega0, t2_start,
                                    t2_stop, dt2_initial=None, options=None,
-                                   max_steps=1_000_000):
+                                   max_steps=1_000_000, resume_from=None):
     """Integrate the WaMPDE in ``t2`` with error-controlled steps.
 
     Local error is estimated by **step doubling**: each accepted step is
@@ -472,6 +613,11 @@ def solve_wampde_envelope_adaptive(dae, initial_samples, omega0, t2_start,
         the controller).
     max_steps:
         Safety bound on accepted steps.
+    resume_from:
+        A :class:`~repro.resilience.checkpoint.Checkpoint` (or a path to
+        one) from an earlier, interrupted adaptive run with the same DAE,
+        window and options; the march continues from the checkpointed
+        accepted step.
 
     Returns
     -------
@@ -502,16 +648,78 @@ def solve_wampde_envelope_adaptive(dae, initial_samples, omega0, t2_start,
     h_physics = 1e-3 / float(omega0)
     h_floor = max(opts.dt2_min, span * 1e-12, h_noise, h_physics)
 
-    x_samples = initial_samples.copy()
-    omega = float(omega0)
-    t2 = float(t2_start)
+    manager = CheckpointManager(
+        every=int(getattr(opts, "checkpoint_every", 0) or 0),
+        path=getattr(opts, "checkpoint_path", None),
+    )
+    if resume_from is not None:
+        checkpoint = (
+            resume_from
+            if isinstance(resume_from, Checkpoint)
+            else Checkpoint.load(resume_from)
+        )
+        if checkpoint.kind != "wampde_envelope_adaptive":
+            raise SimulationError(
+                f"cannot resume an adaptive WaMPDE envelope march from a "
+                f"{checkpoint.kind!r} checkpoint"
+            )
+        payload = checkpoint.payload
+        x_samples = np.array(payload["x_samples"], dtype=float)
+        omega = float(payload["omega"])
+        t2 = float(payload["t2"])
+        h = float(checkpoint.dt)
+        stored_t2 = list(payload["stored_t2"])
+        stored_omega = list(payload["stored_omega"])
+        stored_samples = [np.array(s, dtype=float)
+                          for s in payload["stored_samples"]]
+        stats = dict(payload["stats"])
+        stepper.restore(payload["solver"], payload["factor_meta"])
+    else:
+        x_samples = initial_samples.copy()
+        omega = float(omega0)
+        t2 = float(t2_start)
+        stored_t2 = [t2]
+        stored_omega = [omega]
+        stored_samples = [x_samples.copy()]
+        stats = {"steps": 0, "newton_iterations": 0, "rejected_steps": 0,
+                 "newton_failures": 0}
     rhs_old, q_old = stepper.rhs_terms(x_samples, omega, t2)
 
-    stored_t2 = [t2]
-    stored_omega = [omega]
-    stored_samples = [x_samples.copy()]
-    stats = {"steps": 0, "newton_iterations": 0, "rejected_steps": 0,
-             "newton_failures": 0}
+    def take_checkpoint():
+        return Checkpoint(
+            kind="wampde_envelope_adaptive",
+            step=stats["steps"],
+            t=t2,
+            dt=h,
+            payload={
+                "x_samples": x_samples.copy(),
+                "omega": omega,
+                "t2": t2,
+                "stored_t2": list(stored_t2),
+                "stored_omega": list(stored_omega),
+                "stored_samples": [s.copy() for s in stored_samples],
+                "stats": dict(stats),
+                "t2_start": t2_start,
+                "t2_stop": t2_stop,
+                "solver": stepper.solver_snapshot(),
+                "factor_meta": stepper.factor_metadata(),
+            },
+        )
+
+    def fail(message):
+        partial_stats = dict(stats)
+        partial_stats["solver"] = stepper.core.stats.as_dict()
+        return SimulationError(
+            message,
+            step=stats["steps"],
+            time=t2,
+            dt=h,
+            checkpoint=manager.take(take_checkpoint),
+            partial_result=WampdeEnvelopeResult(
+                stored_t2, stored_omega, stored_samples,
+                dae.variable_names, partial_stats,
+            ),
+        )
 
     while t2 < t2_stop - 1e-15 * max(abs(t2_stop), 1.0):
         h = min(h, t2_stop - t2)
@@ -531,7 +739,7 @@ def solve_wampde_envelope_adaptive(dae, initial_samples, omega0, t2_start,
         except ConvergenceError:
             stats["newton_failures"] += 1
             if h <= h_floor * 1.01:
-                raise SimulationError(
+                raise fail(
                     f"WaMPDE adaptive step underflow at t2={t2:.6e} "
                     f"(Newton cannot converge at the minimum step "
                     f"{h_floor:.3e}; try a looser rtol or more t1 samples)"
@@ -548,7 +756,7 @@ def solve_wampde_envelope_adaptive(dae, initial_samples, omega0, t2_start,
         jump = max(abs(omega_full - omega), abs(omega_half - omega))
         if jump > 0.1 * abs(omega):
             if h <= h_floor * 1.01:
-                raise SimulationError(
+                raise fail(
                     f"WaMPDE adaptive run lost the oscillation branch at "
                     f"t2={t2:.6e} (omega jumped {jump:.3e} from "
                     f"{omega:.3e} at the minimum step).  Local time-domain "
@@ -585,12 +793,15 @@ def solve_wampde_envelope_adaptive(dae, initial_samples, omega0, t2_start,
         stored_samples.append(x_samples.copy())
         growth = 0.9 * err ** (-1.0 / (order + 1)) if err > 0 else 5.0
         h = max(min(h * min(5.0, max(0.2, growth)), opts.dt2_max), h_floor)
+        manager.offer(stats["steps"], take_checkpoint)
         if stats["steps"] >= max_steps:
-            raise SimulationError(
+            raise fail(
                 f"WaMPDE adaptive run exceeded max_steps={max_steps}"
             )
 
     stats["solver"] = stepper.core.stats.as_dict()
+    if stepper.core.recovery:
+        stats["recovery"] = stepper.core.recovery.as_dict()
     return WampdeEnvelopeResult(
         np.asarray(stored_t2),
         np.asarray(stored_omega),
