@@ -157,6 +157,74 @@ def _bench_ensemble_sweep(batch=8):
     }
 
 
+def _bench_service_warm_envelope():
+    """Warm-vs-cold envelope through the simulation service (ratcheted).
+
+    The service tentpole's win condition: resubmitting a bit-identical
+    :class:`EnvelopeRequest` must replay the cached serialized result —
+    no §4.1 initialisation, no envelope march — at least 5x faster than
+    the cold run and bit-identical with it.  Two entries join the
+    ratchet: the cold end-to-end submission (request dispatch + DC →
+    settle → HB + envelope) and the warm replay (cache lookup + result
+    deserialization); the >= 5x speedup is asserted outright so a cache
+    regression fails the bench even before the baseline comparison.
+    """
+    from repro.api import EnvelopeRequest
+    from repro.circuits.library import T_NOMINAL, VcoParams
+    from repro.service import SimulationService
+    from repro.wampde import WampdeEnvelopeOptions
+
+    params = VcoParams.vacuum()
+
+    def request():
+        return EnvelopeRequest(
+            dae=MemsVcoDae(params),
+            t2_start=0.0, t2_stop=10e-6, num_steps=100,
+            unforced_dae=MemsVcoDae(params, constant_control=True),
+            num_t1=25, period_guess=T_NOMINAL,
+            options=WampdeEnvelopeOptions(),
+        )
+
+    replays = 5
+    with SimulationService(workers=0) as service:
+        with WallTimer() as cold_timer:
+            cold_job = service.submit(request())
+        cold = cold_job.result
+        # Replay a few times and ratchet the mean: a single replay is
+        # milliseconds of JSON decoding, too jittery to gate on alone.
+        with WallTimer() as warm_timer:
+            warm_jobs = [service.submit(request()) for _ in range(replays)]
+        warm_mean = warm_timer.elapsed / replays
+
+    for warm_job in warm_jobs:
+        assert warm_job.cache_hit, "exact resubmission missed the cache"
+        warm = warm_job.result
+        assert np.array_equal(cold.omega, warm.omega), \
+            "cache replay is not bit-identical (omega)"
+        assert np.array_equal(cold.samples, warm.samples), \
+            "cache replay is not bit-identical (samples)"
+    speedup = cold_timer.elapsed / warm_mean
+    assert speedup >= 5.0, (
+        f"warm replay only {speedup:.2f}x faster than the cold "
+        f"envelope (require >= 5x)"
+    )
+    return [
+        {
+            "name": "service_envelope_cold",
+            "steps": int(cold.stats["steps"]),
+            "wall_time_s": cold_timer.elapsed,
+        },
+        {
+            "name": "service_warm_envelope",
+            "steps": 0,
+            "wall_time_s": warm_mean,
+            "cold_wall_time_s": cold_timer.elapsed,
+            "replays": replays,
+            "replay_speedup": speedup,
+        },
+    ]
+
+
 def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
     params, samples, f0 = air_ic
     horizon = fig12_data["horizon"]
@@ -231,6 +299,17 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
         title="Ensemble control-voltage sweep (ratcheted; >= 2x enforced)",
     ))
 
+    service_entries = _bench_service_warm_envelope()
+    cold_entry, warm_entry = service_entries
+    print(format_table(
+        ["metric", "value"],
+        [["cold submission wall time [s]", cold_entry["wall_time_s"]],
+         ["warm replay wall time [s]", warm_entry["wall_time_s"]],
+         ["replay speedup", warm_entry["replay_speedup"]]],
+        title="Service warm-start cache: envelope resubmission "
+              "(ratcheted; >= 5x and bit-identity enforced)",
+    ))
+
     payload = {
         "schema_version": 1,
         "bench": "speedup_table",
@@ -266,6 +345,7 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
             },
             *ported,
             ensemble_entry,
+            *service_entries,
         ],
         "speedup_vs_accurate_ode": speedup,
     }

@@ -19,6 +19,28 @@ Quickstart
 >>> env = solve_wampde_envelope(forced, samples, f0, 0.0, 60e-6, 600)
 >>> env.omega.max() / env.omega.min() > 2.5   # paper Fig 7: ~3x FM swing
 True
+
+Simulation as a service
+-----------------------
+Every analysis is also describable as a serializable request
+(:mod:`repro.api`) and runnable through the job layer
+(:mod:`repro.service`), which adds a worker pool, streaming of partial
+results, and a warm-start cache: resubmitting an identical request
+replays the stored result bit-identically, and a *similar* request (same
+oscillator, different window) skips the expensive DC → settle → HB
+initialisation by seeding from the cached settled state.
+
+>>> from repro import EnvelopeRequest, SimulationService
+>>> request = EnvelopeRequest(dae=forced, unforced_dae=unforced,
+...                           t2_stop=60e-6, num_steps=600,
+...                           period_guess=T_NOMINAL)
+>>> with SimulationService(workers=4) as service:   # doctest: +SKIP
+...     job = service.submit(request)
+...     env = service.result(job.job_id)
+...     env2 = service.result(service.submit(request).job_id)  # cache hit
+
+The same requests drive the CLI (``python -m repro vco --workers 4``)
+and ``repro.api.run(request)`` for plain in-process execution.
 """
 
 from repro._version import __version__
@@ -77,6 +99,37 @@ from repro.steadystate import (
 )
 from repro.dae import SemiExplicitDAE, FunctionDAE
 
+# Unified request/result API and the simulation service (lazy: neither
+# pulls extra weight into `import repro` until actually touched).
+_LAZY = {
+    "AnalysisRequest": "repro.api",
+    "TransientRequest": "repro.api",
+    "EnvelopeRequest": "repro.api",
+    "HBRequest": "repro.api",
+    "QuasiperiodicRequest": "repro.api",
+    "EnsembleRequest": "repro.api",
+    "SweepRequest": "repro.api",
+    "run": "repro.api",
+    "request_from_dict": "repro.api",
+    "SimulationService": "repro.service",
+    "WarmStart": "repro.service",
+    "WarmStartCache": "repro.service",
+}
+
+
+def __getattr__(name):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+
 __all__ = [
     "__version__",
     "BivariateWaveform",
@@ -118,4 +171,17 @@ __all__ = [
     "harmonic_balance_autonomous",
     "SemiExplicitDAE",
     "FunctionDAE",
+    # lazy request/service surface
+    "AnalysisRequest",
+    "TransientRequest",
+    "EnvelopeRequest",
+    "HBRequest",
+    "QuasiperiodicRequest",
+    "EnsembleRequest",
+    "SweepRequest",
+    "run",
+    "request_from_dict",
+    "SimulationService",
+    "WarmStart",
+    "WarmStartCache",
 ]

@@ -1,0 +1,63 @@
+"""repro.api — one serializable request/result surface for every analysis.
+
+Every analysis this library performs is described by an
+:class:`~repro.api.requests.AnalysisRequest` dataclass —
+:class:`TransientRequest`, :class:`EnvelopeRequest`, :class:`HBRequest`,
+:class:`QuasiperiodicRequest`, :class:`EnsembleRequest`,
+:class:`SweepRequest` — and executed by the single dispatcher
+:func:`run`.  The CLI and the :mod:`repro.service` job layer both build
+requests and hand them to :func:`run`; the historical
+``solve_*``/``simulate_*`` entry points remain as the engine layer the
+dispatcher calls into.
+
+Requests and results share one serialization protocol
+(:mod:`repro.api.serialize`): ``to_dict()`` produces plain
+JSON-compatible data (arrays as base64 bytes — bit-exact round-trips),
+``from_dict()`` rebuilds the object, and
+:func:`repro.service.keys.content_key` hashes the canonical form for the
+warm-start cache.
+
+>>> from repro import api
+>>> request = api.EnvelopeRequest(dae=forced, unforced_dae=unforced,
+...                               t2_stop=60e-6, num_steps=600)
+>>> result = api.run(request)                       # doctest: +SKIP
+>>> api.request_from_dict(request.to_dict()) == request
+True
+
+Submodules are imported lazily: importing :mod:`repro.api` (e.g. for
+``repro.api.serialize``) never pulls in the engines, so low-level modules
+may import the serializer without creating a cycle.
+"""
+
+from __future__ import annotations
+
+_LAZY = {
+    "AnalysisRequest": "repro.api.requests",
+    "TransientRequest": "repro.api.requests",
+    "EnvelopeRequest": "repro.api.requests",
+    "HBRequest": "repro.api.requests",
+    "QuasiperiodicRequest": "repro.api.requests",
+    "EnsembleRequest": "repro.api.requests",
+    "SweepRequest": "repro.api.requests",
+    "run": "repro.api.requests",
+    "request_from_dict": "repro.api.requests",
+    "SerializableMixin": "repro.api.serialize",
+    "SerializationError": "repro.api.serialize",
+    "to_jsonable": "repro.api.serialize",
+    "from_jsonable": "repro.api.serialize",
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,275 @@
+"""Tagged JSON-safe codec for requests, results and cache payloads.
+
+Everything that crosses a process boundary in the service layer — analysis
+requests, result payloads, streamed partial results, cache entries — is
+reduced to *plain JSON-compatible data* by :func:`to_jsonable` and rebuilt
+by :func:`from_jsonable`.  The encoding is
+
+* **lossless for floats and arrays** — ``numpy`` arrays are stored as
+  base64 of their raw bytes (plus dtype/shape), so a round-trip
+  reconstructs them *bit for bit*.  This is what makes the warm-start
+  cache's replay of a stored result bit-identical with the original run;
+* **self-describing** — non-JSON values are wrapped in a dict carrying the
+  reserved ``"__repro__"`` tag, and library objects (results, options,
+  DAEs, devices, waveforms) are encoded as their class path plus attribute
+  state;
+* **closed over this library** — decoding only instantiates classes from
+  the ``repro`` package (and rebuilds numpy arrays).  Arbitrary class
+  paths are rejected, so a payload cannot smuggle in foreign types.
+
+Callables (lambdas, :class:`~repro.dae.function_dae.FunctionDAE` closures,
+factory functions) have no stable serial form and raise
+:class:`SerializationError`; request classes that carry factories document
+that they serialize only when built from serializable parts.
+"""
+
+from __future__ import annotations
+
+import base64
+import functools
+import hashlib
+import importlib
+import json
+import types
+
+import numpy as np
+
+#: Reserved tag key marking an encoded non-JSON value.
+TAG = "__repro__"
+
+
+class SerializationError(TypeError):
+    """Raised when a value has no stable serial form (e.g. a callable)."""
+
+
+# -- registered codecs -------------------------------------------------------
+#
+# Classes whose attribute state is not a faithful description (compiled
+# caches, __slots__ helpers) register an explicit (encode, decode) pair
+# keyed by a stable kind tag.  Encoders return a jsonable-able state dict;
+# decoders rebuild the instance from the decoded state.
+
+_CODECS = {}
+_CODECS_BY_CLASS = {}
+_BUILTINS_REGISTERED = False
+
+
+def register_codec(cls, kind, encode, decode):
+    """Register an explicit codec for ``cls`` under tag ``kind``."""
+    _CODECS[kind] = (cls, encode, decode)
+    _CODECS_BY_CLASS[cls] = (kind, encode, decode)
+
+
+def _ensure_builtin_codecs():
+    # Deferred: the builtin codecs import circuit/DAE modules, which may
+    # themselves import this module for SerializableMixin — registering
+    # lazily at first encode/decode keeps the import graph acyclic.
+    global _BUILTINS_REGISTERED
+    if not _BUILTINS_REGISTERED:
+        _BUILTINS_REGISTERED = True
+        _register_builtin_codecs()
+
+
+def _class_path(cls):
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def _resolve_class(path):
+    module_name, _, qualname = path.partition(":")
+    root = module_name.split(".", 1)[0]
+    if root != "repro":
+        raise SerializationError(
+            f"refusing to decode class {path!r}: only repro.* classes "
+            f"may appear in serialized payloads"
+        )
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not isinstance(obj, type):
+        raise SerializationError(f"{path!r} does not name a class")
+    return obj
+
+
+def to_jsonable(obj):
+    """Encode ``obj`` as plain JSON-compatible data (see module doc)."""
+    _ensure_builtin_codecs()
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        return float(obj)
+    if isinstance(obj, (complex, np.complexfloating)):
+        return {TAG: "complex", "re": float(obj.real), "im": float(obj.imag)}
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        if arr.dtype.hasobject:
+            raise SerializationError("object-dtype arrays are not serializable")
+        return {
+            TAG: "ndarray",
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+        }
+    if isinstance(obj, tuple):
+        return {TAG: "tuple", "items": [to_jsonable(v) for v in obj]}
+    if isinstance(obj, list):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj) and TAG not in obj:
+            return {k: to_jsonable(v) for k, v in obj.items()}
+        return {
+            TAG: "dict",
+            "items": [[to_jsonable(k), to_jsonable(v)] for k, v in obj.items()],
+        }
+    codec = _CODECS_BY_CLASS.get(type(obj))
+    if codec is not None:
+        kind, encode, _decode = codec
+        return {TAG: kind, "state": to_jsonable(encode(obj))}
+    if isinstance(
+        obj,
+        (types.FunctionType, types.LambdaType, types.MethodType,
+         types.BuiltinFunctionType, functools.partial),
+    ) or isinstance(obj, type):
+        # Bare functions/lambdas/closures cannot round-trip; callable
+        # *instances* (waveforms, DAEs) fall through to the object codec.
+        raise SerializationError(
+            f"cannot serialize callable {obj!r}; requests that carry "
+            f"factories/closures must be run in-process"
+        )
+    cls = type(obj)
+    if cls.__module__.split(".", 1)[0] == "repro" and hasattr(obj, "__dict__"):
+        return {
+            TAG: "object",
+            "class": _class_path(cls),
+            "state": {k: to_jsonable(v) for k, v in vars(obj).items()},
+        }
+    raise SerializationError(
+        f"cannot serialize {cls.__module__}.{cls.__qualname__} instances"
+    )
+
+
+def from_jsonable(data):
+    """Rebuild the value encoded by :func:`to_jsonable`."""
+    _ensure_builtin_codecs()
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, list):
+        return [from_jsonable(v) for v in data]
+    if not isinstance(data, dict):
+        raise SerializationError(f"cannot decode {type(data).__name__}")
+    kind = data.get(TAG)
+    if kind is None:
+        return {k: from_jsonable(v) for k, v in data.items()}
+    if kind == "ndarray":
+        raw = base64.b64decode(data["data"])
+        arr = np.frombuffer(raw, dtype=np.dtype(data["dtype"]))
+        return arr.reshape(data["shape"]).copy()
+    if kind == "tuple":
+        return tuple(from_jsonable(v) for v in data["items"])
+    if kind == "complex":
+        return complex(data["re"], data["im"])
+    if kind == "dict":
+        return {
+            from_jsonable(k): from_jsonable(v) for k, v in data["items"]
+        }
+    if kind == "object":
+        cls = _resolve_class(data["class"])
+        state = {k: from_jsonable(v) for k, v in data["state"].items()}
+        obj = cls.__new__(cls)
+        obj.__dict__.update(state)
+        return obj
+    codec = _CODECS.get(kind)
+    if codec is not None:
+        _cls, _encode, decode = codec
+        return decode(from_jsonable(data["state"]))
+    raise SerializationError(f"unknown serialized kind {kind!r}")
+
+
+def canonical_json(data):
+    """Deterministic JSON text of a jsonable tree (sorted keys)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def digest(data):
+    """sha256 hex digest of a jsonable tree's canonical JSON."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+class SerializableMixin:
+    """Uniform ``to_dict()``/``from_dict()`` via the tagged codec.
+
+    Mixed into every request and result class.  ``to_dict`` produces
+    plain JSON-compatible data; ``from_dict`` rebuilds the instance and
+    checks it decodes to the expected class (so e.g.
+    ``TransientResult.from_dict`` refuses an envelope payload).
+    """
+
+    def to_dict(self):
+        """Plain JSON-compatible dict encoding this object losslessly."""
+        return to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild an instance from :meth:`to_dict` output."""
+        obj = from_jsonable(data)
+        if not isinstance(obj, cls):
+            raise SerializationError(
+                f"payload decodes to {type(obj).__name__}, "
+                f"expected {cls.__name__}"
+            )
+        return obj
+
+
+def _register_builtin_codecs():
+    # Circuit: the generic path would encode the internal name *set*
+    # (unordered) — encode the device list and rebuild through add(), so
+    # the round-trip re-runs the netlist's own validation.
+    from repro.circuits.netlist import Circuit
+
+    def _encode_circuit(circuit):
+        return {"title": circuit.title, "devices": list(circuit.devices)}
+
+    def _decode_circuit(state):
+        circuit = Circuit(state["title"])
+        for device in state["devices"]:
+            circuit.add(device)
+        return circuit
+
+    register_codec(Circuit, "circuit", _encode_circuit, _decode_circuit)
+
+    # CircuitDAE: holds compiled gather/scatter caches and __slots__
+    # helper objects; its netlist is the full description — recompile.
+    from repro.circuits.mna import CircuitDAE
+
+    register_codec(
+        CircuitDAE,
+        "circuit_dae",
+        lambda dae: {"circuit": dae.circuit},
+        lambda state: CircuitDAE(state["circuit"]),
+    )
+
+    # EnsembleDAE: plain attributes, but the generic object path would
+    # reject it when a member list is absent and the stacked DAE is a
+    # CircuitDAE (nested codec) — route members/stacked through the
+    # regular encoder explicitly.
+    from repro.dae.ensemble import EnsembleDAE
+
+    def _encode_ensemble(ensemble):
+        return {
+            "batch_size": ensemble.batch_size,
+            "n": ensemble.n,
+            "variable_names": ensemble.variable_names,
+            "members": ensemble._members,
+            "stacked": ensemble._stacked,
+        }
+
+    def _decode_ensemble(state):
+        return EnsembleDAE(
+            state["batch_size"], state["n"], state["variable_names"],
+            members=state["members"], stacked=state["stacked"],
+        )
+
+    register_codec(
+        EnsembleDAE, "ensemble_dae", _encode_ensemble, _decode_ensemble
+    )

@@ -10,6 +10,13 @@ Usage::
 
 Each command prints the same text tables the benchmark harness produces
 and optionally writes CSV via ``--csv DIR``.
+
+The CLI is a thin client over :mod:`repro.api`: each subcommand builds
+the matching :class:`~repro.api.requests.AnalysisRequest` and executes
+it through :func:`repro.api.run` — or through a
+:class:`~repro.service.SimulationService` worker pool when ``--workers``
+is given — so a shell invocation and a programmatic ``api.run(request)``
+produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -47,6 +54,32 @@ def _add_solver_args(parser):
              "Jacobian refresh, GMRES retry and pseudo-transient "
              "continuation before giving up",
     )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="execute through the simulation service with N worker "
+             "processes (default 0: run in-process; results are "
+             "identical either way)",
+    )
+
+
+def _execute(args, request):
+    """Run ``request`` through the unified API.
+
+    In-process by default; through a :class:`SimulationService` worker
+    pool when ``--workers N`` was given.  Requests that cannot cross the
+    process boundary (closure factories) fall back to inline execution
+    inside the service, so the output is the same either way.
+    """
+    from repro import api
+
+    workers = int(getattr(args, "workers", 0) or 0)
+    if workers <= 0:
+        return api.run(request)
+    from repro.service import SimulationService
+
+    with SimulationService(workers=workers) as service:
+        job = service.submit(request)
+        return service.result(job.job_id)
 
 
 def _envelope_options(args, **kwargs):
@@ -139,9 +172,9 @@ def _run_tuning_sweep(args):
     """
     from dataclasses import replace
 
+    from repro.api import SweepRequest
     from repro.circuits.library import MemsVcoDae, T_NOMINAL, VcoParams
     from repro.linalg.solver_core import SolverStats
-    from repro.steadystate import oscillator_frequency_sweep
     from repro.utils import format_table, write_csv
 
     if (args.newton or args.linear_solver or args.threads is not None
@@ -170,10 +203,11 @@ def _run_tuning_sweep(args):
         )
 
     method = "ensemble" if args.ensemble else "continuation"
-    sweep = oscillator_frequency_sweep(
-        factory, values, period_guess=T_NOMINAL, num_t1=args.num_t1,
-        method=method, stacked_factory=stacked_factory,
-    )
+    sweep = _execute(args, SweepRequest(
+        dae_factory=factory, values=values, period_guess=T_NOMINAL,
+        num_t1=args.num_t1, method=method,
+        stacked_factory=stacked_factory,
+    ))
     print(format_table(
         ["Vc [V]", "frequency [MHz]", "amplitude [Vpp]"],
         [[v, f / 1e6, a] for v, f, a in
@@ -196,12 +230,9 @@ def _run_tuning_sweep(args):
 
 def _cmd_vco(args):
     """Run a WaMPDE envelope of the chosen VCO variant; print Fig 7/10."""
+    from repro.api import EnvelopeRequest
     from repro.circuits.library import MemsVcoDae, T_NOMINAL, VcoParams
     from repro.utils import ascii_plot, format_table, write_csv
-    from repro.wampde import (
-        oscillator_initial_condition,
-        solve_wampde_envelope,
-    )
 
     if args.sweep:
         return _run_tuning_sweep(args)
@@ -215,16 +246,18 @@ def _cmd_vco(args):
     if args.steps:
         steps = int(args.steps)
 
-    unforced = MemsVcoDae(params, constant_control=True)
-    samples, f0 = oscillator_initial_condition(
-        unforced, num_t1=args.num_t1, period_guess=T_NOMINAL
-    )
-    print(f"free-running: {f0/1e6:.4f} MHz")
-    forced = MemsVcoDae(params)
-    env = solve_wampde_envelope(
-        forced, samples, f0, 0.0, horizon, steps, _envelope_options(args),
+    # The request folds the paper's §4.1 initialisation (DC -> settle ->
+    # autonomous HB) in with the envelope march; env.omega[0] is the
+    # free-running frequency it found.
+    env = _execute(args, EnvelopeRequest(
+        dae=MemsVcoDae(params),
+        t2_start=0.0, t2_stop=horizon, num_steps=steps,
+        unforced_dae=MemsVcoDae(params, constant_control=True),
+        num_t1=args.num_t1, period_guess=T_NOMINAL,
+        options=_envelope_options(args),
         resume_from=args.resume_from,
-    )
+    ))
+    print(f"free-running: {env.omega[0]/1e6:.4f} MHz")
     _print_solver_stats(env.stats)
 
     idx = np.linspace(0, env.t2.size - 1, 13).astype(int)
@@ -282,13 +315,11 @@ def _cmd_fm(args):
 def _cmd_phase_error(args):
     """Fig 12 comparison + the speedup headline (takes ~1 minute)."""
     from repro.analysis import phase_error_vs_reference
+    from repro.api import EnvelopeRequest, TransientRequest
     from repro.circuits.library import MemsVcoDae, T_NOMINAL, VcoParams
-    from repro.transient import TransientOptions, simulate_transient
+    from repro.transient import TransientOptions
     from repro.utils import WallTimer, format_table
-    from repro.wampde import (
-        oscillator_initial_condition,
-        solve_wampde_envelope,
-    )
+    from repro.wampde import oscillator_initial_condition
 
     params = VcoParams.air()
     horizon = float(args.horizon) if args.horizon else 0.3e-3
@@ -299,28 +330,30 @@ def _cmd_phase_error(args):
     forced = MemsVcoDae(params)
 
     with WallTimer() as ref_timer:
-        reference = simulate_transient(
-            forced, samples[0], 0.0, horizon,
-            TransientOptions(integrator="trap", dt=T_NOMINAL / 1000),
-        )
+        reference = _execute(args, TransientRequest(
+            dae=forced, x0=samples[0], t_start=0.0, t_stop=horizon,
+            options=TransientOptions(integrator="trap", dt=T_NOMINAL / 1000),
+        ))
     rows = []
     for pts in (50, 100):
         with WallTimer() as timer:
-            run = simulate_transient(
-                forced, samples[0], 0.0, horizon,
-                TransientOptions(integrator="trap", dt=T_NOMINAL / pts),
-            )
+            run = _execute(args, TransientRequest(
+                dae=forced, x0=samples[0], t_start=0.0, t_stop=horizon,
+                options=TransientOptions(integrator="trap",
+                                         dt=T_NOMINAL / pts),
+            ))
         _t, err = phase_error_vs_reference(
             run.t, run["v(tank)"], reference.t, reference["v(tank)"]
         )
         rows.append([f"transient {pts}/cycle", timer.elapsed,
                      float(np.abs(err).max())])
     with WallTimer() as timer:
-        env = solve_wampde_envelope(
-            forced, samples, f0, 0.0, horizon,
-            max(int(120 * horizon / params.control_period), 40),
-            _envelope_options(args),
-        )
+        env = _execute(args, EnvelopeRequest(
+            dae=forced, t2_start=0.0, t2_stop=horizon,
+            num_steps=max(int(120 * horizon / params.control_period), 40),
+            initial_samples=samples, omega0=f0,
+            options=_envelope_options(args),
+        ))
     _print_solver_stats(env.stats)
     times = np.linspace(0.0, horizon, 40000)
     rec = env.reconstruct("v(tank)", times)

@@ -162,6 +162,45 @@ class SolverStats:
 
 
 @dataclass
+class SolverOptionsMixin:
+    """Solver knobs shared by every engine options class.
+
+    The six engine options classes (transient, both envelopes, both
+    quasiperiodic solvers, DC) historically each declared their own copy
+    of these fields and drifted apart (the MPDE classes lagged the WaMPDE
+    ones).  They now inherit this mixin, so the shared surface is defined
+    once; engines that need a different *default* (e.g. the transient
+    engine's non-raising Newton) redeclare the field, which overrides the
+    default while keeping the inherited position.
+
+    Attributes
+    ----------
+    newton:
+        Per-solve Newton tolerances/budgets; ``None`` means the engine's
+        own default (engines redeclare the field with a
+        ``default_factory`` when the stock default is wrong for them).
+    linear_solver:
+        ``None``/"lu" — direct sparse LU with factorisation reuse;
+        ``"gmres"`` — frozen-LU-preconditioned GMRES for large systems;
+        or any ``(matrix, rhs) -> x`` callable.  Non-default values imply
+        full-Newton iterations.
+    threads:
+        Worker threads for the collocation Jacobian block refresh.
+        ``None`` (default) lets the assembler thread large refreshes
+        automatically; ``1`` forces a serial refresh (explicit opt-out).
+    ladder:
+        Recovery-ladder spec forwarded to the shared
+        :class:`SolverCore` (``None``/``"default"``, ``"extended"``, or
+        an explicit rung tuple — see :mod:`repro.resilience.recovery`).
+    """
+
+    newton: NewtonOptions = None
+    linear_solver: object = None
+    threads: int | None = None
+    ladder: object = None
+
+
+@dataclass
 class SolverCoreOptions:
     """Configuration for :class:`SolverCore`.
 
@@ -464,6 +503,29 @@ class SolverCore:
         """
         if self._chord is not None:
             self._chord.adopt(factorization)
+
+    def export_warm_state(self):
+        """Picklable warm-start state for a future core on the same problem.
+
+        Returns the registered step parameters (``h``, ``omega``, ...) —
+        the context a fresh core needs so that, after adopting a cached
+        factorisation (see the engines' ``warm_start`` seams), its first
+        :meth:`note_parameters` call compares against the *prior run's*
+        values and keeps the adopted factors only when the new step really
+        is nearby.  Plain floats only; safe to cache and ship across
+        processes.
+        """
+        return {"params": dict(self._params)}
+
+    def adopt_warm_state(self, state):
+        """Seed registered parameters from a prior run's export.
+
+        The inverse of :meth:`export_warm_state`: parameters land exactly
+        as if this core had already stepped at them, so the jump-detection
+        logic of :meth:`note_parameters` — not the caller — decides
+        whether any adopted factorisation survives the first step.
+        """
+        self._params.update(state.get("params", {}))
 
     def _apply_threads(self, system):
         """Wire ``options.threads`` into the system's assembler, if any.

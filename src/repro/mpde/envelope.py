@@ -12,11 +12,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.serialize import SerializableMixin
 from repro.errors import ConvergenceError, SimulationError
 from repro.linalg.collocation import CollocationJacobianAssembler
 from repro.linalg.lu_cache import FrozenFactorization
 from repro.linalg.newton import NewtonOptions
-from repro.linalg.solver_core import CollocationSystem, core_from_options
+from repro.linalg.solver_core import (
+    CollocationSystem,
+    SolverOptionsMixin,
+    core_from_options,
+)
 from repro.linalg.sparse_tools import kron_diffmat
 from repro.resilience.checkpoint import Checkpoint, CheckpointManager
 from repro.spectral.diffmat import fourier_differentiation_matrix
@@ -26,33 +31,30 @@ from repro.wampde.bivariate import BivariateWaveform
 
 
 @dataclass
-class MpdeEnvelopeOptions:
+class MpdeEnvelopeOptions(SolverOptionsMixin):
     """Configuration for :func:`solve_mpde_envelope`.
 
-    ``newton_mode``/``linear_solver``/``threads`` mirror
-    :class:`repro.wampde.envelope.WampdeEnvelopeOptions`: chord mode
-    (default) carries one factorised step Jacobian across envelope steps
-    via :class:`repro.linalg.solver_core.SolverCore`.  ``ladder`` selects
-    the core's recovery-ladder preset (see
-    :mod:`repro.resilience.recovery`); ``checkpoint_every``/
-    ``checkpoint_path`` enable periodic resume checkpoints exactly as in
-    the WaMPDE driver.
+    The ``newton``/``linear_solver``/``threads``/``ladder`` fields come
+    from the shared
+    :class:`~repro.linalg.solver_core.SolverOptionsMixin`; ``newton_mode``
+    mirrors :class:`repro.wampde.envelope.WampdeEnvelopeOptions` — chord
+    mode (default) carries one factorised step Jacobian across envelope
+    steps via :class:`repro.linalg.solver_core.SolverCore`.
+    ``checkpoint_every``/``checkpoint_path`` enable periodic resume
+    checkpoints exactly as in the WaMPDE driver.
     """
 
-    integrator: str = "trap"
     newton: NewtonOptions = field(
         default_factory=lambda: NewtonOptions(atol=1e-9, max_iterations=30)
     )
+    integrator: str = "trap"
     newton_mode: str = "chord"
-    linear_solver: object = None
-    threads: int | None = None
     store_every: int = 1
-    ladder: object = None
     checkpoint_every: int = 0
     checkpoint_path: object = None
 
 
-class MpdeEnvelopeResult:
+class MpdeEnvelopeResult(SerializableMixin):
     """MPDE envelope output: ``xhat`` samples marching along t2.
 
     Attributes

@@ -7,10 +7,15 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro.api.serialize import SerializableMixin
 from repro.errors import SimulationError
 from repro.linalg.collocation import CollocationJacobianAssembler
 from repro.linalg.newton import NewtonOptions
-from repro.linalg.solver_core import CollocationSystem, core_from_options
+from repro.linalg.solver_core import (
+    CollocationSystem,
+    SolverOptionsMixin,
+    core_from_options,
+)
 from repro.linalg.sparse_tools import kron_diffmat
 from repro.spectral.diffmat import fourier_differentiation_matrix
 from repro.spectral.grid import collocation_grid
@@ -19,23 +24,23 @@ from repro.wampde.bivariate import BivariateWaveform
 
 
 @dataclass
-class MpdeQuasiperiodicOptions:
+class MpdeQuasiperiodicOptions(SolverOptionsMixin):
     """Configuration for :func:`solve_mpde_quasiperiodic`.
 
-    ``newton_mode``/``linear_solver``/``threads`` select the shared
-    :class:`repro.linalg.solver_core.SolverCore` policy, linear solver and
-    Jacobian-refresh threading.
+    The ``newton``/``linear_solver``/``threads``/``ladder`` fields come
+    from the shared
+    :class:`~repro.linalg.solver_core.SolverOptionsMixin`;
+    ``newton_mode`` selects the
+    :class:`repro.linalg.solver_core.SolverCore` Newton policy.
     """
 
     newton: NewtonOptions = field(
         default_factory=lambda: NewtonOptions(atol=1e-9, max_iterations=60)
     )
     newton_mode: str = "full"
-    linear_solver: object = None
-    threads: int | None = None
 
 
-class MpdeQuasiperiodicResult:
+class MpdeQuasiperiodicResult(SerializableMixin):
     """Bi-periodic MPDE solution.
 
     Attributes

@@ -101,7 +101,10 @@ class CheckpointManager:
     path:
         Optional file the latest snapshot is spooled to (atomic
         write-and-rename, so a crash mid-save never corrupts the
-        previous one).
+        previous one) — or a *callable* sink invoked with each
+        materialised :class:`Checkpoint`.  The callable form is how the
+        service layer streams partial results out of a running job
+        without the engines knowing about streaming.
     keep:
         In-memory snapshots retained, newest last.
     """
@@ -136,6 +139,8 @@ class CheckpointManager:
         self.checkpoints.append(checkpoint)
         del self.checkpoints[: -self.keep]
         self.taken += 1
-        if self.path is not None:
+        if callable(self.path):
+            self.path(checkpoint)
+        elif self.path is not None:
             checkpoint.save(self.path)
         return checkpoint

@@ -1,0 +1,44 @@
+"""Simulation-as-a-service job layer.
+
+Public surface (all lazily imported to keep ``import repro`` light):
+
+* :class:`~repro.service.service.SimulationService` — worker-pool front
+  end: ``submit(request) -> Job``, status/cancel/result, streaming of
+  partial results, warm-start caching.
+* :class:`~repro.service.cache.WarmStartCache` /
+  :class:`~repro.service.cache.WarmStart` — content-keyed cache of
+  settled results and solver warm states.
+* :func:`~repro.service.keys.content_key` — canonical content hash of
+  any serializable repro object (see :mod:`repro.api.serialize`).
+"""
+
+from __future__ import annotations
+
+_LAZY = {
+    "SimulationService": "repro.service.service",
+    "Job": "repro.service.jobs",
+    "JobState": "repro.service.jobs",
+    "JobQueue": "repro.service.queue",
+    "WarmStart": "repro.service.cache",
+    "WarmStartCache": "repro.service.cache",
+    "content_key": "repro.service.keys",
+    "canonicalize": "repro.service.keys",
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.service' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,166 @@
+"""Content-keyed warm-start cache for the simulation service.
+
+Two kinds of entries, looked up by the content keys of
+:mod:`repro.service.keys`:
+
+* **result entries** (exact key) — the full serialized result of a
+  finished job.  Resubmitting a bit-identical request replays the stored
+  payload through :func:`repro.api.serialize.from_jsonable`, so the
+  returned result is bit-identical with the original run's at zero solver
+  cost.
+* **seed entries** (family key) — a :class:`WarmStart` extracted from a
+  finished result: a settled periodic orbit, a final state, frozen
+  chord-factorisation metadata and the solver-core parameter snapshot.  A
+  *different* request of the same family (same DAE/analysis/structure,
+  different window or tolerance) starts from the seed instead of the cold
+  DC → settle → HB pipeline.
+
+Entries are stored in serialized form: immutable by construction (no
+aliasing into live solver arrays) and exactly what job streaming puts on
+the wire.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.api.serialize import (
+    SerializableMixin,
+    SerializationError,
+    from_jsonable,
+    to_jsonable,
+)
+
+
+@dataclass
+class WarmStart(SerializableMixin):
+    """Warm-start seed consumed by the engines' ``warm_start=`` seams.
+
+    The engines duck-type this (they read attributes, they never import
+    the service layer): ``samples``/``omega0`` seed periodic analyses,
+    ``x0`` seeds transients, ``factor_meta``/``solver_state`` pre-adopt a
+    frozen chord factorisation and the solver-core parameter snapshot.
+    Any field may be ``None``; engines fall back to their cold path for
+    whatever is missing.
+    """
+
+    samples: object = None
+    omega0: object = None
+    x0: object = None
+    factor_meta: object = None
+    solver_state: object = None
+    source_key: str = ""
+
+
+class WarmStartCache:
+    """Thread-safe LRU cache of serialized results and warm-start seeds.
+
+    Parameters
+    ----------
+    max_results:
+        Exact-replay result entries retained (these hold full
+        trajectories and dominate the footprint).
+    max_seeds:
+        :class:`WarmStart` seed entries retained.
+    """
+
+    def __init__(self, max_results=32, max_seeds=128):
+        self.max_results = int(max_results)
+        self.max_seeds = int(max_seeds)
+        self._results = OrderedDict()
+        self._seeds = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.seed_hits = 0
+        self.seed_misses = 0
+
+    # -- result entries (exact replay) ----------------------------------
+
+    def store_result(self, key, result):
+        """Serialize and retain ``result`` under ``key``.
+
+        Returns ``False`` (and stores nothing) when ``key`` is ``None``
+        or the result has no serial form — unserializable results simply
+        aren't cacheable.
+        """
+        if key is None:
+            return False
+        try:
+            payload = to_jsonable(result)
+        except SerializationError:
+            return False
+        with self._lock:
+            self._results[key] = payload
+            self._results.move_to_end(key)
+            while len(self._results) > self.max_results:
+                self._results.popitem(last=False)
+        return True
+
+    def load_result(self, key):
+        """Rebuild the result stored under ``key``, or ``None``.
+
+        Every call decodes the stored payload afresh, so callers can
+        mutate the returned object without corrupting the cache.
+        """
+        if key is None:
+            return None
+        with self._lock:
+            payload = self._results.get(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._results.move_to_end(key)
+            self.hits += 1
+        return from_jsonable(payload)
+
+    # -- seed entries (family warm starts) ------------------------------
+
+    def store_seed(self, key, warm):
+        """Retain a :class:`WarmStart` under a family ``key``."""
+        if key is None or warm is None:
+            return False
+        try:
+            payload = to_jsonable(warm)
+        except SerializationError:
+            return False
+        with self._lock:
+            self._seeds[key] = payload
+            self._seeds.move_to_end(key)
+            while len(self._seeds) > self.max_seeds:
+                self._seeds.popitem(last=False)
+        return True
+
+    def load_seed(self, key):
+        """The :class:`WarmStart` stored under ``key``, or ``None``."""
+        if key is None:
+            return None
+        with self._lock:
+            payload = self._seeds.get(key)
+            if payload is None:
+                self.seed_misses += 1
+                return None
+            self._seeds.move_to_end(key)
+            self.seed_hits += 1
+        return from_jsonable(payload)
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def stats(self):
+        """Counter snapshot (sizes, hit/miss totals)."""
+        with self._lock:
+            return {
+                "results": len(self._results),
+                "seeds": len(self._seeds),
+                "hits": self.hits,
+                "misses": self.misses,
+                "seed_hits": self.seed_hits,
+                "seed_misses": self.seed_misses,
+            }
+
+    def clear(self):
+        with self._lock:
+            self._results.clear()
+            self._seeds.clear()

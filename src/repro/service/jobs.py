@@ -1,0 +1,138 @@
+"""Job objects: one submitted analysis request and its lifecycle.
+
+States move strictly forward::
+
+    PENDING -> RUNNING -> DONE
+                       -> FAILED
+    PENDING/RUNNING ---> CANCELLED
+
+A cache-hit submission jumps straight from PENDING to DONE with
+``cache_hit=True``.  Jobs are thread-safe: the service's collector
+threads finish them while user threads wait in :meth:`Job.wait`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class JobState:
+    """String constants for the job lifecycle."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States a job can no longer leave.
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+
+class Job:
+    """One submitted request tracked by the service.
+
+    Attributes
+    ----------
+    job_id:
+        Service-unique identifier (``"job-3"``).
+    request:
+        The submitted :class:`~repro.api.requests.AnalysisRequest`.
+    cache_key, seed_key:
+        Content keys computed at submission (either may be ``None``).
+    cache_hit:
+        ``True`` when the result was replayed from the warm-start cache.
+    warm_hit:
+        ``True`` when the run was seeded from a cached family seed.
+    shard_count:
+        Number of sub-requests the job fanned out to (0 = ran whole).
+    """
+
+    def __init__(self, job_id, request, cache_key=None, seed_key=None):
+        self.job_id = job_id
+        self.request = request
+        self.cache_key = cache_key
+        self.seed_key = seed_key
+        self.state = JobState.PENDING
+        self.result = None
+        self.error = None
+        self.cache_hit = False
+        self.warm_hit = False
+        self.shard_count = 0
+        self.stream_queue = None
+        self._futures = []
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+
+    # -- transitions -----------------------------------------------------
+
+    def mark_running(self):
+        with self._lock:
+            if self.state == JobState.PENDING:
+                self.state = JobState.RUNNING
+
+    def finish(self, result):
+        with self._lock:
+            if self.state in JobState.TERMINAL:
+                return
+            self.state = JobState.DONE
+            self.result = result
+        self._finished.set()
+
+    def fail(self, error):
+        with self._lock:
+            if self.state in JobState.TERMINAL:
+                return
+            self.state = JobState.FAILED
+            self.error = error
+        self._finished.set()
+
+    def cancel(self):
+        """Cancel unstarted work; returns ``True`` if the job ended
+        cancelled (work already finished keeps its result)."""
+        cancelled_all = True
+        for future in self._futures:
+            if not future.cancel() and not future.done():
+                cancelled_all = False
+        with self._lock:
+            if self.state in JobState.TERMINAL:
+                return self.state == JobState.CANCELLED
+            if not cancelled_all:
+                # Something is still running; the collector thread will
+                # observe the cancelled flag via this state.
+                pass
+            self.state = JobState.CANCELLED
+        self._finished.set()
+        return True
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def finished(self):
+        return self.state in JobState.TERMINAL
+
+    def wait(self, timeout=None):
+        """Block until terminal; returns ``True`` unless it timed out."""
+        return self._finished.wait(timeout)
+
+    def outcome(self):
+        """The result, raising the failure/cancellation instead."""
+        if self.state == JobState.FAILED:
+            raise self.error
+        if self.state == JobState.CANCELLED:
+            raise RuntimeError(f"{self.job_id} was cancelled")
+        return self.result
+
+    def describe(self):
+        """Status snapshot (plain data, JSON-friendly)."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "kind": getattr(self.request, "kind", None),
+            "cache_hit": self.cache_hit,
+            "warm_hit": self.warm_hit,
+            "shards": self.shard_count,
+        }
+
+    def __repr__(self):
+        return f"Job({self.job_id!r}, state={self.state!r})"

@@ -1,0 +1,76 @@
+"""Content-keyed hashing for the warm-start cache.
+
+A cache key must depend on *what* is being solved — the DAE structure and
+parameters, the analysis window and the solver options — and on nothing
+else: not object identity, not netlist construction order, not which
+process built the request.  :func:`content_key` therefore hashes the
+canonical JSON of the request's tagged serial form
+(:mod:`repro.api.serialize`), after a canonicalization pass that removes
+representation artifacts:
+
+* **circuits** hash by their *sorted* device serial forms — two
+  structurally identical circuits built in different ``add()`` orders
+  produce equal keys (the node unknowns they compile to are a set, not a
+  sequence);
+* dict keys are sorted by the JSON serializer itself;
+* arrays hash by dtype/shape/raw bytes, so numerically identical inputs
+  agree to the bit.
+
+Requests that cannot be serialized (factory callables, closure-based
+DAEs) have no content key; :func:`content_key` returns ``None`` for them
+and the service simply skips caching those jobs.
+"""
+
+from __future__ import annotations
+
+from repro.api.serialize import (
+    SerializationError,
+    TAG,
+    canonical_json,
+    digest,
+    to_jsonable,
+)
+
+#: Serialized kinds whose payload lists devices in construction order.
+_CIRCUIT_KINDS = ("circuit",)
+
+
+def canonicalize(data):
+    """Normalize a jsonable tree so equivalent content compares equal.
+
+    Circuit payloads get their device lists sorted by canonical JSON;
+    everything else passes through structurally unchanged (dict key order
+    is already immaterial — the canonical JSON writer sorts keys).
+    """
+    if isinstance(data, list):
+        return [canonicalize(v) for v in data]
+    if not isinstance(data, dict):
+        return data
+    out = {k: canonicalize(v) for k, v in data.items()}
+    if out.get(TAG) in _CIRCUIT_KINDS:
+        state = out.get("state")
+        if isinstance(state, dict) and isinstance(state.get("devices"), list):
+            state["devices"] = sorted(state["devices"], key=canonical_json)
+    return out
+
+
+def content_key(obj, scope=""):
+    """sha256 content key of any serializable object, or ``None``.
+
+    Parameters
+    ----------
+    obj:
+        The object to key — typically an
+        :class:`~repro.api.requests.AnalysisRequest`.
+    scope:
+        Optional namespace mixed into the key (e.g. ``"seed"`` for
+        warm-start family keys), so differently-purposed keys never
+        collide even for equal payloads.
+    """
+    try:
+        data = canonicalize(to_jsonable(obj))
+    except SerializationError:
+        return None
+    if scope:
+        data = {"scope": scope, "payload": data}
+    return digest(data)

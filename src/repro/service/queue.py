@@ -1,0 +1,64 @@
+"""Job registry with blocking result retrieval.
+
+A thin, thread-safe ordered registry of :class:`~repro.service.jobs.Job`
+objects.  Submission order is preserved (useful for status displays and
+for draining in tests); waiting is delegated to each job's own event so
+many threads can block on different jobs without a global condition
+storm.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+class JobQueue:
+    """Ordered, thread-safe collection of submitted jobs."""
+
+    def __init__(self):
+        self._jobs = OrderedDict()
+        self._lock = threading.Lock()
+
+    def add(self, job):
+        with self._lock:
+            if job.job_id in self._jobs:
+                raise ValueError(f"duplicate job id {job.job_id!r}")
+            self._jobs[job.job_id] = job
+        return job
+
+    def get(self, job_id):
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return job
+
+    def result(self, job_id, timeout=None):
+        """Block until ``job_id`` finishes; return its result.
+
+        Raises the job's error on failure, ``TimeoutError`` on timeout.
+        """
+        job = self.get(job_id)
+        if not job.wait(timeout):
+            raise TimeoutError(
+                f"{job_id} still {job.state} after {timeout}s"
+            )
+        return job.outcome()
+
+    def states(self):
+        """``{job_id: state}`` in submission order."""
+        with self._lock:
+            return {job_id: job.state for job_id, job in self._jobs.items()}
+
+    def jobs(self):
+        with self._lock:
+            return list(self._jobs.values())
+
+    def __len__(self):
+        with self._lock:
+            return len(self._jobs)
+
+    def __contains__(self, job_id):
+        with self._lock:
+            return job_id in self._jobs

@@ -1,0 +1,291 @@
+"""The simulation service: submit/status/cancel/result over a worker pool.
+
+``SimulationService`` is the front end of the job layer:
+
+* **submit** an :class:`~repro.api.requests.AnalysisRequest`, get a
+  :class:`~repro.service.jobs.Job` back immediately;
+* an **exact cache hit** (same content key as a finished job) replays the
+  stored serialized result — bit-identical, no solver work;
+* a **family seed hit** warm-starts the run from a cached settled state
+  (see :class:`~repro.service.cache.WarmStartCache`);
+* **shardable** requests (ensemble members, independent sweep points)
+  fan out across a spawn-context process pool and are merged on
+  completion; everything else runs as one job;
+* **streaming** jobs publish serialized partial results at the PR-6
+  checkpoint cadence (:mod:`repro.service.streaming`).
+
+``workers=0`` (the default) runs every job synchronously in-process —
+same states, same cache, deterministic, no subprocesses — which is what
+tests and the thin CLI client use unless parallelism is requested.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import queue as stdlib_queue
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.service.cache import WarmStartCache
+from repro.service.jobs import Job, JobState
+from repro.service.queue import JobQueue
+from repro.service.streaming import decode_stream_item
+from repro.service.workers import execute_payload
+
+
+class SimulationService:
+    """Process-based job layer over :func:`repro.api.run`.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes.  ``0`` runs jobs inline (synchronously) in the
+        submitting process.
+    cache:
+        A :class:`~repro.service.cache.WarmStartCache` to share between
+        services, or ``None`` for a private one.
+    stream_every:
+        Checkpoint/stream cadence (accepted steps) for jobs submitted
+        with ``stream=True``.
+    """
+
+    def __init__(self, workers=0, cache=None, stream_every=10):
+        self.workers = max(int(workers), 0)
+        self.cache = cache if cache is not None else WarmStartCache()
+        self.queue = JobQueue()
+        self.stream_every = int(stream_every)
+        self._pool = None
+        self._manager = None
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- infrastructure --------------------------------------------------
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None:
+                context = multiprocessing.get_context("spawn")
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+            return self._pool
+
+    def _ensure_manager(self):
+        with self._lock:
+            if self._manager is None:
+                self._manager = multiprocessing.get_context(
+                    "spawn"
+                ).Manager()
+            return self._manager
+
+    @staticmethod
+    def _picklable(request):
+        """Whether the request can cross the process boundary.
+
+        Requests carrying closures (lambda factories) cannot; they run
+        inline instead of in the pool.
+        """
+        try:
+            pickle.dumps(request)
+            return True
+        except Exception:
+            return False
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, request, stream=False):
+        """Enqueue ``request``; returns its :class:`Job` immediately.
+
+        With ``workers=0`` the call blocks until the job finishes (the
+        job still reports states/results uniformly).
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        job_id = f"job-{next(self._counter)}"
+        job = Job(
+            job_id, request,
+            cache_key=request.cache_key(),
+            seed_key=request.seed_key(),
+        )
+        self.queue.add(job)
+
+        if job.cache_key is not None:
+            cached = self.cache.load_result(job.cache_key)
+            if cached is not None:
+                job.cache_hit = True
+                job.finish(cached)
+                return job
+
+        warm = self.cache.load_seed(job.seed_key)
+        if warm is not None:
+            job.warm_hit = True
+
+        if stream:
+            if self.workers:
+                job.stream_queue = self._ensure_manager().Queue()
+            else:
+                job.stream_queue = stdlib_queue.Queue()
+
+        if self.workers == 0 or not self._picklable(request):
+            self._run_inline(job, warm)
+            return job
+
+        shards = request.shards()
+        if shards and len(shards) > 1:
+            self._run_sharded(job, shards)
+        else:
+            self._run_pooled(job, warm)
+        return job
+
+    # -- execution strategies --------------------------------------------
+
+    def _stream_args(self, job):
+        if job.stream_queue is None:
+            return {"stream_queue": None, "stream_every": 0}
+        return {
+            "stream_queue": job.stream_queue,
+            "stream_every": self.stream_every,
+        }
+
+    def _finalize(self, job, result):
+        """Store the finished result in the cache and complete the job."""
+        if job.state == JobState.CANCELLED:
+            return
+        if job.cache_key is not None:
+            self.cache.store_result(job.cache_key, result)
+        seed = job.request.extract_warm_start(result)
+        if seed is not None and job.seed_key is not None:
+            seed.source_key = job.cache_key or ""
+            self.cache.store_seed(job.seed_key, seed)
+        job.finish(result)
+
+    def _run_inline(self, job, warm):
+        job.mark_running()
+        try:
+            result = execute_payload(
+                job.request, warm_start=warm, **self._stream_args(job)
+            )
+        except Exception as exc:
+            job.fail(exc)
+            return
+        self._finalize(job, result)
+
+    def _run_pooled(self, job, warm):
+        pool = self._ensure_pool()
+        future = pool.submit(
+            execute_payload, job.request, warm, **self._stream_args(job)
+        )
+        job._futures.append(future)
+        job.mark_running()
+
+        def on_done(fut):
+            if job.state == JobState.CANCELLED:
+                return
+            error = None if fut.cancelled() else fut.exception()
+            if fut.cancelled():
+                job.cancel()
+            elif error is not None:
+                job.fail(error)
+            else:
+                self._finalize(job, fut.result())
+
+        future.add_done_callback(on_done)
+
+    def _run_sharded(self, job, shards):
+        pool = self._ensure_pool()
+        job.shard_count = len(shards)
+        futures = [pool.submit(execute_payload, shard) for shard in shards]
+        job._futures.extend(futures)
+        job.mark_running()
+
+        def collect():
+            results = []
+            for future in futures:
+                if job.state == JobState.CANCELLED:
+                    return
+                try:
+                    results.append(future.result())
+                except Exception as exc:
+                    for pending in futures:
+                        pending.cancel()
+                    job.fail(exc)
+                    return
+            try:
+                merged = job.request.merge(results)
+            except Exception as exc:
+                job.fail(exc)
+                return
+            self._finalize(job, merged)
+
+        threading.Thread(
+            target=collect, name=f"{job.job_id}-collector", daemon=True
+        ).start()
+
+    # -- client surface --------------------------------------------------
+
+    def status(self, job_id):
+        """Plain-data status snapshot of one job."""
+        return self.queue.get(job_id).describe()
+
+    def result(self, job_id, timeout=None):
+        """Block for the job's result (raises its error on failure)."""
+        return self.queue.result(job_id, timeout)
+
+    def cancel(self, job_id):
+        """Cancel unstarted work; running solves cannot be interrupted."""
+        return self.queue.get(job_id).cancel()
+
+    def stream(self, job_id, poll=0.1):
+        """Iterate ``(step, t, partial_result)`` for a streaming job.
+
+        Yields partials as they arrive and returns once the job is
+        terminal and the queue is drained.  The partial at step ``k`` is
+        the stored trajectory prefix at that step — bit-identical with
+        the corresponding prefix of the final result.
+        """
+        job = self.queue.get(job_id)
+        if job.stream_queue is None:
+            raise ValueError(
+                f"{job_id} was not submitted with stream=True"
+            )
+        while True:
+            try:
+                item = job.stream_queue.get(timeout=poll)
+            except stdlib_queue.Empty:
+                if job.finished:
+                    break
+                continue
+            yield decode_stream_item(item)
+        while True:
+            try:
+                item = job.stream_queue.get_nowait()
+            except stdlib_queue.Empty:
+                break
+            yield decode_stream_item(item)
+
+    def cache_stats(self):
+        """Warm-start cache counters (see :meth:`WarmStartCache.stats`)."""
+        return self.cache.stats()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self):
+        """Shut down the pool/manager; finished jobs stay readable."""
+        self._closed = True
+        with self._lock:
+            pool, self._pool = self._pool, None
+            manager, self._manager = self._manager, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if manager is not None:
+            manager.shutdown()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

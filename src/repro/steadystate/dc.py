@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.errors import ConvergenceError
 from repro.linalg.newton import NewtonOptions
-from repro.linalg.solver_core import core_from_options
+from repro.linalg.solver_core import SolverOptionsMixin, core_from_options
 from repro.resilience.continuation import (
     GminShiftedSystem,
     SourceScaledSystem,
@@ -17,8 +17,13 @@ from repro.resilience.recovery import RecoveryAttempt, RecoveryLog
 
 
 @dataclass
-class DcOptions:
+class DcOptions(SolverOptionsMixin):
     """Configuration for :func:`dc_operating_point`.
+
+    The ``newton``/``linear_solver``/``threads``/``ladder`` fields come
+    from the shared
+    :class:`~repro.linalg.solver_core.SolverOptionsMixin` (the DC solve
+    keeps its own gmin/source escalation in addition to the core ladder).
 
     Attributes
     ----------

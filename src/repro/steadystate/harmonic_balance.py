@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.api.serialize import SerializableMixin
 from repro.errors import ConvergenceError
 from repro.grids import stack_states as _stack, unstack_states as _unstack
 from repro.linalg.collocation import CollocationJacobianAssembler
@@ -45,7 +46,7 @@ from repro.utils.validation import check_odd, check_positive
 
 
 @dataclass
-class HBResult:
+class HBResult(SerializableMixin):
     """Solution of a harmonic-balance problem.
 
     Attributes
@@ -137,8 +138,35 @@ class _ForcedHBSystem(CollocationSystem):
                 "num_border": 0, "size": self.num * self.n}
 
 
+def _warm_hb_samples(warm_start, num, n):
+    """Warm-start waveform resampled onto the ``(num, n)`` HB grid.
+
+    Accepts any object with a ``samples`` attribute (typically
+    :class:`repro.service.cache.WarmStart`); a sample count mismatch is
+    bridged by periodic linear resampling along the phase axis, so a seed
+    settled at one collocation count still shortens Newton at another.
+    """
+    samples = getattr(warm_start, "samples", None) if warm_start else None
+    if samples is None:
+        return None
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 2 or samples.shape[1] != n:
+        return None
+    if samples.shape[0] == num:
+        return samples
+    m = samples.shape[0]
+    phase_old = np.arange(m + 1) / m
+    phase_new = np.arange(num) / num
+    wrapped = np.vstack([samples, samples[:1]])
+    return np.stack(
+        [np.interp(phase_new, phase_old, wrapped[:, k]) for k in range(n)],
+        axis=1,
+    )
+
+
 def harmonic_balance_forced(dae, period, num_samples=31, initial=None,
-                            newton_options=None, solver_options=None):
+                            newton_options=None, solver_options=None,
+                            warm_start=None):
     """Periodic steady state of a forced system via time collocation.
 
     Parameters
@@ -157,6 +185,9 @@ def harmonic_balance_forced(dae, period, num_samples=31, initial=None,
     solver_options:
         :class:`repro.linalg.solver_core.SolverCoreOptions` — Newton
         policy, linear solver and refresh threads.
+    warm_start:
+        Optional warm-start seed (duck-typed; ``samples`` supplies the
+        starting waveform when ``initial`` is ``None``).
 
     Returns
     -------
@@ -167,6 +198,8 @@ def harmonic_balance_forced(dae, period, num_samples=31, initial=None,
     n = dae.n
     system = _ForcedHBSystem(dae, num, period)
 
+    if initial is None:
+        initial = _warm_hb_samples(warm_start, num, n)
     if initial is None:
         x0 = np.zeros((num, n))
     else:
@@ -236,11 +269,11 @@ class _AutonomousHBSystem(CollocationSystem):
                 "num_border": 1, "size": self.num * self.n + 1}
 
 
-def harmonic_balance_autonomous(dae, frequency_guess, initial,
+def harmonic_balance_autonomous(dae, frequency_guess, initial=None,
                                 phase_condition="fourier",
                                 phase_variable=0, num_samples=31,
                                 newton_options=None, forcing_time=0.0,
-                                solver_options=None):
+                                solver_options=None, warm_start=None):
     """Limit cycle *and* frequency of an autonomous oscillator.
 
     Works in normalised time ``t1 in [0, 1)`` where the waveform has period
@@ -261,7 +294,8 @@ def harmonic_balance_autonomous(dae, frequency_guess, initial,
     initial:
         ``(N, n)`` starting waveform on the normalised grid — autonomous HB
         has no useful zero initial guess (zero is the unstable equilibrium),
-        so this argument is required; transient samples work well.
+        so a starting waveform is required, either here or via
+        ``warm_start``; transient samples work well.
     phase_condition:
         Spec accepted by :func:`repro.phase_conditions.as_phase_condition`.
     phase_variable:
@@ -269,18 +303,31 @@ def harmonic_balance_autonomous(dae, frequency_guess, initial,
     solver_options:
         :class:`repro.linalg.solver_core.SolverCoreOptions` — Newton
         policy, linear solver and refresh threads.
+    warm_start:
+        Optional warm-start seed (duck-typed): ``samples`` supplies the
+        waveform when ``initial`` is ``None``, and ``omega0`` overrides a
+        missing ``frequency_guess`` (pass ``frequency_guess=None``).
 
     Returns
     -------
     HBResult
         With ``period = 1 / nu`` and samples on the normalised grid.
     """
+    if frequency_guess is None and warm_start is not None:
+        frequency_guess = getattr(warm_start, "omega0", None)
     check_positive(frequency_guess, "frequency_guess")
     num = check_odd(num_samples, "num_samples")
     n = dae.n
     condition = as_phase_condition(phase_condition, variable=phase_variable)
     system = _AutonomousHBSystem(dae, num, condition, forcing_time)
 
+    if initial is None:
+        initial = _warm_hb_samples(warm_start, num, n)
+    if initial is None:
+        raise ValueError(
+            "autonomous HB needs a starting waveform: pass initial= or a "
+            "warm_start carrying samples"
+        )
     initial = np.asarray(initial, dtype=float)
     if initial.shape != (num, n):
         raise ValueError(f"initial must have shape {(num, n)}, got {initial.shape}")

@@ -27,12 +27,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.serialize import SerializableMixin
 from repro.errors import ConvergenceError
 from repro.steadystate.harmonic_balance import harmonic_balance_autonomous
 
 
 @dataclass
-class FrequencySweepResult:
+class FrequencySweepResult(SerializableMixin):
     """Tuning curve from :func:`oscillator_frequency_sweep`.
 
     Attributes
@@ -55,6 +56,14 @@ class FrequencySweepResult:
     frequencies: np.ndarray
     amplitudes: np.ndarray
     solver_stats: list = field(default_factory=list)
+
+    @property
+    def stats(self):
+        """Uniform ``.stats`` view (points solved + per-point counters)."""
+        return {
+            "points": int(np.asarray(self.values).size),
+            "solver_per_point": list(self.solver_stats),
+        }
 
 
 def oscillator_frequency_sweep(dae_factory, values, period_guess,

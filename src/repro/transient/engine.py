@@ -37,6 +37,7 @@ from repro.linalg.solver_core import (
     FunctionSystem,
     SolverCore,
     SolverCoreOptions,
+    SolverOptionsMixin,
 )
 from repro.linalg.transient_assembler import TransientStepAssembler
 from repro.resilience.checkpoint import Checkpoint, CheckpointManager
@@ -50,8 +51,14 @@ _MAX_FORCING_GRID = 4_000_000
 
 
 @dataclass
-class TransientOptions:
+class TransientOptions(SolverOptionsMixin):
     """Configuration for :func:`simulate_transient`.
+
+    The ``newton``/``linear_solver``/``threads``/``ladder`` fields come
+    from the shared
+    :class:`~repro.linalg.solver_core.SolverOptionsMixin` (``threads``
+    is accepted for interface uniformity; the transient step assembler
+    is not threaded).
 
     Attributes
     ----------
@@ -107,6 +114,9 @@ TransientStepAssembler`); if the solver exposes ``invalidate()`` it is
         write-and-rename), for crash recovery across processes.
     """
 
+    newton: NewtonOptions = field(
+        default_factory=lambda: NewtonOptions(raise_on_failure=False)
+    )
     integrator: object = "trap"
     dt: float | None = None
     adaptive: bool = False
@@ -114,15 +124,10 @@ TransientStepAssembler`); if the solver exposes ``invalidate()`` it is
     atol: float = 1e-9
     dt_min: float = 1e-18
     dt_max: float = np.inf
-    newton: NewtonOptions = field(
-        default_factory=lambda: NewtonOptions(raise_on_failure=False)
-    )
     max_steps: int = 20_000_000
     store_every: int = 1
     stale_jacobian: bool = True
     refresh_contraction: float = 0.05
-    linear_solver: object = None
-    ladder: object = None
     checkpoint_every: int = 0
     checkpoint_path: object = None
 
@@ -161,6 +166,7 @@ class _StepController:
             # The engine's historical dt policy: drop frozen factors when
             # the integrator weight alpha ~ 1/dt jumps by more than 25%.
             invalidate_rtol=0.25,
+            threads=getattr(opts, "threads", None),
             ladder=getattr(opts, "ladder", None),
         ))
         self._last_alpha = None
@@ -322,7 +328,7 @@ def _extrapolate(history, t_new):
 
 
 def simulate_transient(dae, x0, t_start, t_stop, options=None,
-                       resume_from=None):
+                       resume_from=None, warm_start=None):
     """Integrate ``d/dt q(x) + f(x) = b(t)`` from ``t_start`` to ``t_stop``.
 
     Parameters
@@ -349,6 +355,14 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None,
         because the snapshot carries the integrator history, controller
         parameters and frozen-factorisation metadata — produces a
         trajectory bit-identical with the uninterrupted run's.
+    warm_start:
+        Optional warm-start seed (duck-typed, typically
+        :class:`repro.service.cache.WarmStart`): supplies ``x0`` when it
+        is passed as ``None`` and pre-adopts a previously exported solver
+        state plus frozen step-Jacobian metadata, so the run starts with
+        chord factors in hand.  :meth:`SolverCore.note_parameters` still
+        drops them on an ``alpha`` jump, so a badly matched seed degrades
+        to a cold start.  Ignored when ``resume_from`` is given.
 
     Returns
     -------
@@ -398,6 +412,12 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None,
                 dae, t_start, t_stop, float(opts.dt)
             )
     else:
+        if x0 is None and warm_start is not None:
+            x0 = getattr(warm_start, "x0", None)
+        if x0 is None:
+            raise SimulationError(
+                "x0 is required (directly or via warm_start)"
+            )
         x = np.array(x0, dtype=float).ravel()
         if x.size != dae.n:
             raise SimulationError(
@@ -436,6 +456,22 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None,
             "jacobian_factorizations": 0,
         }
         accepted_since_store = 0
+        if warm_start is not None:
+            warm_state = getattr(warm_start, "solver_state", None)
+            if warm_state:
+                controller.core.adopt_warm_state(warm_state)
+            warm_meta = getattr(warm_start, "factor_meta", None)
+            if warm_meta is not None and controller.core._chord is not None:
+                w_alpha, w_beta, w_x = warm_meta
+                matrix = controller.assembler.refresh(
+                    w_alpha, dae.dq_dx(w_x), w_beta, dae.df_dx(w_x)
+                )
+                controller.core.adopt_factorization(
+                    FrozenFactorization().factor(matrix)
+                )
+                controller._jac_meta = (
+                    w_alpha, w_beta, np.array(w_x, dtype=float)
+                )
 
     def take_checkpoint():
         # Reads the enclosing locals at call time, so it always snapshots
@@ -586,6 +622,10 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None,
     stats["solver"] = controller.core.stats.as_dict()
     if controller.core.recovery:
         stats["recovery"] = controller.core.recovery.as_dict()
+    stats["warm"] = {
+        "factor_meta": controller.factor_metadata(),
+        "solver_state": controller.core.export_warm_state(),
+    }
 
     return TransientResult(
         np.asarray(stored_t),

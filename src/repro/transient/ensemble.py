@@ -39,6 +39,7 @@ import time
 
 import numpy as np
 
+from repro.api.serialize import SerializableMixin
 from repro.dae.ensemble import EnsembleDAE
 from repro.errors import SimulationError, SingularJacobianError
 from repro.linalg.lu_cache import BlockFactorization
@@ -55,7 +56,7 @@ from repro.transient.results import TransientResult
 from repro.utils.validation import check_positive
 
 
-class EnsembleTransientResult:
+class EnsembleTransientResult(SerializableMixin):
     """Lock-step time series of a scenario ensemble.
 
     Attributes

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.serialize import SerializableMixin
 from repro.transient.events import zero_crossings
 
 
-class TransientResult:
+class TransientResult(SerializableMixin):
     """Time series produced by :func:`repro.transient.engine.simulate_transient`.
 
     Attributes
@@ -20,6 +21,10 @@ class TransientResult:
         Labels matching the state columns.
     stats:
         Dict of counters (steps, newton iterations, rejected steps, ...).
+
+    Like every result class, supports the uniform serialization protocol:
+    ``to_dict()`` / ``from_dict()`` round-trip bit-identically (see
+    :mod:`repro.api.serialize`).
     """
 
     def __init__(self, t, x, variable_names, stats=None):

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.serialize import SerializableMixin
 from repro.errors import ConvergenceError, SimulationError
 # Re-exported from repro.grids (the shared home of the grid helpers) for
 # backwards compatibility with existing imports of wampde.envelope.
@@ -37,7 +38,11 @@ from repro.grids import harmonic_axis as harmonic_axis, t1_grid as t1_grid
 from repro.linalg.collocation import CollocationJacobianAssembler
 from repro.linalg.lu_cache import FrozenFactorization
 from repro.linalg.newton import NewtonOptions
-from repro.linalg.solver_core import CollocationSystem, core_from_options
+from repro.linalg.solver_core import (
+    CollocationSystem,
+    SolverOptionsMixin,
+    core_from_options,
+)
 from repro.linalg.sparse_tools import kron_diffmat
 from repro.resilience.checkpoint import Checkpoint, CheckpointManager
 from repro.phase_conditions import as_phase_condition
@@ -48,8 +53,12 @@ from repro.wampde.warping import WarpingFunction
 
 
 @dataclass
-class WampdeEnvelopeOptions:
+class WampdeEnvelopeOptions(SolverOptionsMixin):
     """Configuration for the WaMPDE envelope drivers.
+
+    The ``newton``/``linear_solver``/``threads``/``ladder`` fields come
+    from the shared
+    :class:`~repro.linalg.solver_core.SolverOptionsMixin`.
 
     Attributes
     ----------
@@ -113,27 +122,24 @@ class WampdeEnvelopeOptions:
         (atomically replaced each time) for restart after a crash.
     """
 
+    newton: NewtonOptions = field(
+        default_factory=lambda: NewtonOptions(atol=1e-9, max_iterations=30)
+    )
     integrator: str = "theta"
     theta: float = 0.55
     phase_condition: object = "fourier"
     phase_variable: int = 0
-    newton: NewtonOptions = field(
-        default_factory=lambda: NewtonOptions(atol=1e-9, max_iterations=30)
-    )
     newton_mode: str = "chord"
-    linear_solver: object = None
-    threads: int | None = None
     store_every: int = 1
     rtol: float = 1e-5
     atol: float = 1e-8
     dt2_min: float = 0.0
     dt2_max: float = np.inf
-    ladder: object = None
     checkpoint_every: int = 0
     checkpoint_path: object = None
 
 
-class WampdeEnvelopeResult:
+class WampdeEnvelopeResult(SerializableMixin):
     """Output of a WaMPDE envelope run.
 
     Attributes
@@ -415,6 +421,50 @@ SolverCore`, which owns the Newton policy and (in chord mode) carries the
         return x_new, omega_new, result.iterations
 
 
+def _apply_warm_inputs(warm_start, initial_samples, omega0):
+    """Fill missing ``initial_samples``/``omega0`` from a warm-start seed.
+
+    ``warm_start`` is duck-typed (any object with ``samples``/``omega0``
+    attributes, typically :class:`repro.service.cache.WarmStart`), so the
+    engines stay import-independent of the service layer.
+    """
+    if warm_start is not None:
+        if initial_samples is None:
+            initial_samples = getattr(warm_start, "samples", None)
+        if omega0 is None:
+            omega0 = getattr(warm_start, "omega0", None)
+    if initial_samples is None:
+        raise SimulationError(
+            "initial_samples is required (directly or via warm_start)"
+        )
+    if omega0 is None:
+        raise SimulationError(
+            "omega0 is required (directly or via warm_start)"
+        )
+    return initial_samples, omega0
+
+
+def _adopt_warm_solver(stepper, warm_start):
+    """Adopt a warm solver state + frozen-factorisation metadata.
+
+    The chord policy then starts the march with factors already in hand;
+    :meth:`SolverCore.note_parameters` still drops them on an ``h``/
+    ``omega`` jump, so a badly matched warm start degrades to a cold one
+    instead of corrupting the solve.
+    """
+    if warm_start is None:
+        return
+    state = getattr(warm_start, "solver_state", None)
+    if state:
+        stepper.core.adopt_warm_state(state)
+    meta = getattr(warm_start, "factor_meta", None)
+    if meta is not None and stepper.core._chord is not None:
+        z, h = meta
+        stepper._h = float(h)
+        matrix = stepper.jacobian(np.asarray(z, dtype=float))
+        stepper.core.adopt_factorization(FrozenFactorization().factor(matrix))
+
+
 def _validate_inputs(dae, initial_samples, omega0, t2_start, t2_stop):
     initial_samples = np.asarray(initial_samples, dtype=float)
     if initial_samples.ndim != 2:
@@ -436,7 +486,8 @@ def _validate_inputs(dae, initial_samples, omega0, t2_start, t2_stop):
 
 
 def solve_wampde_envelope(dae, initial_samples, omega0, t2_start, t2_stop,
-                          num_steps, options=None, resume_from=None):
+                          num_steps, options=None, resume_from=None,
+                          warm_start=None):
     """Integrate the WaMPDE in ``t2`` with uniform steps.
 
     Parameters
@@ -462,12 +513,23 @@ def solve_wampde_envelope(dae, initial_samples, omega0, t2_start, t2_stop,
         DAE, window and options.  The march continues from the
         checkpointed step and produces the result of the uninterrupted
         run bit for bit.
+    warm_start:
+        Optional warm-start seed (duck-typed, typically
+        :class:`repro.service.cache.WarmStart`): supplies
+        ``initial_samples``/``omega0`` when those are passed as ``None``,
+        and pre-adopts a previously exported solver state and frozen
+        chord factorisation so the first steps skip the cold Jacobian
+        build.  Ignored where ``resume_from`` already restores the exact
+        mid-march state.
 
     Returns
     -------
     WampdeEnvelopeResult
     """
     opts = options or WampdeEnvelopeOptions()
+    initial_samples, omega0 = _apply_warm_inputs(
+        warm_start, initial_samples, omega0
+    )
     initial_samples = _validate_inputs(
         dae, initial_samples, omega0, t2_start, t2_stop
     )
@@ -514,6 +576,7 @@ def solve_wampde_envelope(dae, initial_samples, omega0, t2_start, t2_stop,
         stats = {"steps": 0, "newton_iterations": 0}
         since_store = 0
         start_step = 0
+        _adopt_warm_solver(stepper, warm_start)
     rhs_old, q_old = stepper.rhs_terms(x_samples, omega, t2)
 
     def take_checkpoint():
@@ -577,6 +640,10 @@ def solve_wampde_envelope(dae, initial_samples, omega0, t2_start, t2_stop,
     stats["solver"] = stepper.core.stats.as_dict()
     if stepper.core.recovery:
         stats["recovery"] = stepper.core.recovery.as_dict()
+    stats["warm"] = {
+        "factor_meta": stepper.factor_metadata(),
+        "solver_state": stepper.core.export_warm_state(),
+    }
     return WampdeEnvelopeResult(
         np.asarray(stored_t2),
         np.asarray(stored_omega),

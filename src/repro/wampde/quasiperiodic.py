@@ -18,10 +18,15 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro.api.serialize import SerializableMixin
 from repro.errors import SimulationError
 from repro.linalg.collocation import CollocationJacobianAssembler
 from repro.linalg.newton import NewtonOptions
-from repro.linalg.solver_core import CollocationSystem, core_from_options
+from repro.linalg.solver_core import (
+    CollocationSystem,
+    SolverOptionsMixin,
+    core_from_options,
+)
 from repro.linalg.sparse_tools import kron_diffmat
 from repro.phase_conditions import as_phase_condition
 from repro.spectral.diffmat import fourier_differentiation_matrix
@@ -32,25 +37,27 @@ from repro.wampde.warping import WarpingFunction
 
 
 @dataclass
-class WampdeQuasiperiodicOptions:
+class WampdeQuasiperiodicOptions(SolverOptionsMixin):
     """Configuration for :func:`solve_wampde_quasiperiodic`.
 
-    ``newton_mode``/``linear_solver``/``threads`` select the shared
-    :class:`repro.linalg.solver_core.SolverCore` policy, linear solver and
-    Jacobian-refresh threading.
+    The ``newton``/``linear_solver``/``threads``/``ladder`` fields come
+    from the shared
+    :class:`~repro.linalg.solver_core.SolverOptionsMixin` (``threads``
+    now defaults to ``None`` — automatic refresh threading — like every
+    other engine, instead of the historical forced-serial ``1``);
+    ``newton_mode`` selects the
+    :class:`repro.linalg.solver_core.SolverCore` Newton policy.
     """
 
-    phase_condition: object = "fourier"
-    phase_variable: int = 0
     newton: NewtonOptions = field(
         default_factory=lambda: NewtonOptions(atol=1e-8, max_iterations=60)
     )
+    phase_condition: object = "fourier"
+    phase_variable: int = 0
     newton_mode: str = "full"
-    linear_solver: object = None
-    threads: int = 1
 
 
-class WampdeQuasiperiodicResult:
+class WampdeQuasiperiodicResult(SerializableMixin):
     """Bi-periodic WaMPDE solution.
 
     Attributes
@@ -285,7 +292,7 @@ class _QuasiperiodicSystem(CollocationSystem):
 
 
 def solve_wampde_quasiperiodic(dae, period2, initial_samples, omega0,
-                               num_t2=15, options=None):
+                               num_t2=15, options=None, warm_start=None):
     """Solve the bi-periodic WaMPDE boundary-value problem.
 
     Parameters
@@ -304,6 +311,11 @@ def solve_wampde_quasiperiodic(dae, period2, initial_samples, omega0,
         Odd number of t2 collocation points ``N1``.
     options:
         :class:`WampdeQuasiperiodicOptions`.
+    warm_start:
+        Optional warm-start seed (duck-typed, typically
+        :class:`repro.service.cache.WarmStart`): ``samples``/``omega0``
+        supply the starting guess when the corresponding arguments are
+        passed as ``None``.
 
     Returns
     -------
@@ -313,6 +325,16 @@ def solve_wampde_quasiperiodic(dae, period2, initial_samples, omega0,
     check_positive(period2, "period2")
     n1 = check_odd(num_t2, "num_t2")
 
+    if warm_start is not None:
+        if initial_samples is None:
+            initial_samples = getattr(warm_start, "samples", None)
+        if omega0 is None:
+            omega0 = getattr(warm_start, "omega0", None)
+    if initial_samples is None or omega0 is None:
+        raise SimulationError(
+            "initial_samples and omega0 are required (directly or via "
+            "warm_start)"
+        )
     initial_samples = np.asarray(initial_samples, dtype=float)
     if initial_samples.ndim == 2:
         initial_samples = np.broadcast_to(
