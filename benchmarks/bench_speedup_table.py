@@ -51,6 +51,7 @@ def _bench_ported_solvers():
         "name": "harmonic_balance_forced",
         "steps": int(hb.newton_iterations),
         "wall_time_s": timer.elapsed,
+        "wall_time_retimed_s": timer.elapsed,
     })
 
     mixer = rc_diode_mixer_circuit().to_dae()
@@ -77,6 +78,7 @@ def _bench_ported_solvers():
         "name": "solve_mpde_quasiperiodic",
         "steps": int(qp.newton_iterations),
         "wall_time_s": timer.elapsed,
+        "wall_time_retimed_s": timer.elapsed,
     })
     return entries
 
@@ -127,11 +129,18 @@ def _bench_ensemble_sweep(batch=8):
         batched = simulate_transient_ensemble(
             ensemble, x0, 0.0, horizon, options
         )
+    # The serial loop pins kernel="python": this entry ratchets what
+    # NumPy batching buys over per-scenario *python* dispatch — the
+    # compiled sweep (which beats both on kernel-supported DAEs) is
+    # ratcheted separately by transient_reference_compiled.
+    serial_options = TransientOptions(
+        integrator="trap", dt=T_NOMINAL / 100, kernel="python"
+    )
     with WallTimer() as serial_timer:
         serial_finals = []
         for index, vc in enumerate(control_voltages):
             run = simulate_transient(
-                factory(vc), x0[index], 0.0, horizon, options
+                factory(vc), x0[index], 0.0, horizon, serial_options
             )
             serial_finals.append(run.x[-1])
 
@@ -151,6 +160,7 @@ def _bench_ensemble_sweep(batch=8):
         "name": "ensemble_sweep",
         "steps": int(batched.stats["steps"]) * batch,
         "wall_time_s": batched_timer.elapsed,
+        "wall_time_retimed_s": batched_timer.elapsed,
         "serial_wall_time_s": serial_timer.elapsed,
         "batch_size": batch,
         "speedup_vs_serial_loop": speedup,
@@ -213,11 +223,13 @@ def _bench_service_warm_envelope():
             "name": "service_envelope_cold",
             "steps": int(cold.stats["steps"]),
             "wall_time_s": cold_timer.elapsed,
+            "wall_time_retimed_s": cold_timer.elapsed,
         },
         {
             "name": "service_warm_envelope",
             "steps": 0,
             "wall_time_s": warm_mean,
+            "wall_time_retimed_s": warm_mean,
             "cold_wall_time_s": cold_timer.elapsed,
             "replays": replays,
             "replay_speedup": speedup,
@@ -243,6 +255,18 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
 
     wampde_time = fig12_data["wampde"]["time"]
     reference_time = fig12_data["reference_time"]
+    compiled_time = fig12_data["reference_compiled_time"]
+    compiled_mode = fig12_data["reference_compiled_mode"]
+    kernel_speedup = reference_time / compiled_time
+    # The tentpole win condition: the compiled sweep must run the
+    # 1000 pts/cycle reference at least 3x faster than the python
+    # oracle whenever a compiled backend is actually available.
+    if compiled_mode != "python":
+        assert kernel_speedup >= 3.0, (
+            f"compiled ({compiled_mode}) reference only "
+            f"{kernel_speedup:.2f}x faster than the python oracle "
+            f"(require >= 3x)"
+        )
     speedup = reference_time / wampde_time
     # The paper claims two orders of magnitude; allow a generous band for
     # host variation while requiring the order of magnitude to hold.
@@ -259,6 +283,9 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
          fig12_data["transient"][100]["time"], "-"],
         ["ODE: 1000 pts/cycle (WaMPDE-comparable accuracy)",
          fig12_data["reference_steps"], reference_time, 1.0],
+        [f"ODE: 1000 pts/cycle, compiled kernel ({compiled_mode})",
+         fig12_data["reference_compiled_steps"], compiled_time,
+         kernel_speedup],
         ["WaMPDE envelope",
          fig12_data["wampde"]["steps"], wampde_time, speedup],
     ]
@@ -315,10 +342,15 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
         "bench": "speedup_table",
         "horizon_s": horizon,
         "methods": [
+            # wall_time_retimed_s is the second, in-bench timing where a
+            # separate retiming pass exists (the envelope) and the single
+            # measurement otherwise, so check_regression compares the
+            # same field across every method.
             {
                 "name": "transient_50_pts_per_cycle",
                 "steps": int(fig12_data["transient"][50]["steps"]),
                 "wall_time_s": fig12_data["transient"][50]["time"],
+                "wall_time_retimed_s": fig12_data["transient"][50]["time"],
                 "phase_error_cycles":
                     fig12_data["transient"][50]["phase_error_cycles"],
             },
@@ -326,6 +358,7 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
                 "name": "transient_100_pts_per_cycle",
                 "steps": int(fig12_data["transient"][100]["steps"]),
                 "wall_time_s": fig12_data["transient"][100]["time"],
+                "wall_time_retimed_s": fig12_data["transient"][100]["time"],
                 "phase_error_cycles":
                     fig12_data["transient"][100]["phase_error_cycles"],
             },
@@ -333,7 +366,17 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
                 "name": "transient_1000_pts_per_cycle_reference",
                 "steps": int(fig12_data["reference_steps"]),
                 "wall_time_s": reference_time,
+                "wall_time_retimed_s": reference_time,
                 "phase_error_cycles": 0.0,
+            },
+            {
+                "name": "transient_reference_compiled",
+                "steps": int(fig12_data["reference_compiled_steps"]),
+                "wall_time_s": compiled_time,
+                "wall_time_retimed_s": compiled_time,
+                "phase_error_cycles": 0.0,
+                "kernel_mode": compiled_mode,
+                "speedup_vs_python_reference": kernel_speedup,
             },
             {
                 "name": "wampde_envelope",

@@ -51,6 +51,17 @@ def compare(baseline, current, max_slowdown, phase_atol, phase_rtol):
             failures.append(f"{name}: present in baseline but missing from "
                             f"current record")
             continue
+        base_mode = base.get("kernel_mode")
+        cur_mode = cur.get("kernel_mode")
+        if base_mode is not None and cur_mode != base_mode:
+            # A compiled entry timed on a host without the baseline's
+            # backend (e.g. no numba and no C toolchain) is a capability
+            # difference, not a perf regression — report, don't gate.
+            lines.append(
+                f"{name}: kernel mode {cur_mode!r} != baseline "
+                f"{base_mode!r}; wall gate skipped"
+            )
+            continue
         base_wall = float(base["wall_time_s"])
         cur_wall = float(cur["wall_time_s"])
         ratio = cur_wall / base_wall if base_wall > 0 else float("inf")

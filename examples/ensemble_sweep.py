@@ -54,7 +54,13 @@ def main():
         factory, control_voltages, stacked_factory
     )
     x0 = np.tile([1.0, 0.0, 0.0, 0.0], (control_voltages.size, 1))
-    options = TransientOptions(integrator="trap", dt=T_NOMINAL / 100)
+    # kernel="python" on both sides: this comparison isolates the NumPy
+    # lock-step batching win over per-scenario python dispatch.  The
+    # compiled per-DAE sweep (kernel="auto"/"numba"/"c") accelerates the
+    # serial runs far past either path — see benchmarks/README.md.
+    options = TransientOptions(
+        integrator="trap", dt=T_NOMINAL / 100, kernel="python"
+    )
     horizon = 30 * T_NOMINAL
 
     with WallTimer() as batched_timer:

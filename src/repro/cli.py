@@ -122,6 +122,17 @@ def _print_solver_stats(stats):
     solver = (stats or {}).get("solver")
     if solver:
         print(f"solver: {SolverStats(**solver).summary()}")
+    kernel = (stats or {}).get("kernel")
+    if kernel and kernel.get("mode", "python") != "python":
+        extra = ""
+        if "compiled_steps" in kernel:
+            extra = (f", {kernel['compiled_steps']} compiled / "
+                     f"{kernel.get('python_steps', 0)} python step(s)")
+        print(f"kernel: {kernel['mode']} "
+              f"(requested {kernel.get('requested', 'auto')}, "
+              f"compile {kernel.get('compile_time_s', 0.0):.3f}s{extra})")
+    elif kernel and kernel.get("requested") not in (None, "python"):
+        print(f"kernel: python ({kernel.get('reason', 'not eligible')})")
     recovery = (stats or {}).get("recovery")
     if recovery and recovery.get("escalated_solves"):
         rungs = ", ".join(

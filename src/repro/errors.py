@@ -16,6 +16,15 @@ class ValidationError(ReproError, ValueError):
     """An argument failed validation (wrong shape, sign, range, ...)."""
 
 
+class ConfigurationError(ReproError, ValueError):
+    """Options request a capability the environment cannot provide.
+
+    Raised eagerly at configuration time -- e.g. ``kernel="numba"``
+    without numba installed, or ``kernel="c"`` without a C compiler --
+    instead of failing with an ImportError deep inside a march.
+    """
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative method failed to converge.
 

@@ -1,0 +1,51 @@
+"""Compiled per-DAE inner loops (ROADMAP item 1: the 10x transient lever).
+
+Supported DAEs are lowered to a tiny statement IR
+(:mod:`~repro.kernels.registry`), rendered to equivalent Python and C
+translation units (:mod:`~repro.kernels.codegen`), built/cached by
+backend (:mod:`~repro.kernels.backends`: numba > host C toolchain >
+pure python), and driven by the engines through
+:mod:`~repro.kernels.sweep` — a fused fixed-step chord transient march
+and batched ``q/f/dq/df`` evaluations for the envelope/ensemble paths.
+
+Select with ``kernel="auto" | "numba" | "c" | "python"`` on any engine
+options class (:class:`~repro.linalg.solver_core.SolverOptionsMixin`).
+``HAVE_NUMBA`` is the import-time capability probe the ``jit`` optional
+extra satisfies; without it, ``auto`` uses the C toolchain when one is
+on PATH and otherwise degrades silently to the python reference path.
+"""
+
+from .backends import (
+    HAVE_CC,
+    HAVE_NUMBA,
+    KERNEL_MODES,
+    KernelBuildError,
+    build_kernel,
+    probe_cc,
+    probe_numba,
+    resolve_mode,
+)
+from .registry import KernelSpec, spec_for_dae
+from .sweep import (
+    CompiledSweepRunner,
+    KernelizedDAE,
+    maybe_kernelize_batch,
+    prepare_transient_runner,
+)
+
+__all__ = [
+    "HAVE_CC",
+    "HAVE_NUMBA",
+    "KERNEL_MODES",
+    "KernelBuildError",
+    "KernelSpec",
+    "CompiledSweepRunner",
+    "KernelizedDAE",
+    "build_kernel",
+    "maybe_kernelize_batch",
+    "prepare_transient_runner",
+    "probe_cc",
+    "probe_numba",
+    "resolve_mode",
+    "spec_for_dae",
+]

@@ -1,0 +1,310 @@
+"""Backend probing, compilation and caching for generated kernels.
+
+Three execution modes share one generated algorithm
+(:mod:`repro.kernels.codegen`):
+
+``"numba"``
+    The generated Python module with every function under
+    ``numba.njit(cache=True)``.  Requires the optional ``jit`` extra.
+``"c"``
+    The generated C file compiled by the host toolchain
+    (``$CC`` / ``cc`` / ``gcc`` / ``clang``) into a shared object and
+    loaded through :mod:`ctypes`.  No extra dependencies.
+``"python"``
+    The same generated Python module, undecorated — slow, but always
+    available; it is the oracle the compiled modes are tested against.
+
+Builds are cached on disk under ``$REPRO_KERNEL_CACHE`` (default: a
+``repro-kernels`` directory in the system temp dir), keyed by a content
+hash of the generated source, and memoised in-process, so a long test
+run compiles each distinct circuit topology once.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import importlib.util
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+
+from . import codegen
+
+#: Option values accepted by ``kernel=...``.
+KERNEL_MODES = ("auto", "numba", "c", "python")
+
+
+class KernelBuildError(ReproError):
+    """Generating/compiling/loading a kernel backend failed."""
+
+
+def probe_numba():
+    """True when numba can actually be imported *right now*.
+
+    Re-evaluated on every call (not just at import) so masking numba out
+    of ``sys.modules`` — as the fallback tests do — is seen immediately.
+    """
+    if sys.modules.get("numba", "unset") is None:
+        return False
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def _find_cc():
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def probe_cc():
+    """True when a host C compiler is on PATH."""
+    return _find_cc() is not None
+
+
+#: Import-time snapshot of the numba probe (the documented capability flag).
+HAVE_NUMBA = probe_numba()
+HAVE_CC = probe_cc()
+
+
+def resolve_mode(requested):
+    """Map a ``kernel=`` option value to a concrete backend mode.
+
+    ``"auto"`` prefers numba, then the C toolchain, then python.
+    Explicitly requesting an unavailable backend raises
+    :class:`~repro.errors.ConfigurationError` eagerly, before any march
+    starts.  Returns ``(mode, reason)`` where ``reason`` explains a
+    python resolution (``None`` otherwise).
+
+    ``$REPRO_KERNEL`` rewrites ``"auto"`` requests (explicit option
+    values always win) — how CI pins a whole suite run to one backend
+    without touching any call site.
+    """
+    requested = "auto" if requested is None else str(requested)
+    if requested == "auto":
+        requested = os.environ.get("REPRO_KERNEL") or "auto"
+    if requested not in KERNEL_MODES:
+        raise ConfigurationError(
+            f"kernel={requested!r} is not a valid mode; choose one of "
+            f"{', '.join(repr(m) for m in KERNEL_MODES)}"
+        )
+    if requested == "python":
+        return "python", "kernel='python' requested"
+    if requested == "numba":
+        if not probe_numba():
+            raise ConfigurationError(
+                "kernel='numba' requires the optional numba dependency; "
+                "install the jit extra (pip install 'repro[jit]') or use "
+                "kernel='auto'"
+            )
+        return "numba", None
+    if requested == "c":
+        if not probe_cc():
+            raise ConfigurationError(
+                "kernel='c' requires a host C compiler (cc/gcc/clang or "
+                "$CC) on PATH; use kernel='auto' to fall back"
+            )
+        return "c", None
+    # auto
+    if probe_numba():
+        return "numba", None
+    if probe_cc():
+        return "c", None
+    return "python", "numba unavailable and no C compiler on PATH"
+
+
+def _cache_dir():
+    root = os.environ.get("REPRO_KERNEL_CACHE")
+    if not root:
+        root = os.path.join(tempfile.gettempdir(), "repro-kernels")
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+def _source_sha(source):
+    return hashlib.sha256(source.encode()).hexdigest()[:24]
+
+
+class _PyKernel:
+    """Adapter over the generated Python module (numba-jitted or plain)."""
+
+    mode = "python"
+
+    def __init__(self, module, mode):
+        self.mode = mode
+        self._mod = module
+        self.eval_qf = module.eval_qf
+        self.eval_jac = module.eval_jac
+        self.sweep = module.sweep
+
+    def eval_qf_batch(self, X, P, Q, F):
+        self._mod.eval_qf_batch(X, P, Q, F)
+
+    def eval_jac_batch(self, X, P, DQ, DF):
+        self._mod.eval_jac_batch(X, P, DQ, DF)
+
+
+class _CKernel:
+    """ctypes adapter over the compiled shared object."""
+
+    mode = "c"
+
+    def __init__(self, lib):
+        self._lib = lib
+        lib.sweep.restype = ctypes.c_longlong
+        lib.sweep.argtypes = [ctypes.c_void_p] * 2 \
+            + [ctypes.c_longlong] * 2 + [ctypes.c_void_p] * 25
+        lib.eval_qf.restype = None
+        lib.eval_jac.restype = None
+        lib.eval_qf_batch.restype = None
+        lib.eval_jac_batch.restype = None
+
+    @staticmethod
+    def _ptr(arr):
+        return ctypes.c_void_p(arr.ctypes.data)
+
+    def eval_qf(self, x, p, q, f):
+        self._lib.eval_qf(self._ptr(x), self._ptr(p), self._ptr(q),
+                          self._ptr(f))
+
+    def eval_jac(self, x, p, dq, df):
+        self._lib.eval_jac(self._ptr(x), self._ptr(p), self._ptr(dq),
+                           self._ptr(df))
+
+    def eval_qf_batch(self, X, P, Q, F):
+        pstride = P.shape[1] if P.shape[0] > 1 else 0
+        self._lib.eval_qf_batch(
+            self._ptr(X), self._ptr(P), ctypes.c_longlong(X.shape[0]),
+            ctypes.c_longlong(pstride), self._ptr(Q), self._ptr(F))
+
+    def eval_jac_batch(self, X, P, DQ, DF):
+        pstride = P.shape[1] if P.shape[0] > 1 else 0
+        self._lib.eval_jac_batch(
+            self._ptr(X), self._ptr(P), ctypes.c_longlong(X.shape[0]),
+            ctypes.c_longlong(pstride), self._ptr(DQ), self._ptr(DF))
+
+    def sweep(self, t_grid, b_grid, gi_start, gi_end, *arrays):
+        args = [self._ptr(t_grid), self._ptr(b_grid),
+                ctypes.c_longlong(gi_start), ctypes.c_longlong(gi_end)]
+        args.extend(self._ptr(a) for a in arrays)
+        return int(self._lib.sweep(*args))
+
+
+def _load_python_module(source, sha):
+    path = os.path.join(_cache_dir(), f"kernel_{sha}.py")
+    if not os.path.exists(path):
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w") as handle:
+            handle.write(source)
+        os.replace(tmp, path)
+    name = f"repro_kernel_{sha}"
+    existing = sys.modules.get(name)
+    if existing is not None:
+        return existing
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception:
+        sys.modules.pop(name, None)
+        raise
+    return module
+
+
+def _build_c_library(source, sha):
+    cc = _find_cc()
+    if cc is None:
+        raise KernelBuildError("no C compiler on PATH")
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"kernel_{sha}.so")
+    if not os.path.exists(so_path):
+        c_path = os.path.join(cache, f"kernel_{sha}.c")
+        with open(c_path, "w") as handle:
+            handle.write(source)
+        tmp_so = f"{so_path}.{os.getpid()}.tmp"
+        cmd = [cc, "-O2", "-fPIC", "-shared", "-o", tmp_so, c_path, "-lm"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise KernelBuildError(
+                f"C kernel compilation failed ({' '.join(cmd)}):\n"
+                f"{proc.stderr}"
+            )
+        os.replace(tmp_so, so_path)
+    return ctypes.CDLL(so_path)
+
+
+#: In-process memo: (source sha, mode) -> built kernel adapter.
+_KERNEL_MEMO = {}
+
+
+class BuiltKernel:
+    """A spec bound to a built backend (callables + parameter rows)."""
+
+    def __init__(self, spec, impl, mode, compile_time_s):
+        self.spec = spec
+        self.impl = impl
+        self.mode = mode
+        self.compile_time_s = float(compile_time_s)
+
+
+def build_kernel(spec, mode):
+    """Build (or fetch from cache) the backend for ``spec`` in ``mode``.
+
+    Raises :class:`KernelBuildError` on compilation/first-call failure;
+    callers running under ``kernel="auto"`` degrade to the next backend.
+    """
+    start = time.perf_counter()
+    if mode in ("numba", "python"):
+        source = codegen.generate_python_source(spec)
+        key = (_source_sha(source), mode)
+        impl = _KERNEL_MEMO.get(key)
+        if impl is None:
+            module = _load_python_module(source, key[0])
+            if mode == "numba" and not getattr(module, "HAVE_JIT", False):
+                raise KernelBuildError(
+                    "generated module loaded without numba jit"
+                )
+            impl = _PyKernel(module, mode)
+            if mode == "numba":
+                _trial_run(spec, impl)
+            _KERNEL_MEMO[key] = impl
+    elif mode == "c":
+        source = codegen.generate_c_source(spec)
+        key = (_source_sha(source), mode)
+        impl = _KERNEL_MEMO.get(key)
+        if impl is None:
+            impl = _CKernel(_build_c_library(source, key[0]))
+            _trial_run(spec, impl)
+            _KERNEL_MEMO[key] = impl
+    else:  # pragma: no cover - resolve_mode guards the values
+        raise KernelBuildError(f"unknown kernel mode {mode!r}")
+    return BuiltKernel(spec, impl, mode, time.perf_counter() - start)
+
+
+def _trial_run(spec, impl):
+    """Force compilation (numba) / catch broken builds with a tiny call."""
+    n = spec.n
+    x = np.zeros(n)
+    p = np.ascontiguousarray(spec.params_rows[0])
+    q = np.empty(n)
+    f = np.empty(n)
+    dq = np.empty(n * n)
+    df = np.empty(n * n)
+    try:
+        impl.eval_qf(x, p, q, f)
+        impl.eval_jac(x, p, dq, df)
+    except Exception as exc:
+        raise KernelBuildError(f"kernel trial evaluation failed: {exc}") \
+            from exc

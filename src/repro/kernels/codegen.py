@@ -1,0 +1,750 @@
+"""Render a :class:`~repro.kernels.registry.KernelSpec` to source code.
+
+One spec renders to two equivalent translation units:
+
+* a **Python module** whose functions are decorated with ``KERNEL_JIT``
+  (``numba.njit(cache=True)`` when numba imports, identity otherwise) —
+  the numba backend and the pure-python reference oracle share this
+  exact source, so "compiled vs python" can never drift algorithmically;
+* a **C file** compiled with the host toolchain (``cc -O2 -shared``)
+  and driven through ctypes — the fast path on boxes without numba.
+
+Both carry the same five entry points: ``eval_qf`` / ``eval_jac``
+(single point), ``eval_qf_batch`` / ``eval_jac_batch`` (lock-step and
+collocation batches), and ``sweep`` — the fused fixed-step chord march
+(integrator terms, polynomial predictor, residual, frozen-LU chord
+Newton with refresh/line-search policy, history ring update) that runs
+many grid steps per call with zero Python in between.
+
+``sweep`` transcribes :class:`repro.linalg.newton.StaleJacobianNewton`
+and the :func:`repro.transient.engine.simulate_transient` fixed-grid
+inner loop statement for statement; any change there must be mirrored
+here (the equivalence tests in ``tests/test_kernels.py`` will catch a
+drift).  Status codes returned by ``sweep``:
+
+====  =========================================================
+0     ran to ``gi_end`` (or converged every step of the chunk)
+1     chord Newton hit ``max_iterations`` (factors dropped)
+2     non-finite initial residual (factors kept, like the python path)
+3     singular/non-finite Jacobian factorisation (factors dropped)
+====  =========================================================
+"""
+
+from __future__ import annotations
+
+
+def _render_py(stmts, indent):
+    pad = "    " * indent
+    lines = []
+    for s in stmts:
+        op = s[0]
+        if op in ("let", "set"):
+            lines.append(f"{pad}{s[1]} = {s[2]}")
+        elif op == "store":
+            lines.append(f"{pad}{s[1]}[{s[2]}] = {s[3]}")
+        elif op == "add":
+            lines.append(f"{pad}{s[1]}[{s[2]}] += {s[3]}")
+        elif op == "if":
+            lines.append(f"{pad}if {s[1]}:")
+            lines.extend(_render_py(s[2], indent + 1) or [pad + "    pass"])
+            if s[3]:
+                lines.append(f"{pad}else:")
+                lines.extend(_render_py(s[3], indent + 1))
+        else:  # pragma: no cover - registry emits only the forms above
+            raise ValueError(f"unknown statement {s[0]!r}")
+    return lines
+
+
+def _render_c(stmts, indent, declared=None):
+    pad = "    " * indent
+    declared = declared if declared is not None else set()
+    lines = []
+    for s in stmts:
+        op = s[0]
+        if op == "let":
+            declared.add(s[1])
+            lines.append(f"{pad}double {s[1]} = {s[2]};")
+        elif op == "set":
+            lines.append(f"{pad}{s[1]} = {s[2]};")
+        elif op == "store":
+            lines.append(f"{pad}{s[1]}[{s[2]}] = {s[3]};")
+        elif op == "add":
+            lines.append(f"{pad}{s[1]}[{s[2]}] += {s[3]};")
+        elif op == "if":
+            lines.append(f"{pad}if ({s[1]}) {{")
+            lines.extend(_render_c(s[2], indent + 1, declared))
+            if s[3]:
+                lines.append(f"{pad}}} else {{")
+                lines.extend(_render_c(s[3], indent + 1, declared))
+            lines.append(f"{pad}}}")
+        else:  # pragma: no cover
+            raise ValueError(f"unknown statement {s[0]!r}")
+    return lines
+
+
+_PY_RUNTIME = '''
+
+@KERNEL_JIT
+def eval_qf_batch(X, P, Q, F):
+    for b in range(X.shape[0]):
+        pi = b if P.shape[0] > 1 else 0
+        eval_qf(X[b], P[pi], Q[b], F[b])
+
+
+@KERNEL_JIT
+def eval_jac_batch(X, P, DQ, DF):
+    for b in range(X.shape[0]):
+        pi = b if P.shape[0] > 1 else 0
+        eval_jac(X[b], P[pi], DQ[b], DF[b])
+
+
+@KERNEL_JIT
+def lu_factor(A, piv):
+    for k in range(N):
+        pmax = 0.0
+        pidx = k
+        for i in range(k, N):
+            a = fabs(A[i, k])
+            if a > pmax:
+                pmax = a
+                pidx = i
+        if not (pmax > 0.0) or not isfinite(pmax):
+            return False
+        piv[k] = pidx
+        if pidx != k:
+            for j in range(N):
+                tmp = A[k, j]
+                A[k, j] = A[pidx, j]
+                A[pidx, j] = tmp
+        akk = A[k, k]
+        for i in range(k + 1, N):
+            lik = A[i, k] / akk
+            A[i, k] = lik
+            for j in range(k + 1, N):
+                A[i, j] -= lik * A[k, j]
+    return True
+
+
+@KERNEL_JIT
+def lu_solve(A, piv, b, out):
+    for i in range(N):
+        out[i] = b[i]
+    for k in range(N):
+        pidx = piv[k]
+        if pidx != k:
+            tmp = out[k]
+            out[k] = out[pidx]
+            out[pidx] = tmp
+        for i in range(k + 1, N):
+            out[i] -= A[i, k] * out[k]
+    for i in range(N - 1, -1, -1):
+        acc = out[i]
+        for j in range(i + 1, N):
+            acc -= A[i, j] * out[j]
+        out[i] = acc / A[i, i]
+
+
+@KERNEL_JIT
+def _residual(x, p, b_row, alpha, beta, rhs, qv, fv, rc):
+    # qv <- q(x); fv <- f(x) - b; rc <- alpha*q + rhs + beta*(f - b).
+    # Returns the residual inf-norm (nan if any component is nan).
+    eval_qf(x, p, qv, fv)
+    norm = 0.0
+    bad = False
+    for i in range(N):
+        fb = fv[i] - b_row[i]
+        fv[i] = fb
+        r = alpha * qv[i] + rhs[i] + beta * fb
+        rc[i] = r
+        a = fabs(r)
+        if a != a:
+            bad = True
+        elif a > norm:
+            norm = a
+    if bad:
+        return nan
+    return norm
+
+
+@KERNEL_JIT
+def _refactor(x, p, alpha, beta, A, piv, dqs, dfs, jac_meta):
+    eval_jac(x, p, dqs, dfs)
+    for i in range(N):
+        for j in range(N):
+            A[i, j] = alpha * dqs[i * N + j] + beta * dfs[i * N + j]
+    if not lu_factor(A, piv):
+        return False
+    jac_meta[0] = alpha
+    jac_meta[1] = beta
+    for i in range(N):
+        jac_meta[2 + i] = x[i]
+    return True
+
+
+@KERNEL_JIT
+def sweep(t_grid, b_grid, gi_start, gi_end, h_t, h_x, h_q, h_fb, hstate,
+          flags, A, piv, jac_meta, reg, dopts, iopts, p, out_x, counters,
+          xc, xn, dxs, rc, rn, qv, fv, rhs, dqs, dfs):
+    atol = dopts[0]
+    rtol = dopts[1]
+    contraction = dopts[2]
+    param_rtol = dopts[3]
+    maxiter = iopts[0]
+    halvings = iopts[1]
+    integ = iopts[2]
+    have = flags[0] != 0
+    if have and flags[1] != 0:
+        # Resume: rebuild the frozen LU from checkpointed (alpha, beta,
+        # x) metadata — uncounted, like the python restore path.
+        for i in range(N):
+            xc[i] = jac_meta[2 + i]
+        eval_jac(xc, p, dqs, dfs)
+        for i in range(N):
+            for j in range(N):
+                A[i, j] = (jac_meta[0] * dqs[i * N + j]
+                           + jac_meta[1] * dfs[i * N + j])
+        if not lu_factor(A, piv):
+            have = False
+    flags[1] = 0
+    status = 0
+    for gi in range(gi_start, gi_end):
+        hc = hstate[0]
+        t_new = t_grid[gi]
+        dt = t_new - h_t[hc - 1]
+        if integ == 1:
+            alpha = 1.0 / dt
+            beta = 0.5
+            for i in range(N):
+                rhs[i] = -h_q[hc - 1, i] / dt + 0.5 * h_fb[hc - 1, i]
+        elif integ == 2 and hc >= 2:
+            t1 = h_t[hc - 1]
+            t2 = h_t[hc - 2]
+            alpha = (2.0 * t_new - t1 - t2) / ((t_new - t1) * (t_new - t2))
+            beta = 1.0
+            d1 = (t_new - t2) / ((t1 - t_new) * (t1 - t2))
+            d2 = (t_new - t1) / ((t2 - t_new) * (t2 - t1))
+            for i in range(N):
+                rhs[i] = d1 * h_q[hc - 1, i] + d2 * h_q[hc - 2, i]
+        else:
+            alpha = 1.0 / dt
+            beta = 1.0
+            for i in range(N):
+                rhs[i] = -h_q[hc - 1, i] / dt
+        if alpha != reg[1]:
+            old = reg[0]
+            if old == old and fabs(alpha - old) > param_rtol * fabs(old):
+                have = False
+            reg[0] = alpha
+            reg[1] = alpha
+        if (hc >= 3 and h_t[0] != h_t[1] and h_t[1] != h_t[2]
+                and h_t[0] != h_t[2]):
+            ta = h_t[0]
+            tb = h_t[1]
+            tc = h_t[2]
+            la = (t_new - tb) * (t_new - tc) / ((ta - tb) * (ta - tc))
+            lb = (t_new - ta) * (t_new - tc) / ((tb - ta) * (tb - tc))
+            lc = (t_new - ta) * (t_new - tb) / ((tc - ta) * (tc - tb))
+            for i in range(N):
+                xc[i] = la * h_x[0, i] + lb * h_x[1, i] + lc * h_x[2, i]
+        elif hc >= 2 and h_t[hc - 1] != h_t[hc - 2]:
+            frac = (t_new - h_t[hc - 1]) / (h_t[hc - 1] - h_t[hc - 2])
+            for i in range(N):
+                xc[i] = (h_x[hc - 1, i]
+                         + (h_x[hc - 1, i] - h_x[hc - 2, i]) * frac)
+        else:
+            for i in range(N):
+                xc[i] = h_x[hc - 1, i]
+        counters[4] += 1
+        norm = _residual(xc, p, b_grid[gi], alpha, beta, rhs, qv, fv, rc)
+        counters[2] += 1
+        itn = 0
+        failed = 0
+        converged = norm <= atol
+        if not converged and not isfinite(norm):
+            failed = 2
+        fresh = False
+        if not converged and failed == 0 and not have:
+            if _refactor(xc, p, alpha, beta, A, piv, dqs, dfs, jac_meta):
+                counters[3] += 1
+                have = True
+                fresh = True
+            else:
+                have = False
+                failed = 3
+        while failed == 0 and not converged and itn < maxiter:
+            itn += 1
+            counters[1] += 1
+            lu_solve(A, piv, rc, dxs)
+            ok = True
+            for i in range(N):
+                if not isfinite(dxs[i]):
+                    ok = False
+            if not ok:
+                if fresh:
+                    have = False
+                    failed = 3
+                    break
+                if _refactor(xc, p, alpha, beta, A, piv, dqs, dfs,
+                             jac_meta):
+                    counters[3] += 1
+                    fresh = True
+                    continue
+                have = False
+                failed = 3
+                break
+            for i in range(N):
+                xn[i] = xc[i] - dxs[i]
+            norm_new = _residual(xn, p, b_grid[gi], alpha, beta, rhs,
+                                 qv, fv, rn)
+            counters[2] += 1
+            if norm_new <= atol:
+                for i in range(N):
+                    xc[i] = xn[i]
+                norm = norm_new
+                converged = True
+                break
+            if not (norm_new < norm):
+                if not fresh:
+                    if _refactor(xc, p, alpha, beta, A, piv, dqs, dfs,
+                                 jac_meta):
+                        counters[3] += 1
+                        fresh = True
+                        continue
+                    have = False
+                    failed = 3
+                    break
+                step = 0.5
+                for halving in range(halvings):
+                    for i in range(N):
+                        xn[i] = xc[i] - step * dxs[i]
+                    norm_new = _residual(xn, p, b_grid[gi], alpha, beta,
+                                         rhs, qv, fv, rn)
+                    counters[2] += 1
+                    if isfinite(norm_new) and norm_new < norm:
+                        break
+                    if halving < halvings - 1:
+                        step = step * 0.5
+            small = True
+            for i in range(N):
+                m = fabs(xn[i])
+                if m < 1.0:
+                    m = 1.0
+                d = fabs(xn[i] - xc[i])
+                if not (d <= rtol * m):
+                    small = False
+            slow = norm_new > contraction * norm
+            for i in range(N):
+                xc[i] = xn[i]
+                rc[i] = rn[i]
+            norm = norm_new
+            if norm <= atol or (small and isfinite(norm)):
+                converged = True
+                break
+            if slow and not fresh:
+                if _refactor(xc, p, alpha, beta, A, piv, dqs, dfs,
+                             jac_meta):
+                    counters[3] += 1
+                    fresh = True
+                else:
+                    have = False
+                    failed = 3
+                    break
+        if not converged:
+            if failed == 0:
+                failed = 1
+                have = False
+            status = failed
+            break
+        if hc == 3:
+            for j in range(2):
+                h_t[j] = h_t[j + 1]
+                for i in range(N):
+                    h_x[j, i] = h_x[j + 1, i]
+                    h_q[j, i] = h_q[j + 1, i]
+                    h_fb[j, i] = h_fb[j + 1, i]
+            hc = 2
+        h_t[hc] = t_new
+        for i in range(N):
+            h_x[hc, i] = xc[i]
+            h_q[hc, i] = qv[i]
+            h_fb[hc, i] = fv[i]
+        hstate[0] = hc + 1
+        row = gi - gi_start
+        for i in range(N):
+            out_x[row, i] = xc[i]
+        counters[0] += 1
+    flags[0] = 1 if have else 0
+    return status
+'''
+
+
+def generate_python_source(spec):
+    qf_body = "\n".join(_render_py(spec.qf_stmts, 1)) or "    pass"
+    jac_body = "\n".join(_render_py(spec.jac_stmts, 1)) or "    pass"
+    return f'''"""Auto-generated kernels for {spec.dae_label} (repro.kernels).
+
+Do not edit: regenerate via repro.kernels.codegen.generate_python_source.
+"""
+from math import cosh, exp, expm1, fabs, isfinite, nan, tanh  # noqa: F401
+
+try:
+    from numba import njit as _njit
+
+    def KERNEL_JIT(func):
+        return _njit(cache=True)(func)
+
+    HAVE_JIT = True
+except Exception:  # pragma: no cover - numba is optional
+    def KERNEL_JIT(func):
+        return func
+
+    HAVE_JIT = False
+
+N = {spec.n}
+NN = {spec.n * spec.n}
+
+
+@KERNEL_JIT
+def eval_qf(x, p, q, f):
+    for _i in range(N):
+        q[_i] = 0.0
+        f[_i] = 0.0
+{qf_body}
+
+
+@KERNEL_JIT
+def eval_jac(x, p, dq, df):
+    for _i in range(NN):
+        dq[_i] = 0.0
+        df[_i] = 0.0
+{jac_body}
+{_PY_RUNTIME}'''
+
+
+_C_RUNTIME = '''
+
+void eval_qf_batch(const double* X, const double* P, long long B,
+                   long long pstride, double* Q, double* F) {
+    for (long long b = 0; b < B; ++b)
+        eval_qf(X + b * N, P + b * pstride, Q + b * N, F + b * N);
+}
+
+void eval_jac_batch(const double* X, const double* P, long long B,
+                    long long pstride, double* DQ, double* DF) {
+    for (long long b = 0; b < B; ++b)
+        eval_jac(X + b * N, P + b * pstride, DQ + b * NN, DF + b * NN);
+}
+
+static int lu_factor_(double* A, long long* piv) {
+    for (int k = 0; k < N; ++k) {
+        double pmax = 0.0;
+        int pidx = k;
+        for (int i = k; i < N; ++i) {
+            double a = fabs(A[i * N + k]);
+            if (a > pmax) { pmax = a; pidx = i; }
+        }
+        if (!(pmax > 0.0) || !isfinite(pmax)) return 0;
+        piv[k] = pidx;
+        if (pidx != k) {
+            for (int j = 0; j < N; ++j) {
+                double tmp = A[k * N + j];
+                A[k * N + j] = A[pidx * N + j];
+                A[pidx * N + j] = tmp;
+            }
+        }
+        double akk = A[k * N + k];
+        for (int i = k + 1; i < N; ++i) {
+            double lik = A[i * N + k] / akk;
+            A[i * N + k] = lik;
+            for (int j = k + 1; j < N; ++j)
+                A[i * N + j] -= lik * A[k * N + j];
+        }
+    }
+    return 1;
+}
+
+static void lu_solve_(const double* A, const long long* piv,
+                      const double* b, double* out) {
+    for (int i = 0; i < N; ++i) out[i] = b[i];
+    for (int k = 0; k < N; ++k) {
+        long long pidx = piv[k];
+        if (pidx != k) {
+            double tmp = out[k];
+            out[k] = out[pidx];
+            out[pidx] = tmp;
+        }
+        for (int i = k + 1; i < N; ++i) out[i] -= A[i * N + k] * out[k];
+    }
+    for (int i = N - 1; i >= 0; --i) {
+        double acc = out[i];
+        for (int j = i + 1; j < N; ++j) acc -= A[i * N + j] * out[j];
+        out[i] = acc / A[i * N + i];
+    }
+}
+
+static double residual_(const double* x, const double* p,
+                        const double* b_row, double alpha, double beta,
+                        const double* rhs, double* qv, double* fv,
+                        double* rc) {
+    eval_qf(x, p, qv, fv);
+    double norm = 0.0;
+    int bad = 0;
+    for (int i = 0; i < N; ++i) {
+        double fb = fv[i] - b_row[i];
+        fv[i] = fb;
+        double r = alpha * qv[i] + rhs[i] + beta * fb;
+        rc[i] = r;
+        double a = fabs(r);
+        if (a != a) bad = 1;
+        else if (a > norm) norm = a;
+    }
+    if (bad) return NAN;
+    return norm;
+}
+
+static int refactor_(const double* x, const double* p, double alpha,
+                     double beta, double* A, long long* piv, double* dqs,
+                     double* dfs, double* jac_meta) {
+    eval_jac(x, p, dqs, dfs);
+    for (int i = 0; i < N; ++i)
+        for (int j = 0; j < N; ++j)
+            A[i * N + j] = alpha * dqs[i * N + j] + beta * dfs[i * N + j];
+    if (!lu_factor_(A, piv)) return 0;
+    jac_meta[0] = alpha;
+    jac_meta[1] = beta;
+    for (int i = 0; i < N; ++i) jac_meta[2 + i] = x[i];
+    return 1;
+}
+
+long long sweep(const double* t_grid, const double* b_grid,
+                long long gi_start, long long gi_end,
+                double* h_t, double* h_x, double* h_q, double* h_fb,
+                long long* hstate, long long* flags,
+                double* A, long long* piv, double* jac_meta, double* reg,
+                const double* dopts, const long long* iopts,
+                const double* p, double* out_x, long long* counters,
+                double* xc, double* xn, double* dxs, double* rc, double* rn,
+                double* qv, double* fv, double* rhs, double* dqs,
+                double* dfs) {
+    double atol = dopts[0];
+    double rtol = dopts[1];
+    double contraction = dopts[2];
+    double param_rtol = dopts[3];
+    long long maxiter = iopts[0];
+    long long halvings = iopts[1];
+    long long integ = iopts[2];
+    int have = flags[0] != 0;
+    if (have && flags[1] != 0) {
+        /* Resume: rebuild the frozen LU from checkpoint metadata. */
+        for (int i = 0; i < N; ++i) xc[i] = jac_meta[2 + i];
+        eval_jac(xc, p, dqs, dfs);
+        for (int i = 0; i < N; ++i)
+            for (int j = 0; j < N; ++j)
+                A[i * N + j] = jac_meta[0] * dqs[i * N + j]
+                    + jac_meta[1] * dfs[i * N + j];
+        if (!lu_factor_(A, piv)) have = 0;
+    }
+    flags[1] = 0;
+    long long status = 0;
+    for (long long gi = gi_start; gi < gi_end; ++gi) {
+        long long hc = hstate[0];
+        double t_new = t_grid[gi];
+        double dt = t_new - h_t[hc - 1];
+        double alpha, beta;
+        if (integ == 1) {
+            alpha = 1.0 / dt;
+            beta = 0.5;
+            for (int i = 0; i < N; ++i)
+                rhs[i] = -h_q[(hc - 1) * N + i] / dt
+                    + 0.5 * h_fb[(hc - 1) * N + i];
+        } else if (integ == 2 && hc >= 2) {
+            double t1 = h_t[hc - 1];
+            double t2 = h_t[hc - 2];
+            alpha = (2.0 * t_new - t1 - t2)
+                / ((t_new - t1) * (t_new - t2));
+            beta = 1.0;
+            double d1 = (t_new - t2) / ((t1 - t_new) * (t1 - t2));
+            double d2 = (t_new - t1) / ((t2 - t_new) * (t2 - t1));
+            for (int i = 0; i < N; ++i)
+                rhs[i] = d1 * h_q[(hc - 1) * N + i]
+                    + d2 * h_q[(hc - 2) * N + i];
+        } else {
+            alpha = 1.0 / dt;
+            beta = 1.0;
+            for (int i = 0; i < N; ++i)
+                rhs[i] = -h_q[(hc - 1) * N + i] / dt;
+        }
+        if (alpha != reg[1]) {
+            double old = reg[0];
+            if (old == old && fabs(alpha - old) > param_rtol * fabs(old))
+                have = 0;
+            reg[0] = alpha;
+            reg[1] = alpha;
+        }
+        if (hc >= 3 && h_t[0] != h_t[1] && h_t[1] != h_t[2]
+                && h_t[0] != h_t[2]) {
+            double ta = h_t[0], tb = h_t[1], tc = h_t[2];
+            double la = (t_new - tb) * (t_new - tc)
+                / ((ta - tb) * (ta - tc));
+            double lb = (t_new - ta) * (t_new - tc)
+                / ((tb - ta) * (tb - tc));
+            double lc = (t_new - ta) * (t_new - tb)
+                / ((tc - ta) * (tc - tb));
+            for (int i = 0; i < N; ++i)
+                xc[i] = la * h_x[0 * N + i] + lb * h_x[1 * N + i]
+                    + lc * h_x[2 * N + i];
+        } else if (hc >= 2 && h_t[hc - 1] != h_t[hc - 2]) {
+            double frac = (t_new - h_t[hc - 1])
+                / (h_t[hc - 1] - h_t[hc - 2]);
+            for (int i = 0; i < N; ++i)
+                xc[i] = h_x[(hc - 1) * N + i]
+                    + (h_x[(hc - 1) * N + i] - h_x[(hc - 2) * N + i])
+                    * frac;
+        } else {
+            for (int i = 0; i < N; ++i) xc[i] = h_x[(hc - 1) * N + i];
+        }
+        counters[4] += 1;
+        double norm = residual_(xc, p, b_grid + gi * N, alpha, beta, rhs,
+                                qv, fv, rc);
+        counters[2] += 1;
+        long long itn = 0;
+        long long failed = 0;
+        int converged = norm <= atol;
+        if (!converged && !isfinite(norm)) failed = 2;
+        int fresh = 0;
+        if (!converged && failed == 0 && !have) {
+            if (refactor_(xc, p, alpha, beta, A, piv, dqs, dfs, jac_meta)) {
+                counters[3] += 1;
+                have = 1;
+                fresh = 1;
+            } else {
+                have = 0;
+                failed = 3;
+            }
+        }
+        while (failed == 0 && !converged && itn < maxiter) {
+            itn += 1;
+            counters[1] += 1;
+            lu_solve_(A, piv, rc, dxs);
+            int ok = 1;
+            for (int i = 0; i < N; ++i)
+                if (!isfinite(dxs[i])) ok = 0;
+            if (!ok) {
+                if (fresh) { have = 0; failed = 3; break; }
+                if (refactor_(xc, p, alpha, beta, A, piv, dqs, dfs,
+                              jac_meta)) {
+                    counters[3] += 1;
+                    fresh = 1;
+                    continue;
+                }
+                have = 0; failed = 3; break;
+            }
+            for (int i = 0; i < N; ++i) xn[i] = xc[i] - dxs[i];
+            double norm_new = residual_(xn, p, b_grid + gi * N, alpha,
+                                        beta, rhs, qv, fv, rn);
+            counters[2] += 1;
+            if (norm_new <= atol) {
+                for (int i = 0; i < N; ++i) xc[i] = xn[i];
+                norm = norm_new;
+                converged = 1;
+                break;
+            }
+            if (!(norm_new < norm)) {
+                if (!fresh) {
+                    if (refactor_(xc, p, alpha, beta, A, piv, dqs, dfs,
+                                  jac_meta)) {
+                        counters[3] += 1;
+                        fresh = 1;
+                        continue;
+                    }
+                    have = 0; failed = 3; break;
+                }
+                double step = 0.5;
+                for (long long halving = 0; halving < halvings; ++halving) {
+                    for (int i = 0; i < N; ++i)
+                        xn[i] = xc[i] - step * dxs[i];
+                    norm_new = residual_(xn, p, b_grid + gi * N, alpha,
+                                         beta, rhs, qv, fv, rn);
+                    counters[2] += 1;
+                    if (isfinite(norm_new) && norm_new < norm) break;
+                    if (halving < halvings - 1) step = step * 0.5;
+                }
+            }
+            int small = 1;
+            for (int i = 0; i < N; ++i) {
+                double m = fabs(xn[i]);
+                if (m < 1.0) m = 1.0;
+                double d = fabs(xn[i] - xc[i]);
+                if (!(d <= rtol * m)) small = 0;
+            }
+            int slow = norm_new > contraction * norm;
+            for (int i = 0; i < N; ++i) { xc[i] = xn[i]; rc[i] = rn[i]; }
+            norm = norm_new;
+            if (norm <= atol || (small && isfinite(norm))) {
+                converged = 1;
+                break;
+            }
+            if (slow && !fresh) {
+                if (refactor_(xc, p, alpha, beta, A, piv, dqs, dfs,
+                              jac_meta)) {
+                    counters[3] += 1;
+                    fresh = 1;
+                } else {
+                    have = 0; failed = 3; break;
+                }
+            }
+        }
+        if (!converged) {
+            if (failed == 0) { failed = 1; have = 0; }
+            status = failed;
+            break;
+        }
+        if (hc == 3) {
+            for (int j = 0; j < 2; ++j) {
+                h_t[j] = h_t[j + 1];
+                for (int i = 0; i < N; ++i) {
+                    h_x[j * N + i] = h_x[(j + 1) * N + i];
+                    h_q[j * N + i] = h_q[(j + 1) * N + i];
+                    h_fb[j * N + i] = h_fb[(j + 1) * N + i];
+                }
+            }
+            hc = 2;
+        }
+        h_t[hc] = t_new;
+        for (int i = 0; i < N; ++i) {
+            h_x[hc * N + i] = xc[i];
+            h_q[hc * N + i] = qv[i];
+            h_fb[hc * N + i] = fv[i];
+        }
+        hstate[0] = hc + 1;
+        long long row = gi - gi_start;
+        for (int i = 0; i < N; ++i) out_x[row * N + i] = xc[i];
+        counters[0] += 1;
+    }
+    flags[0] = have ? 1 : 0;
+    return status;
+}
+'''
+
+
+def generate_c_source(spec):
+    qf_body = "\n".join(_render_c(spec.qf_stmts, 1))
+    jac_body = "\n".join(_render_c(spec.jac_stmts, 1))
+    return f'''/* Auto-generated kernels for {spec.dae_label} (repro.kernels).
+ * Do not edit: regenerate via repro.kernels.codegen.generate_c_source.
+ */
+#include <math.h>
+
+#define N {spec.n}
+#define NN {spec.n * spec.n}
+
+void eval_qf(const double* x, const double* p, double* q, double* f) {{
+    for (int _i = 0; _i < N; ++_i) {{ q[_i] = 0.0; f[_i] = 0.0; }}
+{qf_body}
+}}
+
+void eval_jac(const double* x, const double* p, double* dq, double* df) {{
+    for (int _i = 0; _i < NN; ++_i) {{ dq[_i] = 0.0; df[_i] = 0.0; }}
+{jac_body}
+}}
+{_C_RUNTIME}'''

@@ -192,12 +192,21 @@ class SolverOptionsMixin:
         Recovery-ladder spec forwarded to the shared
         :class:`SolverCore` (``None``/``"default"``, ``"extended"``, or
         an explicit rung tuple — see :mod:`repro.resilience.recovery`).
+    kernel:
+        Compiled-kernel policy for engines with a generated fast path
+        (see :mod:`repro.kernels`): ``"auto"`` — numba if importable,
+        else the host C toolchain, else the python reference path;
+        ``"numba"``/``"c"`` — require that backend
+        (:class:`~repro.errors.ConfigurationError` when unavailable);
+        ``"python"`` — force the reference path.  Engines without a
+        kernelised loop accept and ignore the option.
     """
 
     newton: NewtonOptions = None
     linear_solver: object = None
     threads: int | None = None
     ladder: object = None
+    kernel: object = "auto"
 
 
 @dataclass

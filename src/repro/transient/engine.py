@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConvergenceError, SimulationError
+from repro.kernels.sweep import prepare_transient_runner
 from repro.linalg.lu_cache import FrozenFactorization
 from repro.linalg.newton import NewtonOptions, NewtonResult
 from repro.linalg.solver_core import (
@@ -473,6 +474,26 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None,
                     w_alpha, w_beta, np.array(w_x, dtype=float)
                 )
 
+    # Compiled fast path (ROADMAP item 1).  Resolution runs even for
+    # ineligible runs so an explicitly requested unavailable backend
+    # raises eagerly instead of silently running the python loop.
+    if opts.adaptive:
+        kernel_blocked = "adaptive step control stays on the python path"
+    elif t_grid is None:
+        kernel_blocked = (
+            "no precomputed forcing grid (horizon exceeds the batch "
+            "limit or a resumed run had abandoned the grid)"
+        )
+    elif resume_from is None and warm_start is not None:
+        kernel_blocked = "warm-start adoption stays on the python path"
+    else:
+        kernel_blocked = None
+    kernel_runner, kernel_info = prepare_transient_runner(
+        dae, opts, integrator, blocked=kernel_blocked
+    )
+    stats["kernel"] = kernel_info
+    kernel_steps0 = stats["steps"]  # nonzero on resumed runs
+
     def take_checkpoint():
         # Reads the enclosing locals at call time, so it always snapshots
         # the last *accepted* state (failed attempts never advance them).
@@ -503,6 +524,9 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None,
         # Every mid-run failure carries full structured context: where the
         # engine died, a salvageable trajectory prefix, and a resumable
         # snapshot of the last accepted state.
+        kernel_info["python_steps"] = (
+            stats["steps"] - kernel_steps0 - kernel_info["compiled_steps"]
+        )
         stats_out = dict(stats)
         stats_out["newton_fallbacks"] = controller.fallbacks
         stats_out["jacobian_factorizations"] = controller.factorizations()
@@ -525,6 +549,89 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None,
             checkpoint=manager.take(take_checkpoint),
             partial_result=partial,
         )
+
+    def _kernel_march():
+        # Fused fixed-step march: N grid steps per call into the
+        # compiled sweep, zero python in between.  Chunks end exactly at
+        # checkpoint cadence points and at max_steps, and after every
+        # chunk the python-side controller is resynchronised, so
+        # checkpoints, warm exports and counters stay truthful.  Any
+        # non-zero status hands the offending step (and the rest of the
+        # run) back to the python loop below — the recovery ladder and
+        # failure semantics are untouched.
+        nonlocal t, x, dt, history, grid_idx, accepted_since_store
+        nonlocal kernel_runner
+        runner = kernel_runner
+        tg = np.ascontiguousarray(t_grid, dtype=float)
+        bg = np.ascontiguousarray(b_grid, dtype=float)
+        runner.load(history, controller)
+        core_stats = controller.core.stats
+        while (t < t_stop - 1e-15 * max(abs(t_stop), 1.0)
+               and grid_idx < tg.shape[0]):
+            cap = opts.max_steps - stats["steps"]
+            if cap <= 0:
+                fail(
+                    f"exceeded max_steps={opts.max_steps} at t={t:.6e}",
+                    dt,
+                )
+            end = min(tg.shape[0], grid_idx + cap)
+            if manager.every:
+                boundary = manager.every - stats["steps"] % manager.every
+                end = min(end, grid_idx + boundary)
+            status = runner.run(tg, bg, grid_idx, end)
+            done = int(runner.counters[0])
+            stats["newton_iterations"] += int(runner.counters[1])
+            core_stats.solves += int(runner.counters[4])
+            core_stats.iterations += int(runner.counters[1])
+            core_stats.residual_evaluations += int(runner.counters[2])
+            core_stats.factorizations += int(runner.counters[3])
+            core_stats.jacobian_refreshes += int(runner.counters[3])
+            core_stats.wall_time_s += runner.last_wall
+            runner.reset_counters()
+            if done:
+                out = runner.out_x
+                last = grid_idx + done
+                if opts.store_every == 1:
+                    stored_t.extend(tg[grid_idx:last])
+                    stored_x.extend(out[:done].copy())
+                    accepted_since_store = 0
+                else:
+                    for j in range(done):
+                        accepted_since_store += 1
+                        tj = tg[grid_idx + j]
+                        if (accepted_since_store >= opts.store_every
+                                or tj >= t_stop):
+                            stored_t.append(tj)
+                            stored_x.append(out[j].copy())
+                            accepted_since_store = 0
+                t = tg[last - 1]
+                prev = tg[last - 2] if last >= 2 else t_start
+                dt = min(float(tg[last - 1] - prev), opts.dt_max)
+                history = runner.export_history()
+                x = history[-1][1].copy()
+                grid_idx = last
+                stats["steps"] += done
+                kernel_info["compiled_steps"] += done
+                runner.sync_controller(controller, dae)
+                manager.offer(stats["steps"], take_checkpoint)
+                if stats["steps"] >= opts.max_steps:
+                    fail(
+                        f"exceeded max_steps={opts.max_steps} "
+                        f"at t={t:.6e}",
+                        dt,
+                    )
+            else:
+                runner.sync_controller(controller, dae)
+            if status != 0:
+                kernel_info["reason"] = (
+                    f"compiled sweep returned status {status} at step "
+                    f"{stats['steps']}; python recovery ladder resumed"
+                )
+                kernel_runner = None
+                return
+
+    if kernel_runner is not None and t_grid is not None:
+        _kernel_march()
 
     while t < t_stop - 1e-15 * max(abs(t_stop), 1.0):
         if t_grid is not None:
@@ -617,6 +724,9 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None,
                 f"exceeded max_steps={opts.max_steps} at t={t:.6e}", dt
             )
 
+    kernel_info["python_steps"] = (
+        stats["steps"] - kernel_steps0 - kernel_info["compiled_steps"]
+    )
     stats["newton_fallbacks"] = controller.fallbacks
     stats["jacobian_factorizations"] = controller.factorizations()
     stats["solver"] = controller.core.stats.as_dict()

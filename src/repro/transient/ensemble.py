@@ -42,6 +42,8 @@ import numpy as np
 from repro.api.serialize import SerializableMixin
 from repro.dae.ensemble import EnsembleDAE
 from repro.errors import SimulationError, SingularJacobianError
+from repro.kernels.sweep import maybe_kernelize_batch
+from repro.kernels.backends import resolve_mode
 from repro.linalg.lu_cache import BlockFactorization
 from repro.linalg.solver_core import SolverStats
 from repro.linalg.transient_assembler import TransientStepAssembler
@@ -480,6 +482,29 @@ def simulate_transient_ensemble(ensemble, x0, t_start, t_stop, options=None):
             f"initial states must have shape {(batch, n)}, got {states.shape}"
         )
 
+    # Compiled batched evaluations, opt-in only: the NumPy lock-step
+    # path is this engine's documented reference, so "auto" keeps it.
+    if ensemble._stacked is not None:
+        stacked, kernel_info = maybe_kernelize_batch(
+            ensemble._stacked, getattr(opts, "kernel", "auto"),
+            expected_batch=batch, explicit_only=True,
+        )
+        if stacked is not ensemble._stacked:
+            ensemble = EnsembleDAE(
+                batch, n, ensemble.variable_names,
+                members=ensemble._members, stacked=stacked,
+            )
+    else:
+        requested = getattr(opts, "kernel", "auto")
+        # Still resolve so an explicitly requested unavailable backend
+        # raises instead of silently looping members in python.
+        resolve_mode(requested)
+        kernel_info = {
+            "requested": "auto" if requested is None else str(requested),
+            "mode": "python",
+            "reason": "member-loop ensembles stay on the python path",
+        }
+
     t = float(t_start)
     dt = float(opts.dt)
     controller = _EnsembleStepController(ensemble, opts)
@@ -507,6 +532,7 @@ def simulate_transient_ensemble(ensemble, x0, t_start, t_stop, options=None):
         "newton_fallbacks": 0,
         "jacobian_factorizations": 0,
         "scenarios": batch,
+        "kernel": kernel_info,
     }
     accepted_since_store = 0
     history_cap = max(integrator.steps, 2) + 1

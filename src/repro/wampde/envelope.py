@@ -35,6 +35,7 @@ from repro.errors import ConvergenceError, SimulationError
 # Re-exported from repro.grids (the shared home of the grid helpers) for
 # backwards compatibility with existing imports of wampde.envelope.
 from repro.grids import harmonic_axis as harmonic_axis, t1_grid as t1_grid
+from repro.kernels.sweep import maybe_kernelize_batch
 from repro.linalg.collocation import CollocationJacobianAssembler
 from repro.linalg.lu_cache import FrozenFactorization
 from repro.linalg.newton import NewtonOptions
@@ -536,6 +537,11 @@ def solve_wampde_envelope(dae, initial_samples, omega0, t2_start, t2_stop,
     if num_steps < 1:
         raise SimulationError(f"num_steps must be >= 1, got {num_steps}")
 
+    # Batched q/f/Jacobian evaluations go through a compiled kernel when
+    # the DAE is lowerable; the march logic is unchanged either way.
+    dae, kernel_info = maybe_kernelize_batch(
+        dae, getattr(opts, "kernel", "auto")
+    )
     stepper = _EnvelopeStepper(dae, initial_samples.shape[0], opts)
     h = (t2_stop - t2_start) / num_steps
     manager = CheckpointManager(
@@ -577,6 +583,7 @@ def solve_wampde_envelope(dae, initial_samples, omega0, t2_start, t2_stop,
         since_store = 0
         start_step = 0
         _adopt_warm_solver(stepper, warm_start)
+    stats["kernel"] = kernel_info
     rhs_old, q_old = stepper.rhs_terms(x_samples, omega, t2)
 
     def take_checkpoint():
@@ -695,6 +702,9 @@ def solve_wampde_envelope_adaptive(dae, initial_samples, omega0, t2_start,
     initial_samples = _validate_inputs(
         dae, initial_samples, omega0, t2_start, t2_stop
     )
+    dae, kernel_info = maybe_kernelize_batch(
+        dae, getattr(opts, "kernel", "auto")
+    )
     stepper = _EnvelopeStepper(dae, initial_samples.shape[0], opts)
     span = t2_stop - t2_start
     h = float(dt2_initial) if dt2_initial else span * 1e-4
@@ -750,6 +760,7 @@ def solve_wampde_envelope_adaptive(dae, initial_samples, omega0, t2_start,
         stored_samples = [x_samples.copy()]
         stats = {"steps": 0, "newton_iterations": 0, "rejected_steps": 0,
                  "newton_failures": 0}
+    stats["kernel"] = kernel_info
     rhs_old, q_old = stepper.rhs_terms(x_samples, omega, t2)
 
     def take_checkpoint():

@@ -1,0 +1,349 @@
+"""Tests for the compiled per-DAE kernels (repro.kernels).
+
+Covers the four contracts of the kernel layer:
+
+* **Parity** — the generated per-device/whole-circuit ``q/f/dq/df``
+  kernels must match the NumPy reference path on randomized states, for
+  the generated-python oracle and for every compiled backend available
+  on the host.
+* **Trajectory equivalence** — a fixed-step chord transient run through
+  the compiled sweep must match the python march within solver
+  tolerance, with identical Newton iteration/factorization counts.
+* **Graceful degradation** — ``kernel="auto"`` silently falls back when
+  numba is masked out, while an explicit ``kernel="numba"`` raises a
+  clear :class:`~repro.errors.ConfigurationError`.
+* **Slow-path interop** — divergence inside a compiled sweep hands the
+  step back to the python recovery ladder; failure context
+  (checkpoint + partial result) is unchanged.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import (
+    MemsVcoDae,
+    T_NOMINAL,
+    VcoParams,
+    forced_lc_oscillator_circuit,
+    lc_oscillator_circuit,
+    rc_diode_mixer_circuit,
+    ring_oscillator_circuit,
+)
+from repro.dae import VanDerPolDae
+from repro.errors import ConfigurationError, SimulationError
+from repro.kernels import (
+    build_kernel,
+    maybe_kernelize_batch,
+    probe_cc,
+    probe_numba,
+    resolve_mode,
+    spec_for_dae,
+)
+from repro.testing.faults import FaultyDAE
+from repro.transient import TransientOptions, simulate_transient
+
+needs_backend = pytest.mark.skipif(
+    not (probe_numba() or probe_cc()),
+    reason="no compiled backend on this host (no numba, no C toolchain)",
+)
+
+
+def _fixture_daes():
+    return {
+        "vdp": VanDerPolDae(mu=0.7),
+        "vco": MemsVcoDae(VcoParams.air()),
+        "lc": lc_oscillator_circuit().to_dae(),
+        "forced_lc": forced_lc_oscillator_circuit().to_dae(),
+        "ring": ring_oscillator_circuit().to_dae(),
+        "mixer": rc_diode_mixer_circuit().to_dae(),
+    }
+
+
+def _available_modes():
+    modes = ["python"]
+    if probe_numba():
+        modes.append("numba")
+    if probe_cc():
+        modes.append("c")
+    return modes
+
+
+def _check_parity(dae, impl, rng, rtol=1e-9):
+    n = dae.n
+    qv = np.empty(n)
+    fv = np.empty(n)
+    dq = np.empty(n * n)
+    df = np.empty(n * n)
+    p = np.ascontiguousarray(spec_for_dae(dae)[0].params_rows[0])
+    for _ in range(20):
+        x = rng.uniform(-1.5, 1.5, n)
+        impl.eval_qf(x, p, qv, fv)
+        np.testing.assert_allclose(qv, dae.q(x), rtol=rtol, atol=1e-300)
+        np.testing.assert_allclose(fv, dae.f(x), rtol=rtol, atol=1e-300)
+        impl.eval_jac(x, p, dq, df)
+        np.testing.assert_allclose(
+            dq.reshape(n, n), dae.dq_dx(x), rtol=rtol, atol=1e-300
+        )
+        np.testing.assert_allclose(
+            df.reshape(n, n), dae.df_dx(x), rtol=rtol, atol=1e-300
+        )
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("name", list(_fixture_daes()))
+    def test_generated_python_matches_numpy(self, name, rng):
+        """The generated-python oracle matches q/f/dq/df everywhere."""
+        dae = _fixture_daes()[name]
+        spec, why = spec_for_dae(dae)
+        assert spec is not None, why
+        built = build_kernel(spec, "python")
+        _check_parity(dae, built.impl, rng)
+
+    @needs_backend
+    @pytest.mark.parametrize("name", list(_fixture_daes()))
+    def test_compiled_backends_match_numpy(self, name, rng):
+        dae = _fixture_daes()[name]
+        spec, _ = spec_for_dae(dae)
+        for mode in _available_modes()[1:]:
+            built = build_kernel(spec, mode)
+            _check_parity(dae, built.impl, rng)
+
+    def test_whole_circuit_residual_matches_dae(self, rng):
+        """Fused step residual r = alpha*q + rhs + beta*(f - b) parity.
+
+        Composes the residual exactly the way the compiled sweep does
+        (per-component, from the circuit kernels stitched out of the MNA
+        incidence data) and checks it against the CircuitDAE evaluation.
+        """
+        dae = rc_diode_mixer_circuit().to_dae()
+        spec, _ = spec_for_dae(dae)
+        built = build_kernel(spec, "python")
+        n = dae.n
+        p = np.ascontiguousarray(spec.params_rows[0])
+        qv, fv = np.empty(n), np.empty(n)
+        for _ in range(10):
+            x = rng.uniform(-0.8, 0.8, n)
+            t = rng.uniform(0.0, 1e-3)
+            alpha = rng.uniform(1e3, 1e6)
+            beta = rng.uniform(0.5, 1.0)
+            rhs = rng.standard_normal(n)
+            b = dae.b(t)
+            built.impl.eval_qf(x, p, qv, fv)
+            kernel_resid = alpha * qv + rhs + beta * (fv - b)
+            ref_resid = alpha * dae.q(x) + rhs + beta * (dae.f(x) - b)
+            np.testing.assert_allclose(
+                kernel_resid, ref_resid, rtol=1e-9, atol=1e-12
+            )
+
+    def test_unsupported_dae_reports_reason(self):
+        class OpaqueDAE:
+            n = 1
+
+        spec, why = spec_for_dae(OpaqueDAE())
+        assert spec is None
+        assert "OpaqueDAE" in why
+
+
+class TestTrajectoryEquivalence:
+    @needs_backend
+    @pytest.mark.parametrize("integrator", ["be", "trap", "bdf2"])
+    def test_vco_matches_python_march(self, integrator):
+        dae = MemsVcoDae(VcoParams.air())
+        x0 = [1.0, 0.0, 0.0, 0.0]
+        horizon = 8 * T_NOMINAL
+
+        def run(kernel):
+            return simulate_transient(
+                dae, x0, 0.0, horizon,
+                TransientOptions(
+                    integrator=integrator, dt=T_NOMINAL / 300, kernel=kernel
+                ),
+            )
+
+        ref = run("python")
+        com = run("auto")
+        assert ref.stats["kernel"]["mode"] == "python"
+        assert com.stats["kernel"]["mode"] != "python"
+        assert com.stats["kernel"]["compiled_steps"] == com.stats["steps"]
+        assert com.stats["kernel"]["python_steps"] == 0
+        scale = np.abs(ref.x).max()
+        assert np.abs(com.x - ref.x).max() / scale < 1e-9
+        # Same algorithm, same policy: the chord bookkeeping must agree
+        # exactly, not just the trajectory.
+        assert com.stats["newton_iterations"] == ref.stats["newton_iterations"]
+        assert (com.stats["jacobian_factorizations"]
+                == ref.stats["jacobian_factorizations"])
+
+    @needs_backend
+    def test_ring_oscillator_matches_python_march(self):
+        dae = ring_oscillator_circuit().to_dae()
+        x0 = np.zeros(dae.n)
+        x0[0] = 0.5
+
+        def run(kernel):
+            return simulate_transient(
+                dae, x0, 0.0, 2e-5,
+                TransientOptions(integrator="trap", dt=2e-8, kernel=kernel),
+            )
+
+        ref = run("python")
+        com = run("auto")
+        assert com.stats["kernel"]["compiled_steps"] == com.stats["steps"]
+        scale = np.abs(ref.x).max()
+        assert np.abs(com.x - ref.x).max() / scale < 1e-9
+
+    @needs_backend
+    def test_checkpointed_run_is_bit_identical(self):
+        dae = MemsVcoDae(VcoParams.air())
+        x0 = [1.0, 0.0, 0.0, 0.0]
+        horizon = 6 * T_NOMINAL
+
+        def opts(**kw):
+            return TransientOptions(
+                integrator="trap", dt=T_NOMINAL / 250, kernel="auto", **kw
+            )
+
+        plain = simulate_transient(dae, x0, 0.0, horizon, opts())
+        chunked = simulate_transient(
+            dae, x0, 0.0, horizon, opts(checkpoint_every=123)
+        )
+        # Checkpoint cadence chunks the compiled sweep mid-march; the
+        # trajectory must not feel it.
+        np.testing.assert_array_equal(plain.x, chunked.x)
+
+    @needs_backend
+    def test_resume_continues_compiled_and_bit_identical(self):
+        dae = MemsVcoDae(VcoParams.air())
+        x0 = [1.0, 0.0, 0.0, 0.0]
+        horizon = 6 * T_NOMINAL
+
+        def opts(**kw):
+            return TransientOptions(
+                integrator="trap", dt=T_NOMINAL / 250, kernel="auto",
+                checkpoint_every=200, **kw
+            )
+
+        full = simulate_transient(dae, x0, 0.0, horizon, opts())
+        with pytest.raises(SimulationError) as info:
+            simulate_transient(dae, x0, 0.0, horizon, opts(max_steps=600))
+        resumed = simulate_transient(
+            dae, None, 0.0, horizon, opts(), resume_from=info.value.checkpoint
+        )
+        assert resumed.stats["kernel"]["compiled_steps"] > 0
+        tail = np.asarray(full.x)[-np.asarray(resumed.x).shape[0]:]
+        np.testing.assert_array_equal(tail, np.asarray(resumed.x))
+
+
+class TestGracefulFallback:
+    def test_masked_numba_fails_explicit_request(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numba", None)
+        assert not probe_numba()
+        with pytest.raises(ConfigurationError, match="jit"):
+            resolve_mode("numba")
+        dae = VanDerPolDae(mu=0.5)
+        with pytest.raises(ConfigurationError, match="numba"):
+            simulate_transient(
+                dae, [0.5, 0.0], 0.0, 1.0,
+                TransientOptions(dt=0.01, kernel="numba"),
+            )
+
+    def test_masked_numba_keeps_auto_running(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numba", None)
+        dae = VanDerPolDae(mu=0.5)
+        result = simulate_transient(
+            dae, [0.5, 0.0], 0.0, 1.0,
+            TransientOptions(dt=0.01, kernel="auto"),
+        )
+        info = result.stats["kernel"]
+        assert info["mode"] in ("c", "python")  # silently degraded
+        assert np.isfinite(np.asarray(result.x)).all()
+
+    def test_invalid_kernel_value_raises(self):
+        dae = VanDerPolDae(mu=0.5)
+        with pytest.raises(ConfigurationError, match="not a valid mode"):
+            simulate_transient(
+                dae, [0.5, 0.0], 0.0, 1.0,
+                TransientOptions(dt=0.01, kernel="fortran"),
+            )
+
+    def test_explicit_python_never_compiles(self):
+        result = simulate_transient(
+            VanDerPolDae(mu=0.5), [0.5, 0.0], 0.0, 1.0,
+            TransientOptions(dt=0.01, kernel="python"),
+        )
+        info = result.stats["kernel"]
+        assert info["mode"] == "python"
+        assert info["compiled_steps"] == 0
+
+    def test_adaptive_runs_report_blocked_reason(self):
+        result = simulate_transient(
+            VanDerPolDae(mu=0.5), [0.5, 0.0], 0.0, 1.0,
+            TransientOptions(dt=0.01, adaptive=True, kernel="auto"),
+        )
+        info = result.stats["kernel"]
+        if probe_numba() or probe_cc():
+            assert info["mode"] == "python"
+            assert "adaptive" in info["reason"]
+
+
+class TestSlowPathInterop:
+    def test_ladder_engages_on_compiled_divergence(self):
+        """A NaN forcing window poisons the compiled sweep mid-march;
+        the kernel must hand the step back, the python ladder must run
+        (dt halving to the floor), and the failure must carry the same
+        structured context as a pure-python run."""
+        dae = FaultyDAE(
+            VanDerPolDae(mu=1.0), nan_b_window=(0.5, np.inf)
+        )
+        options = TransientOptions(
+            integrator="trap", dt=0.01, dt_min=1e-10, kernel="auto"
+        )
+        with pytest.raises(SimulationError, match="underflow") as info:
+            simulate_transient(dae, [2.0, 0.0], 0.0, 1.0, options)
+        exc = info.value
+        assert exc.checkpoint is not None
+        assert exc.partial_result is not None
+        assert exc.partial_result.t[-1] < 0.5
+        stats = exc.partial_result.stats
+        assert stats["newton_failures"] >= 1
+        if probe_numba() or probe_cc():
+            # The clean prefix ran compiled; the poisoned region fell
+            # back to python and its failure accounting.
+            assert stats["kernel"]["compiled_steps"] > 0
+            assert "status" in stats["kernel"]["reason"]
+
+    def test_qf_faults_keep_the_python_path(self):
+        """Injected q/f faults must not be masked by kernelization: the
+        wrapper's counters only tick on the python path, so the spec
+        registry refuses to lower a FaultyDAE with q/f/df faults."""
+        dae = FaultyDAE(VanDerPolDae(mu=1.0), nan_q_calls=[5])
+        spec, why = spec_for_dae(dae)
+        assert spec is None
+        assert "fault injection" in why
+
+
+class TestBatchedKernels:
+    @needs_backend
+    def test_envelope_kernelizes_under_auto(self):
+        dae = MemsVcoDae(VcoParams.air())
+        wrapped, info = maybe_kernelize_batch(dae, "auto")
+        assert wrapped is not dae
+        assert info["mode"] != "python"
+        states = np.random.default_rng(7).uniform(-1, 1, (5, dae.n))
+        np.testing.assert_allclose(
+            wrapped.q_batch(states), dae.q_batch(states), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            wrapped.df_dx_batch(states), dae.df_dx_batch(states), rtol=1e-12
+        )
+
+    def test_ensemble_requires_explicit_opt_in(self):
+        dae = MemsVcoDae(VcoParams.air())
+        wrapped, info = maybe_kernelize_batch(
+            dae, "auto", expected_batch=4, explicit_only=True
+        )
+        if probe_numba() or probe_cc():
+            assert wrapped is dae
+            assert "opt in" in info["reason"]
