@@ -167,6 +167,150 @@ def _bench_ensemble_sweep(batch=8):
     }
 
 
+def _bench_ensemble_sweep_compiled(batch=8):
+    """Compiled batched march versus the NumPy lock-step path (ratcheted).
+
+    The batched-kernel tentpole's win condition: the same control-voltage
+    sweep as ``ensemble_sweep``, advanced by the compiled ``sweep_ens``
+    march, must beat the python lock-step engine by >= 3x at ``B = 8``
+    whenever a compiled backend is available — asserted outright, with
+    the compiled wall time joining the ratchet.
+    """
+    from dataclasses import replace
+
+    from repro.circuits.library import T_NOMINAL, VcoParams
+    from repro.dae import ensemble_from_factory
+    from repro.transient import TransientOptions, simulate_transient_ensemble
+
+    base = VcoParams.vacuum()
+    control_voltages = np.linspace(0.8, 2.4, batch)
+
+    def factory(vc):
+        return MemsVcoDae(
+            replace(base, control_offset=vc), constant_control=True
+        )
+
+    def stacked_factory(values):
+        return MemsVcoDae(
+            replace(base, control_offset=np.asarray(values)),
+            constant_control=True,
+        )
+
+    ensemble = ensemble_from_factory(
+        factory, control_voltages, stacked_factory
+    )
+    x0 = np.tile([1.0, 0.0, 0.0, 0.0], (batch, 1))
+    horizon = 40 * T_NOMINAL
+
+    def options(kernel):
+        return TransientOptions(
+            integrator="trap", dt=T_NOMINAL / 100, kernel=kernel
+        )
+
+    with WallTimer() as python_timer:
+        python_run = simulate_transient_ensemble(
+            ensemble, x0, 0.0, horizon, options("python")
+        )
+    with WallTimer() as compiled_timer:
+        compiled_run = simulate_transient_ensemble(
+            ensemble, x0, 0.0, horizon, options("auto")
+        )
+
+    mode = compiled_run.stats["kernel"]["mode"]
+    scale = np.abs(python_run.x).max()
+    mismatch = float(np.abs(compiled_run.x - python_run.x).max() / scale)
+    assert mismatch < 1e-9, (
+        f"compiled ensemble march diverged from the python lock-step "
+        f"path: {mismatch}"
+    )
+    assert (compiled_run.stats["newton_iterations"]
+            == python_run.stats["newton_iterations"]), \
+        "compiled ensemble march changed the chord iteration count"
+    speedup = python_timer.elapsed / compiled_timer.elapsed
+    if mode != "python":
+        assert speedup >= 3.0, (
+            f"compiled ({mode}) ensemble march only {speedup:.2f}x faster "
+            f"than the python lock-step path at B={batch} (require >= 3x)"
+        )
+    return {
+        "name": "ensemble_sweep_compiled",
+        "steps": int(compiled_run.stats["steps"]) * batch,
+        "wall_time_s": compiled_timer.elapsed,
+        "wall_time_retimed_s": compiled_timer.elapsed,
+        "python_wall_time_s": python_timer.elapsed,
+        "batch_size": batch,
+        "kernel_mode": mode,
+        "speedup_vs_python_lockstep": speedup,
+    }
+
+
+def _bench_transient_adaptive_compiled():
+    """Compiled adaptive march versus the python adaptive loop (ratcheted).
+
+    Win condition for the adaptive-step kernelization: a long
+    error-controlled VCO transient through ``sweep_adaptive`` must beat
+    the python adaptive loop by >= 2x whenever a compiled backend is
+    available, while accepting the same number of steps.
+    """
+    from repro.circuits.library import T_NOMINAL, VcoParams
+    from repro.transient import TransientOptions, simulate_transient
+
+    dae = MemsVcoDae(VcoParams.vacuum(), constant_control=True)
+    x0 = [1.0, 0.0, 0.0, 0.0]
+    horizon = 40 * T_NOMINAL
+
+    def options(kernel):
+        return TransientOptions(
+            integrator="trap", dt=T_NOMINAL / 500, adaptive=True,
+            kernel=kernel, max_steps=2_000_000,
+        )
+
+    with WallTimer() as python_timer:
+        python_run = simulate_transient(
+            dae, x0, 0.0, horizon, options("python")
+        )
+    with WallTimer() as compiled_timer:
+        compiled_run = simulate_transient(
+            dae, x0, 0.0, horizon, options("auto")
+        )
+
+    mode = compiled_run.stats["kernel"]["mode"]
+    # Over tens of thousands of error-controlled steps, ulp-level
+    # differences between the python and kernel linear solves accumulate
+    # into a small dt-sequence phase drift; exact short-horizon parity is
+    # pinned down in tests/test_kernels.py, the bench only guards against
+    # gross divergence.
+    assert abs(
+        compiled_run.stats["steps"] - python_run.stats["steps"]
+    ) <= 2, (
+        "compiled adaptive march accepted a different step count than "
+        "the python loop"
+    )
+    scale = np.abs(python_run.x).max()
+    mismatch = float(np.abs(
+        np.asarray(compiled_run.x)[-1] - np.asarray(python_run.x)[-1]
+    ).max() / scale)
+    assert mismatch < 1e-3, (
+        f"compiled adaptive march diverged from the python loop: "
+        f"{mismatch}"
+    )
+    speedup = python_timer.elapsed / compiled_timer.elapsed
+    if mode != "python":
+        assert speedup >= 2.0, (
+            f"compiled ({mode}) adaptive march only {speedup:.2f}x faster "
+            f"than the python adaptive loop (require >= 2x)"
+        )
+    return {
+        "name": "transient_adaptive_compiled",
+        "steps": int(compiled_run.stats["steps"]),
+        "wall_time_s": compiled_timer.elapsed,
+        "wall_time_retimed_s": compiled_timer.elapsed,
+        "python_wall_time_s": python_timer.elapsed,
+        "kernel_mode": mode,
+        "speedup_vs_python_adaptive": speedup,
+    }
+
+
 def _bench_service_warm_envelope():
     """Warm-vs-cold envelope through the simulation service (ratcheted).
 
@@ -326,6 +470,33 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
         title="Ensemble control-voltage sweep (ratcheted; >= 2x enforced)",
     ))
 
+    ensemble_compiled_entry = _bench_ensemble_sweep_compiled()
+    print(format_table(
+        ["metric", "value"],
+        [["scenarios (B)", ensemble_compiled_entry["batch_size"]],
+         ["kernel mode", ensemble_compiled_entry["kernel_mode"]],
+         ["compiled wall time [s]", ensemble_compiled_entry["wall_time_s"]],
+         ["python lock-step wall time [s]",
+          ensemble_compiled_entry["python_wall_time_s"]],
+         ["speedup vs python lock-step",
+          ensemble_compiled_entry["speedup_vs_python_lockstep"]]],
+        title="Compiled batched ensemble march "
+              "(ratcheted; >= 3x enforced when compiled)",
+    ))
+
+    adaptive_compiled_entry = _bench_transient_adaptive_compiled()
+    print(format_table(
+        ["metric", "value"],
+        [["kernel mode", adaptive_compiled_entry["kernel_mode"]],
+         ["compiled wall time [s]", adaptive_compiled_entry["wall_time_s"]],
+         ["python adaptive wall time [s]",
+          adaptive_compiled_entry["python_wall_time_s"]],
+         ["speedup vs python adaptive",
+          adaptive_compiled_entry["speedup_vs_python_adaptive"]]],
+        title="Compiled adaptive-step march "
+              "(ratcheted; >= 2x enforced when compiled)",
+    ))
+
     service_entries = _bench_service_warm_envelope()
     cold_entry, warm_entry = service_entries
     print(format_table(
@@ -388,6 +559,8 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
             },
             *ported,
             ensemble_entry,
+            ensemble_compiled_entry,
+            adaptive_compiled_entry,
             *service_entries,
         ],
         "speedup_vs_accurate_ode": speedup,

@@ -338,9 +338,19 @@ class EnsembleRequest(AnalysisRequest):
     def run(self, warm_start=None):
         from repro.transient.ensemble import simulate_transient_ensemble
 
+        x0 = self.x0
+        if x0 is None and warm_start is not None:
+            x0 = getattr(warm_start, "x0", None)
+        if x0 is None:
+            raise SimulationError(
+                "EnsembleRequest needs x0 (directly or via warm_start)"
+            )
         return simulate_transient_ensemble(
-            self.dae, self.x0, self.t_start, self.t_stop, self.options
+            self.dae, x0, self.t_start, self.t_stop, self.options
         )
+
+    def extract_warm_start(self, result):
+        return _warm_start(x0=np.array(result.x[-1], dtype=float))
 
     def _member_x0(self, index):
         x0 = np.asarray(self.x0, dtype=float)
@@ -372,6 +382,19 @@ class EnsembleRequest(AnalysisRequest):
                 dict(r.stats.get("solver", {})) for r in results
             ],
         }
+        # Sharded members run serial kernels; surface their aggregate so
+        # a merged result answers the same "did this run compiled, and
+        # if not, why" question as the lock-step engine's.
+        kernels = [r.stats.get("kernel") or {} for r in results]
+        if kernels[0]:
+            kernel = dict(kernels[0])
+            kernel["compiled_steps"] = sum(
+                int(k.get("compiled_steps", 0)) for k in kernels
+            )
+            kernel["python_steps"] = sum(
+                int(k.get("python_steps", 0)) for k in kernels
+            )
+            stats["kernel"] = kernel
         return EnsembleTransientResult(
             results[0].t,
             np.stack([r.x for r in results], axis=1),

@@ -128,10 +128,15 @@ def _print_solver_stats(stats):
         if "compiled_steps" in kernel:
             extra = (f", {kernel['compiled_steps']} compiled / "
                      f"{kernel.get('python_steps', 0)} python step(s)")
+        if kernel.get("reason"):
+            # A mid-run handback: part of the march fell back to python.
+            extra += f"; {kernel['reason']}"
         print(f"kernel: {kernel['mode']} "
               f"(requested {kernel.get('requested', 'auto')}, "
               f"compile {kernel.get('compile_time_s', 0.0):.3f}s{extra})")
-    elif kernel and kernel.get("requested") not in (None, "python"):
+    elif kernel and kernel.get("requested") != "python":
+        # Never fall back to the slow path silently: say why the run
+        # stayed python even when the user didn't ask for a backend.
         print(f"kernel: python ({kernel.get('reason', 'not eligible')})")
     recovery = (stats or {}).get("recovery")
     if recovery and recovery.get("escalated_solves"):

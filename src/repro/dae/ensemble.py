@@ -218,6 +218,35 @@ class EnsembleDAE:
             [m.df_dx(x) for m, x in zip(self._members, states)]
         )
 
+    # -- compiled lowering ---------------------------------------------------
+
+    def kernel_spec(self):
+        """Lower the ensemble to a batched :class:`~repro.kernels.registry.KernelSpec`.
+
+        Returns ``(spec, None)`` or ``(None, reason)`` like
+        :func:`~repro.kernels.registry.spec_for_dae`.  Only stacked
+        ensembles lower (a member loop has no single statement list);
+        stacked parameter rows must line up with the scenario axis —
+        one shared row or exactly ``batch_size`` rows.
+        """
+        from repro.kernels.registry import spec_for_dae
+        from repro.kernels.sweep import KernelizedDAE
+
+        if self._stacked is None:
+            return None, "member-loop ensembles stay on the python path"
+        base = self._stacked
+        if isinstance(base, KernelizedDAE):
+            base = base._dae
+        spec, why = spec_for_dae(base)
+        if spec is None:
+            return None, why
+        if spec.params_rows.shape[0] not in (1, self.batch_size):
+            return None, (
+                f"{spec.params_rows.shape[0]} stacked parameter rows do "
+                f"not line up with batch_size={self.batch_size}"
+            )
+        return spec, None
+
     # -- structural sparsity -------------------------------------------------
 
     def dq_structure(self):

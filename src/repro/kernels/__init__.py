@@ -5,8 +5,9 @@ Supported DAEs are lowered to a tiny statement IR
 translation units (:mod:`~repro.kernels.codegen`), built/cached by
 backend (:mod:`~repro.kernels.backends`: numba > host C toolchain >
 pure python), and driven by the engines through
-:mod:`~repro.kernels.sweep` — a fused fixed-step chord transient march
-and batched ``q/f/dq/df`` evaluations for the envelope/ensemble paths.
+:mod:`~repro.kernels.sweep` — fused fixed-step, adaptive-step and
+batched lock-step ensemble chord marches, plus batched ``q/f/dq/df``
+evaluations for the envelope/ensemble python paths.
 
 Select with ``kernel="auto" | "numba" | "c" | "python"`` on any engine
 options class (:class:`~repro.linalg.solver_core.SolverOptionsMixin`).
@@ -25,11 +26,13 @@ from .backends import (
     probe_numba,
     resolve_mode,
 )
-from .registry import KernelSpec, spec_for_dae
+from .registry import KernelSpec, constant_forcing_row, spec_for_dae
 from .sweep import (
     CompiledSweepRunner,
+    EnsembleSweepRunner,
     KernelizedDAE,
     maybe_kernelize_batch,
+    prepare_ensemble_runner,
     prepare_transient_runner,
 )
 
@@ -40,9 +43,12 @@ __all__ = [
     "KernelBuildError",
     "KernelSpec",
     "CompiledSweepRunner",
+    "EnsembleSweepRunner",
     "KernelizedDAE",
     "build_kernel",
+    "constant_forcing_row",
     "maybe_kernelize_batch",
+    "prepare_ensemble_runner",
     "prepare_transient_runner",
     "probe_cc",
     "probe_numba",

@@ -147,12 +147,19 @@ class _PyKernel:
         self.eval_qf = module.eval_qf
         self.eval_jac = module.eval_jac
         self.sweep = module.sweep
+        self.sweep_adaptive = module.sweep_adaptive
 
     def eval_qf_batch(self, X, P, Q, F):
         self._mod.eval_qf_batch(X, P, Q, F)
 
     def eval_jac_batch(self, X, P, DQ, DF):
         self._mod.eval_jac_batch(X, P, DQ, DF)
+
+    def sweep_ens(self, t_grid, b_grid, gi_start, gi_end, batch, pstride,
+                  *arrays):
+        # The generated python function reads B/pstride off the arrays.
+        return int(self._mod.sweep_ens(t_grid, b_grid, gi_start, gi_end,
+                                       *arrays))
 
 
 class _CKernel:
@@ -165,6 +172,12 @@ class _CKernel:
         lib.sweep.restype = ctypes.c_longlong
         lib.sweep.argtypes = [ctypes.c_void_p] * 2 \
             + [ctypes.c_longlong] * 2 + [ctypes.c_void_p] * 25
+        lib.sweep_adaptive.restype = ctypes.c_longlong
+        lib.sweep_adaptive.argtypes = [ctypes.c_void_p, ctypes.c_longlong] \
+            + [ctypes.c_void_p] * 26
+        lib.sweep_ens.restype = ctypes.c_longlong
+        lib.sweep_ens.argtypes = [ctypes.c_void_p] * 2 \
+            + [ctypes.c_longlong] * 4 + [ctypes.c_void_p] * 28
         lib.eval_qf.restype = None
         lib.eval_jac.restype = None
         lib.eval_qf_batch.restype = None
@@ -199,6 +212,19 @@ class _CKernel:
                 ctypes.c_longlong(gi_start), ctypes.c_longlong(gi_end)]
         args.extend(self._ptr(a) for a in arrays)
         return int(self._lib.sweep(*args))
+
+    def sweep_adaptive(self, b_row, max_accept, *arrays):
+        args = [self._ptr(b_row), ctypes.c_longlong(max_accept)]
+        args.extend(self._ptr(a) for a in arrays)
+        return int(self._lib.sweep_adaptive(*args))
+
+    def sweep_ens(self, t_grid, b_grid, gi_start, gi_end, batch, pstride,
+                  *arrays):
+        args = [self._ptr(t_grid), self._ptr(b_grid),
+                ctypes.c_longlong(gi_start), ctypes.c_longlong(gi_end),
+                ctypes.c_longlong(batch), ctypes.c_longlong(pstride)]
+        args.extend(self._ptr(a) for a in arrays)
+        return int(self._lib.sweep_ens(*args))
 
 
 def _load_python_module(source, sha):

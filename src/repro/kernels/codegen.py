@@ -9,24 +9,37 @@ One spec renders to two equivalent translation units:
 * a **C file** compiled with the host toolchain (``cc -O2 -shared``)
   and driven through ctypes — the fast path on boxes without numba.
 
-Both carry the same five entry points: ``eval_qf`` / ``eval_jac``
+Both carry the same seven entry points: ``eval_qf`` / ``eval_jac``
 (single point), ``eval_qf_batch`` / ``eval_jac_batch`` (lock-step and
-collocation batches), and ``sweep`` — the fused fixed-step chord march
+collocation batches), ``sweep`` — the fused fixed-step chord march
 (integrator terms, polynomial predictor, residual, frozen-LU chord
 Newton with refresh/line-search policy, history ring update) that runs
-many grid steps per call with zero Python in between.
+many grid steps per call with zero Python in between — plus its two
+siblings: ``sweep_adaptive``, the same serial chord step wrapped in the
+proportional local-error dt controller (constant forcing only), and
+``sweep_ens``, the batched ``(B, n)`` lock-step ensemble march over a
+``(B, n, n)`` frozen-LU factor stack with per-scenario convergence /
+abandonment masks and a per-scenario damped line search.
 
 ``sweep`` transcribes :class:`repro.linalg.newton.StaleJacobianNewton`
 and the :func:`repro.transient.engine.simulate_transient` fixed-grid
-inner loop statement for statement; any change there must be mirrored
-here (the equivalence tests in ``tests/test_kernels.py`` will catch a
-drift).  Status codes returned by ``sweep``:
+inner loop statement for statement; ``sweep_adaptive`` additionally
+transcribes the engine's adaptive error-control block, and ``sweep_ens``
+transcribes :class:`repro.transient.ensemble._EnsembleChord` /
+``_EnsembleStepController``.  Any change there must be mirrored here
+(the equivalence tests in ``tests/test_kernels.py`` will catch a
+drift).  Status codes returned by the sweep entry points:
 
 ====  =========================================================
-0     ran to ``gi_end`` (or converged every step of the chunk)
-1     chord Newton hit ``max_iterations`` (factors dropped)
-2     non-finite initial residual (factors kept, like the python path)
+0     ran to ``gi_end`` / ``max_accept`` / ``t_stop``
+1     chord Newton hit ``max_iterations`` (factors dropped; for
+      ``sweep_ens``: not every scenario converged or was rescued)
+2     non-finite initial residual (factors kept, like the python path;
+      serial sweeps only — ensemble rows simply fail to converge)
 3     singular/non-finite Jacobian factorisation (factors dropped)
+4     adaptive local-error rejection would underflow ``dt_min``
+      (``sweep_adaptive`` only; the shrink is *not* committed so the
+      python replay reproduces the exact failure)
 ====  =========================================================
 """
 
@@ -375,6 +388,626 @@ def sweep(t_grid, b_grid, gi_start, gi_end, h_t, h_x, h_q, h_fb, hstate,
         counters[0] += 1
     flags[0] = 1 if have else 0
     return status
+
+
+@KERNEL_JIT
+def sweep_adaptive(b_row, max_accept, h_t, h_x, h_q, h_fb, hstate, flags,
+                   A, piv, jac_meta, reg, dopts, iopts, p, out_t, out_x,
+                   counters, xc, xn, dxs, rc, rn, qv, fv, rhs, dqs, dfs):
+    # Adaptive-step serial march for time-invariant forcing b(t) == b_row:
+    # the sweep() chord step wrapped in the proportional local-error
+    # controller of simulate_transient, transcribed statement for
+    # statement.  dt lives in reg[2] across calls; counters[5] counts
+    # rejected steps.  Statuses 1/2/3 as in sweep(); status 4 flags an
+    # imminent dt_min underflow WITHOUT committing the shrink, so the
+    # python replay of the attempt reproduces the exact failure.
+    atol = dopts[0]
+    rtol = dopts[1]
+    contraction = dopts[2]
+    param_rtol = dopts[3]
+    err_atol = dopts[4]
+    err_rtol = dopts[5]
+    dt_min = dopts[6]
+    dt_max = dopts[7]
+    t_stop = dopts[8]
+    maxiter = iopts[0]
+    halvings = iopts[1]
+    integ = iopts[2]
+    order = iopts[3]
+    have = flags[0] != 0
+    if have and flags[1] != 0:
+        # Resume: rebuild the frozen LU from checkpointed (alpha, beta,
+        # x) metadata — uncounted, like the python restore path.
+        for i in range(N):
+            xc[i] = jac_meta[2 + i]
+        eval_jac(xc, p, dqs, dfs)
+        for i in range(N):
+            for j in range(N):
+                A[i, j] = (jac_meta[0] * dqs[i * N + j]
+                           + jac_meta[1] * dfs[i * N + j])
+        if not lu_factor(A, piv):
+            have = False
+    flags[1] = 0
+    dt = reg[2]
+    mx = fabs(t_stop)
+    if 1.0 > mx:
+        mx = 1.0
+    eps_stop = 1e-15 * mx
+    accepted = 0
+    status = 0
+    while accepted < max_accept:
+        hc = hstate[0]
+        t = h_t[hc - 1]
+        if not (t < t_stop - eps_stop):
+            break
+        rem = t_stop - t
+        if rem < dt:
+            dt = rem
+        t_new = t + dt
+        dts = t_new - h_t[hc - 1]
+        if integ == 1:
+            alpha = 1.0 / dts
+            beta = 0.5
+            for i in range(N):
+                rhs[i] = -h_q[hc - 1, i] / dts + 0.5 * h_fb[hc - 1, i]
+        elif integ == 2 and hc >= 2:
+            t1 = h_t[hc - 1]
+            t2 = h_t[hc - 2]
+            alpha = (2.0 * t_new - t1 - t2) / ((t_new - t1) * (t_new - t2))
+            beta = 1.0
+            d1 = (t_new - t2) / ((t1 - t_new) * (t1 - t2))
+            d2 = (t_new - t1) / ((t2 - t_new) * (t2 - t1))
+            for i in range(N):
+                rhs[i] = d1 * h_q[hc - 1, i] + d2 * h_q[hc - 2, i]
+        else:
+            alpha = 1.0 / dts
+            beta = 1.0
+            for i in range(N):
+                rhs[i] = -h_q[hc - 1, i] / dts
+        if alpha != reg[1]:
+            old = reg[0]
+            if old == old and fabs(alpha - old) > param_rtol * fabs(old):
+                have = False
+            reg[0] = alpha
+            reg[1] = alpha
+        if (hc >= 3 and h_t[0] != h_t[1] and h_t[1] != h_t[2]
+                and h_t[0] != h_t[2]):
+            ta = h_t[0]
+            tb = h_t[1]
+            tc = h_t[2]
+            la = (t_new - tb) * (t_new - tc) / ((ta - tb) * (ta - tc))
+            lb = (t_new - ta) * (t_new - tc) / ((tb - ta) * (tb - tc))
+            lc = (t_new - ta) * (t_new - tb) / ((tc - ta) * (tc - tb))
+            for i in range(N):
+                xc[i] = la * h_x[0, i] + lb * h_x[1, i] + lc * h_x[2, i]
+        elif hc >= 2 and h_t[hc - 1] != h_t[hc - 2]:
+            frac = (t_new - h_t[hc - 1]) / (h_t[hc - 1] - h_t[hc - 2])
+            for i in range(N):
+                xc[i] = (h_x[hc - 1, i]
+                         + (h_x[hc - 1, i] - h_x[hc - 2, i]) * frac)
+        else:
+            for i in range(N):
+                xc[i] = h_x[hc - 1, i]
+        counters[4] += 1
+        norm = _residual(xc, p, b_row, alpha, beta, rhs, qv, fv, rc)
+        counters[2] += 1
+        itn = 0
+        failed = 0
+        converged = norm <= atol
+        if not converged and not isfinite(norm):
+            failed = 2
+        fresh = False
+        if not converged and failed == 0 and not have:
+            if _refactor(xc, p, alpha, beta, A, piv, dqs, dfs, jac_meta):
+                counters[3] += 1
+                have = True
+                fresh = True
+            else:
+                have = False
+                failed = 3
+        while failed == 0 and not converged and itn < maxiter:
+            itn += 1
+            counters[1] += 1
+            lu_solve(A, piv, rc, dxs)
+            ok = True
+            for i in range(N):
+                if not isfinite(dxs[i]):
+                    ok = False
+            if not ok:
+                if fresh:
+                    have = False
+                    failed = 3
+                    break
+                if _refactor(xc, p, alpha, beta, A, piv, dqs, dfs,
+                             jac_meta):
+                    counters[3] += 1
+                    fresh = True
+                    continue
+                have = False
+                failed = 3
+                break
+            for i in range(N):
+                xn[i] = xc[i] - dxs[i]
+            norm_new = _residual(xn, p, b_row, alpha, beta, rhs,
+                                 qv, fv, rn)
+            counters[2] += 1
+            if norm_new <= atol:
+                for i in range(N):
+                    xc[i] = xn[i]
+                norm = norm_new
+                converged = True
+                break
+            if not (norm_new < norm):
+                if not fresh:
+                    if _refactor(xc, p, alpha, beta, A, piv, dqs, dfs,
+                                 jac_meta):
+                        counters[3] += 1
+                        fresh = True
+                        continue
+                    have = False
+                    failed = 3
+                    break
+                step = 0.5
+                for halving in range(halvings):
+                    for i in range(N):
+                        xn[i] = xc[i] - step * dxs[i]
+                    norm_new = _residual(xn, p, b_row, alpha, beta,
+                                         rhs, qv, fv, rn)
+                    counters[2] += 1
+                    if isfinite(norm_new) and norm_new < norm:
+                        break
+                    if halving < halvings - 1:
+                        step = step * 0.5
+            small = True
+            for i in range(N):
+                m = fabs(xn[i])
+                if m < 1.0:
+                    m = 1.0
+                d = fabs(xn[i] - xc[i])
+                if not (d <= rtol * m):
+                    small = False
+            slow = norm_new > contraction * norm
+            for i in range(N):
+                xc[i] = xn[i]
+                rc[i] = rn[i]
+            norm = norm_new
+            if norm <= atol or (small and isfinite(norm)):
+                converged = True
+                break
+            if slow and not fresh:
+                if _refactor(xc, p, alpha, beta, A, piv, dqs, dfs,
+                             jac_meta):
+                    counters[3] += 1
+                    fresh = True
+                else:
+                    have = False
+                    failed = 3
+                    break
+        if not converged:
+            if failed == 0:
+                failed = 1
+                have = False
+            status = failed
+            break
+        # Local-error control (simulate_transient's adaptive block).
+        dt_next = dt
+        if hc >= 2 and h_t[hc - 1] != h_t[hc - 2]:
+            denom = h_t[hc - 1] - h_t[hc - 2]
+            lead = t_new - h_t[hc - 1]
+            acc = 0.0
+            for i in range(N):
+                slope = (h_x[hc - 1, i] - h_x[hc - 2, i]) / denom
+                xp = h_x[hc - 1, i] + slope * lead
+                ax_new = fabs(xc[i])
+                ax_old = fabs(h_x[hc - 1, i])
+                big = ax_new if ax_new > ax_old else ax_old
+                scale = err_atol + err_rtol * big
+                e = (xc[i] - xp) / scale
+                acc += e * e
+            err = sqrt(acc / N)
+            if err > 1.0:
+                counters[5] += 1
+                fac = 0.9 * err ** (-1.0 / (order + 1))
+                if not (fac > 0.2):
+                    fac = 0.2
+                dtn = dt * fac
+                if not (dtn > dt_min):
+                    dtn = dt_min
+                if dtn <= dt_min:
+                    status = 4
+                    break
+                dt = dtn
+                continue
+            if err > 0.0:
+                growth = 0.9 * err ** (-1.0 / (order + 1))
+            else:
+                growth = 5.0
+            if not (growth > 0.2):
+                growth = 0.2
+            if not (growth < 5.0):
+                growth = 5.0
+            dt_next = dt * growth
+        if hc == 3:
+            for j in range(2):
+                h_t[j] = h_t[j + 1]
+                for i in range(N):
+                    h_x[j, i] = h_x[j + 1, i]
+                    h_q[j, i] = h_q[j + 1, i]
+                    h_fb[j, i] = h_fb[j + 1, i]
+            hc = 2
+        h_t[hc] = t_new
+        for i in range(N):
+            h_x[hc, i] = xc[i]
+            h_q[hc, i] = qv[i]
+            h_fb[hc, i] = fv[i]
+        hstate[0] = hc + 1
+        out_t[accepted] = t_new
+        for i in range(N):
+            out_x[accepted, i] = xc[i]
+        accepted += 1
+        counters[0] += 1
+        dt = dt_next
+        if dt_max < dt:
+            dt = dt_max
+    reg[2] = dt
+    flags[0] = 1 if have else 0
+    return status
+
+
+@KERNEL_JIT
+def _ens_residual(X, P, b_rows, alpha, beta, RHS, QV, FV, RC, norms):
+    # One batched residual evaluation: every scenario row, like the
+    # ensemble engine's residual(states) over the whole (B, n) stack.
+    for b in range(X.shape[0]):
+        pi = b if P.shape[0] > 1 else 0
+        norms[b] = _residual(X[b], P[pi], b_rows[b], alpha, beta,
+                             RHS[b], QV[b], FV[b], RC[b])
+
+
+@KERNEL_JIT
+def _ens_refactor(X, P, alpha, beta, A, piv, dqs, dfs, jac_meta):
+    # Factor all B diagonal blocks; any singular block fails the whole
+    # stack, mirroring BlockFactorization raising for the batch.
+    B = X.shape[0]
+    for b in range(B):
+        pi = b if P.shape[0] > 1 else 0
+        eval_jac(X[b], P[pi], dqs, dfs)
+        for i in range(N):
+            for j in range(N):
+                A[b, i, j] = (alpha * dqs[i * N + j]
+                              + beta * dfs[i * N + j])
+        if not lu_factor(A[b], piv[b]):
+            return False
+    jac_meta[0] = alpha
+    jac_meta[1] = beta
+    for b in range(B):
+        for i in range(N):
+            jac_meta[2 + b * N + i] = X[b, i]
+    return True
+
+
+@KERNEL_JIT
+def sweep_ens(t_grid, b_grid, gi_start, gi_end, h_t, h_x, h_q, h_fb,
+              hstate, flags, A, piv, jac_meta, reg, dopts, iopts, P,
+              out_x, counters, iters_b, XC, XN, UPD, RC, RN, QV, FV,
+              RHS, dqs, dfs, masks, fwork):
+    # Batched (B, n) lock-step march: _EnsembleChord.solve plus the
+    # ensemble engine's per-step scaffolding, transcribed statement for
+    # statement.  masks rows: 0 converged, 1 abandoned, 2 scratch
+    # (finite / update_small+slow flags), 3 uphill, 4 line-search need,
+    # 5 this step's per-scenario iteration deltas.  fwork rows: norms,
+    # trial norms, line-search steps.  iters_b accumulates committed
+    # per-scenario iterations (discarded on a singular refactorisation,
+    # exactly like the python controller's early return).
+    B = XC.shape[0]
+    atol = dopts[0]
+    rtol = dopts[1]
+    contraction = dopts[2]
+    param_rtol = dopts[3]
+    maxiter = iopts[0]
+    halvings = iopts[1]
+    integ = iopts[2]
+    conv = masks[0]
+    aband = masks[1]
+    scratch = masks[2]
+    uph = masks[3]
+    need = masks[4]
+    dits = masks[5]
+    norms = fwork[0]
+    tnorms = fwork[1]
+    stepv = fwork[2]
+    have = flags[0] != 0
+    if have and flags[1] != 0:
+        # Resume/re-entry: rebuild every LU block from (alpha, beta,
+        # states) metadata — uncounted, like the python restore path.
+        for b in range(B):
+            for i in range(N):
+                XC[b, i] = jac_meta[2 + b * N + i]
+        if not _ens_refactor(XC, P, jac_meta[0], jac_meta[1], A, piv,
+                             dqs, dfs, jac_meta):
+            have = False
+    flags[1] = 0
+    status = 0
+    for gi in range(gi_start, gi_end):
+        hc = hstate[0]
+        t_new = t_grid[gi]
+        dt = t_new - h_t[hc - 1]
+        if integ == 1:
+            alpha = 1.0 / dt
+            beta = 0.5
+            for b in range(B):
+                for i in range(N):
+                    RHS[b, i] = (-h_q[hc - 1, b, i] / dt
+                                 + 0.5 * h_fb[hc - 1, b, i])
+        elif integ == 2 and hc >= 2:
+            t1 = h_t[hc - 1]
+            t2 = h_t[hc - 2]
+            alpha = (2.0 * t_new - t1 - t2) / ((t_new - t1) * (t_new - t2))
+            beta = 1.0
+            d1 = (t_new - t2) / ((t1 - t_new) * (t1 - t2))
+            d2 = (t_new - t1) / ((t2 - t_new) * (t2 - t1))
+            for b in range(B):
+                for i in range(N):
+                    RHS[b, i] = (d1 * h_q[hc - 1, b, i]
+                                 + d2 * h_q[hc - 2, b, i])
+        else:
+            alpha = 1.0 / dt
+            beta = 1.0
+            for b in range(B):
+                for i in range(N):
+                    RHS[b, i] = -h_q[hc - 1, b, i] / dt
+        # _EnsembleStepController._notify_alpha: one tracked alpha in
+        # reg[0] (nan = unset); a >25% jump drops the factor stack.
+        old = reg[0]
+        if old == old and fabs(alpha - old) > param_rtol * fabs(old):
+            have = False
+        reg[0] = alpha
+        if (hc >= 3 and h_t[0] != h_t[1] and h_t[1] != h_t[2]
+                and h_t[0] != h_t[2]):
+            ta = h_t[0]
+            tb = h_t[1]
+            tc = h_t[2]
+            la = (t_new - tb) * (t_new - tc) / ((ta - tb) * (ta - tc))
+            lb = (t_new - ta) * (t_new - tc) / ((tb - ta) * (tb - tc))
+            lc = (t_new - ta) * (t_new - tb) / ((tc - ta) * (tc - tb))
+            for b in range(B):
+                for i in range(N):
+                    XC[b, i] = (la * h_x[0, b, i] + lb * h_x[1, b, i]
+                                + lc * h_x[2, b, i])
+        elif hc >= 2 and h_t[hc - 1] != h_t[hc - 2]:
+            frac = (t_new - h_t[hc - 1]) / (h_t[hc - 1] - h_t[hc - 2])
+            for b in range(B):
+                for i in range(N):
+                    XC[b, i] = (h_x[hc - 1, b, i]
+                                + (h_x[hc - 1, b, i] - h_x[hc - 2, b, i])
+                                * frac)
+        else:
+            for b in range(B):
+                for i in range(N):
+                    XC[b, i] = h_x[hc - 1, b, i]
+        counters[4] += 1
+        _ens_residual(XC, P, b_grid[gi], alpha, beta, RHS, QV, FV, RC,
+                      norms)
+        counters[2] += 1
+        num_left = 0
+        for b in range(B):
+            aband[b] = 0
+            dits[b] = 0
+            if norms[b] <= atol:
+                conv[b] = 1
+            else:
+                conv[b] = 0
+                num_left += 1
+        failed = 0
+        fresh = False
+        if num_left > 0 and not have:
+            if _ens_refactor(XC, P, alpha, beta, A, piv, dqs, dfs,
+                             jac_meta):
+                counters[3] += 1
+                have = True
+                fresh = True
+            else:
+                have = False
+                failed = 3
+        itn = 0
+        while failed == 0 and num_left > 0 and itn < maxiter:
+            itn += 1
+            counters[1] += 1
+            for b in range(B):
+                if conv[b] == 0 and aband[b] == 0:
+                    dits[b] += 1
+            for b in range(B):
+                lu_solve(A[b], piv[b], RC[b], UPD[b])
+            anybad = False
+            for b in range(B):
+                fin = 1
+                for i in range(N):
+                    if not isfinite(UPD[b, i]):
+                        fin = 0
+                scratch[b] = fin
+                if fin == 0 and conv[b] == 0 and aband[b] == 0:
+                    anybad = True
+            if anybad:
+                if not fresh:
+                    # Blame staleness first: refactorise at the current
+                    # iterates and retry the iteration for everyone.
+                    if _ens_refactor(XC, P, alpha, beta, A, piv, dqs,
+                                     dfs, jac_meta):
+                        counters[3] += 1
+                        fresh = True
+                        for b in range(B):
+                            if conv[b] == 0 and aband[b] == 0:
+                                dits[b] -= 1
+                        counters[1] -= 1
+                        itn -= 1
+                        continue
+                    have = False
+                    failed = 3
+                    break
+                # Fresh factors and still non-finite: abandon those
+                # scenarios to the python-side rescue, keep the rest.
+                num_left = 0
+                for b in range(B):
+                    if (conv[b] == 0 and aband[b] == 0
+                            and scratch[b] == 0):
+                        aband[b] = 1
+                    if conv[b] == 0 and aband[b] == 0:
+                        num_left += 1
+                if num_left == 0:
+                    break
+            for b in range(B):
+                if conv[b] == 0 and aband[b] == 0:
+                    for i in range(N):
+                        XN[b, i] = XC[b, i] - UPD[b, i]
+                else:
+                    for i in range(N):
+                        XN[b, i] = XC[b, i]
+            _ens_residual(XN, P, b_grid[gi], alpha, beta, RHS, QV, FV,
+                          RN, tnorms)
+            counters[2] += 1
+            anyup = False
+            for b in range(B):
+                imp = 1 if (tnorms[b] < norms[b]
+                            or tnorms[b] <= atol) else 0
+                up = 1 if (conv[b] == 0 and aband[b] == 0
+                           and imp == 0) else 0
+                uph[b] = up
+                if up == 1:
+                    anyup = True
+            if anyup:
+                if not fresh:
+                    if _ens_refactor(XC, P, alpha, beta, A, piv, dqs,
+                                     dfs, jac_meta):
+                        counters[3] += 1
+                        fresh = True
+                        for b in range(B):
+                            if conv[b] == 0 and aband[b] == 0:
+                                dits[b] -= 1
+                        counters[1] -= 1
+                        itn -= 1
+                        continue
+                    have = False
+                    failed = 3
+                    break
+                # Per-scenario damped line search, keeping the smallest
+                # trial when the budget is exhausted.
+                for b in range(B):
+                    if conv[b] == 0 and aband[b] == 0:
+                        stepv[b] = 1.0
+                    else:
+                        stepv[b] = 0.0
+                    need[b] = uph[b]
+                for halving in range(halvings):
+                    for b in range(B):
+                        if need[b] == 1:
+                            stepv[b] = stepv[b] * 0.5
+                    for b in range(B):
+                        if conv[b] == 0 and aband[b] == 0:
+                            for i in range(N):
+                                XN[b, i] = XC[b, i] - stepv[b] * UPD[b, i]
+                        else:
+                            for i in range(N):
+                                XN[b, i] = XC[b, i]
+                    _ens_residual(XN, P, b_grid[gi], alpha, beta, RHS,
+                                  QV, FV, RN, tnorms)
+                    counters[2] += 1
+                    anyneed = False
+                    for b in range(B):
+                        nd = 0
+                        if uph[b] == 1 and not (isfinite(tnorms[b])
+                                                and tnorms[b] < norms[b]):
+                            nd = 1
+                        need[b] = nd
+                        if nd == 1:
+                            anyneed = True
+                    if not anyneed:
+                        break
+            # update_small & slow flags at the pre-commit states, then
+            # commit trial -> states for every row (frozen rows carry
+            # identical values), then per-scenario convergence checks.
+            for b in range(B):
+                small = 1
+                for i in range(N):
+                    m = fabs(XN[b, i])
+                    if m < 1.0:
+                        m = 1.0
+                    d = fabs(XN[b, i] - XC[b, i])
+                    if not (d <= rtol * m):
+                        small = 0
+                slow = 1 if tnorms[b] > contraction * norms[b] else 0
+                scratch[b] = 2 * slow + small
+            for b in range(B):
+                for i in range(N):
+                    XC[b, i] = XN[b, i]
+                    RC[b, i] = RN[b, i]
+                norms[b] = tnorms[b]
+            for b in range(B):
+                if conv[b] == 0 and aband[b] == 0:
+                    small = scratch[b] % 2
+                    if norms[b] <= atol or (small == 1
+                                            and isfinite(norms[b])):
+                        conv[b] = 1
+            num_left = 0
+            for b in range(B):
+                if conv[b] == 0 and aband[b] == 0:
+                    num_left += 1
+            if num_left == 0:
+                break
+            if not fresh:
+                anyslow = False
+                for b in range(B):
+                    if (scratch[b] >= 2 and conv[b] == 0
+                            and aband[b] == 0):
+                        anyslow = True
+                if anyslow:
+                    if _ens_refactor(XC, P, alpha, beta, A, piv, dqs,
+                                     dfs, jac_meta):
+                        counters[3] += 1
+                        fresh = True
+                    else:
+                        have = False
+                        failed = 3
+                        break
+        if failed == 3:
+            # Singular stack: the python controller's SingularJacobian
+            # path returns before committing per-scenario iterations.
+            status = 3
+            break
+        for b in range(B):
+            iters_b[b] += dits[b]
+        all_conv = True
+        for b in range(B):
+            if conv[b] == 0:
+                all_conv = False
+        if not all_conv:
+            # chord.invalidate() + hand the step back for the
+            # per-scenario rescue / dt policy on the python side.
+            have = False
+            status = 1
+            break
+        if hc == 3:
+            for j in range(2):
+                h_t[j] = h_t[j + 1]
+                for b in range(B):
+                    for i in range(N):
+                        h_x[j, b, i] = h_x[j + 1, b, i]
+                        h_q[j, b, i] = h_q[j + 1, b, i]
+                        h_fb[j, b, i] = h_fb[j + 1, b, i]
+            hc = 2
+        h_t[hc] = t_new
+        for b in range(B):
+            for i in range(N):
+                h_x[hc, b, i] = XC[b, i]
+                h_q[hc, b, i] = QV[b, i]
+                h_fb[hc, b, i] = FV[b, i]
+        hstate[0] = hc + 1
+        row = gi - gi_start
+        for b in range(B):
+            for i in range(N):
+                out_x[row, b, i] = XC[b, i]
+        counters[0] += 1
+    flags[0] = 1 if have else 0
+    return status
 '''
 
 
@@ -385,7 +1018,7 @@ def generate_python_source(spec):
 
 Do not edit: regenerate via repro.kernels.codegen.generate_python_source.
 """
-from math import cosh, exp, expm1, fabs, isfinite, nan, tanh  # noqa: F401
+from math import cosh, exp, expm1, fabs, isfinite, nan, sqrt, tanh  # noqa: F401
 
 try:
     from numba import njit as _njit
@@ -719,6 +1352,650 @@ long long sweep(const double* t_grid, const double* b_grid,
         hstate[0] = hc + 1;
         long long row = gi - gi_start;
         for (int i = 0; i < N; ++i) out_x[row * N + i] = xc[i];
+        counters[0] += 1;
+    }
+    flags[0] = have ? 1 : 0;
+    return status;
+}
+
+long long sweep_adaptive(const double* b_row, long long max_accept,
+                         double* h_t, double* h_x, double* h_q,
+                         double* h_fb, long long* hstate, long long* flags,
+                         double* A, long long* piv, double* jac_meta,
+                         double* reg, const double* dopts,
+                         const long long* iopts, const double* p,
+                         double* out_t, double* out_x, long long* counters,
+                         double* xc, double* xn, double* dxs, double* rc,
+                         double* rn, double* qv, double* fv, double* rhs,
+                         double* dqs, double* dfs) {
+    double atol = dopts[0];
+    double rtol = dopts[1];
+    double contraction = dopts[2];
+    double param_rtol = dopts[3];
+    double err_atol = dopts[4];
+    double err_rtol = dopts[5];
+    double dt_min = dopts[6];
+    double dt_max = dopts[7];
+    double t_stop = dopts[8];
+    long long maxiter = iopts[0];
+    long long halvings = iopts[1];
+    long long integ = iopts[2];
+    long long order = iopts[3];
+    int have = flags[0] != 0;
+    if (have && flags[1] != 0) {
+        /* Resume: rebuild the frozen LU from checkpoint metadata. */
+        for (int i = 0; i < N; ++i) xc[i] = jac_meta[2 + i];
+        eval_jac(xc, p, dqs, dfs);
+        for (int i = 0; i < N; ++i)
+            for (int j = 0; j < N; ++j)
+                A[i * N + j] = jac_meta[0] * dqs[i * N + j]
+                    + jac_meta[1] * dfs[i * N + j];
+        if (!lu_factor_(A, piv)) have = 0;
+    }
+    flags[1] = 0;
+    double dt = reg[2];
+    double mx = fabs(t_stop);
+    if (1.0 > mx) mx = 1.0;
+    double eps_stop = 1e-15 * mx;
+    long long accepted = 0;
+    long long status = 0;
+    while (accepted < max_accept) {
+        long long hc = hstate[0];
+        double t = h_t[hc - 1];
+        if (!(t < t_stop - eps_stop)) break;
+        double rem = t_stop - t;
+        if (rem < dt) dt = rem;
+        double t_new = t + dt;
+        double dts = t_new - h_t[hc - 1];
+        double alpha, beta;
+        if (integ == 1) {
+            alpha = 1.0 / dts;
+            beta = 0.5;
+            for (int i = 0; i < N; ++i)
+                rhs[i] = -h_q[(hc - 1) * N + i] / dts
+                    + 0.5 * h_fb[(hc - 1) * N + i];
+        } else if (integ == 2 && hc >= 2) {
+            double t1 = h_t[hc - 1];
+            double t2 = h_t[hc - 2];
+            alpha = (2.0 * t_new - t1 - t2)
+                / ((t_new - t1) * (t_new - t2));
+            beta = 1.0;
+            double d1 = (t_new - t2) / ((t1 - t_new) * (t1 - t2));
+            double d2 = (t_new - t1) / ((t2 - t_new) * (t2 - t1));
+            for (int i = 0; i < N; ++i)
+                rhs[i] = d1 * h_q[(hc - 1) * N + i]
+                    + d2 * h_q[(hc - 2) * N + i];
+        } else {
+            alpha = 1.0 / dts;
+            beta = 1.0;
+            for (int i = 0; i < N; ++i)
+                rhs[i] = -h_q[(hc - 1) * N + i] / dts;
+        }
+        if (alpha != reg[1]) {
+            double old = reg[0];
+            if (old == old && fabs(alpha - old) > param_rtol * fabs(old))
+                have = 0;
+            reg[0] = alpha;
+            reg[1] = alpha;
+        }
+        if (hc >= 3 && h_t[0] != h_t[1] && h_t[1] != h_t[2]
+                && h_t[0] != h_t[2]) {
+            double ta = h_t[0], tb = h_t[1], tc = h_t[2];
+            double la = (t_new - tb) * (t_new - tc)
+                / ((ta - tb) * (ta - tc));
+            double lb = (t_new - ta) * (t_new - tc)
+                / ((tb - ta) * (tb - tc));
+            double lc = (t_new - ta) * (t_new - tb)
+                / ((tc - ta) * (tc - tb));
+            for (int i = 0; i < N; ++i)
+                xc[i] = la * h_x[0 * N + i] + lb * h_x[1 * N + i]
+                    + lc * h_x[2 * N + i];
+        } else if (hc >= 2 && h_t[hc - 1] != h_t[hc - 2]) {
+            double frac = (t_new - h_t[hc - 1])
+                / (h_t[hc - 1] - h_t[hc - 2]);
+            for (int i = 0; i < N; ++i)
+                xc[i] = h_x[(hc - 1) * N + i]
+                    + (h_x[(hc - 1) * N + i] - h_x[(hc - 2) * N + i])
+                    * frac;
+        } else {
+            for (int i = 0; i < N; ++i) xc[i] = h_x[(hc - 1) * N + i];
+        }
+        counters[4] += 1;
+        double norm = residual_(xc, p, b_row, alpha, beta, rhs,
+                                qv, fv, rc);
+        counters[2] += 1;
+        long long itn = 0;
+        long long failed = 0;
+        int converged = norm <= atol;
+        if (!converged && !isfinite(norm)) failed = 2;
+        int fresh = 0;
+        if (!converged && failed == 0 && !have) {
+            if (refactor_(xc, p, alpha, beta, A, piv, dqs, dfs, jac_meta)) {
+                counters[3] += 1;
+                have = 1;
+                fresh = 1;
+            } else {
+                have = 0;
+                failed = 3;
+            }
+        }
+        while (failed == 0 && !converged && itn < maxiter) {
+            itn += 1;
+            counters[1] += 1;
+            lu_solve_(A, piv, rc, dxs);
+            int ok = 1;
+            for (int i = 0; i < N; ++i)
+                if (!isfinite(dxs[i])) ok = 0;
+            if (!ok) {
+                if (fresh) { have = 0; failed = 3; break; }
+                if (refactor_(xc, p, alpha, beta, A, piv, dqs, dfs,
+                              jac_meta)) {
+                    counters[3] += 1;
+                    fresh = 1;
+                    continue;
+                }
+                have = 0; failed = 3; break;
+            }
+            for (int i = 0; i < N; ++i) xn[i] = xc[i] - dxs[i];
+            double norm_new = residual_(xn, p, b_row, alpha, beta, rhs,
+                                        qv, fv, rn);
+            counters[2] += 1;
+            if (norm_new <= atol) {
+                for (int i = 0; i < N; ++i) xc[i] = xn[i];
+                norm = norm_new;
+                converged = 1;
+                break;
+            }
+            if (!(norm_new < norm)) {
+                if (!fresh) {
+                    if (refactor_(xc, p, alpha, beta, A, piv, dqs, dfs,
+                                  jac_meta)) {
+                        counters[3] += 1;
+                        fresh = 1;
+                        continue;
+                    }
+                    have = 0; failed = 3; break;
+                }
+                double step = 0.5;
+                for (long long halving = 0; halving < halvings; ++halving) {
+                    for (int i = 0; i < N; ++i)
+                        xn[i] = xc[i] - step * dxs[i];
+                    norm_new = residual_(xn, p, b_row, alpha, beta, rhs,
+                                         qv, fv, rn);
+                    counters[2] += 1;
+                    if (isfinite(norm_new) && norm_new < norm) break;
+                    if (halving < halvings - 1) step = step * 0.5;
+                }
+            }
+            int small = 1;
+            for (int i = 0; i < N; ++i) {
+                double m = fabs(xn[i]);
+                if (m < 1.0) m = 1.0;
+                double d = fabs(xn[i] - xc[i]);
+                if (!(d <= rtol * m)) small = 0;
+            }
+            int slow = norm_new > contraction * norm;
+            for (int i = 0; i < N; ++i) { xc[i] = xn[i]; rc[i] = rn[i]; }
+            norm = norm_new;
+            if (norm <= atol || (small && isfinite(norm))) {
+                converged = 1;
+                break;
+            }
+            if (slow && !fresh) {
+                if (refactor_(xc, p, alpha, beta, A, piv, dqs, dfs,
+                              jac_meta)) {
+                    counters[3] += 1;
+                    fresh = 1;
+                } else {
+                    have = 0; failed = 3; break;
+                }
+            }
+        }
+        if (!converged) {
+            if (failed == 0) { failed = 1; have = 0; }
+            status = failed;
+            break;
+        }
+        /* Local-error control (simulate_transient's adaptive block). */
+        double dt_next = dt;
+        if (hc >= 2 && h_t[hc - 1] != h_t[hc - 2]) {
+            double denom = h_t[hc - 1] - h_t[hc - 2];
+            double lead = t_new - h_t[hc - 1];
+            double acc = 0.0;
+            for (int i = 0; i < N; ++i) {
+                double slope = (h_x[(hc - 1) * N + i]
+                                - h_x[(hc - 2) * N + i]) / denom;
+                double xp = h_x[(hc - 1) * N + i] + slope * lead;
+                double ax_new = fabs(xc[i]);
+                double ax_old = fabs(h_x[(hc - 1) * N + i]);
+                double big = ax_new > ax_old ? ax_new : ax_old;
+                double scale = err_atol + err_rtol * big;
+                double e = (xc[i] - xp) / scale;
+                acc += e * e;
+            }
+            double err = sqrt(acc / N);
+            if (err > 1.0) {
+                counters[5] += 1;
+                double fac = 0.9 * pow(err, -1.0 / (double)(order + 1));
+                if (!(fac > 0.2)) fac = 0.2;
+                double dtn = dt * fac;
+                if (!(dtn > dt_min)) dtn = dt_min;
+                if (dtn <= dt_min) {
+                    status = 4;
+                    break;
+                }
+                dt = dtn;
+                continue;
+            }
+            double growth;
+            if (err > 0.0)
+                growth = 0.9 * pow(err, -1.0 / (double)(order + 1));
+            else
+                growth = 5.0;
+            if (!(growth > 0.2)) growth = 0.2;
+            if (!(growth < 5.0)) growth = 5.0;
+            dt_next = dt * growth;
+        }
+        if (hc == 3) {
+            for (int j = 0; j < 2; ++j) {
+                h_t[j] = h_t[j + 1];
+                for (int i = 0; i < N; ++i) {
+                    h_x[j * N + i] = h_x[(j + 1) * N + i];
+                    h_q[j * N + i] = h_q[(j + 1) * N + i];
+                    h_fb[j * N + i] = h_fb[(j + 1) * N + i];
+                }
+            }
+            hc = 2;
+        }
+        h_t[hc] = t_new;
+        for (int i = 0; i < N; ++i) {
+            h_x[hc * N + i] = xc[i];
+            h_q[hc * N + i] = qv[i];
+            h_fb[hc * N + i] = fv[i];
+        }
+        hstate[0] = hc + 1;
+        out_t[accepted] = t_new;
+        for (int i = 0; i < N; ++i) out_x[accepted * N + i] = xc[i];
+        accepted += 1;
+        counters[0] += 1;
+        dt = dt_next;
+        if (dt_max < dt) dt = dt_max;
+    }
+    reg[2] = dt;
+    flags[0] = have ? 1 : 0;
+    return status;
+}
+
+static void ens_residual_(const double* X, const double* P, long long B,
+                          long long pstride, const double* b_rows,
+                          double alpha, double beta, const double* RHS,
+                          double* QV, double* FV, double* RC,
+                          double* norms) {
+    for (long long b = 0; b < B; ++b)
+        norms[b] = residual_(X + b * N, P + b * pstride, b_rows + b * N,
+                             alpha, beta, RHS + b * N, QV + b * N,
+                             FV + b * N, RC + b * N);
+}
+
+static int ens_refactor_(const double* X, const double* P, long long B,
+                         long long pstride, double alpha, double beta,
+                         double* A, long long* piv, double* dqs,
+                         double* dfs, double* jac_meta) {
+    for (long long b = 0; b < B; ++b) {
+        eval_jac(X + b * N, P + b * pstride, dqs, dfs);
+        for (int i = 0; i < N; ++i)
+            for (int j = 0; j < N; ++j)
+                A[b * NN + i * N + j] = alpha * dqs[i * N + j]
+                    + beta * dfs[i * N + j];
+        if (!lu_factor_(A + b * NN, piv + b * N)) return 0;
+    }
+    jac_meta[0] = alpha;
+    jac_meta[1] = beta;
+    for (long long b = 0; b < B; ++b)
+        for (int i = 0; i < N; ++i)
+            jac_meta[2 + b * N + i] = X[b * N + i];
+    return 1;
+}
+
+long long sweep_ens(const double* t_grid, const double* b_grid,
+                    long long gi_start, long long gi_end, long long B,
+                    long long pstride, double* h_t, double* h_x,
+                    double* h_q, double* h_fb, long long* hstate,
+                    long long* flags, double* A, long long* piv,
+                    double* jac_meta, double* reg, const double* dopts,
+                    const long long* iopts, const double* P,
+                    double* out_x, long long* counters, long long* iters_b,
+                    double* XC, double* XN, double* UPD, double* RC,
+                    double* RN, double* QV, double* FV, double* RHS,
+                    double* dqs, double* dfs, long long* masks,
+                    double* fwork) {
+    double atol = dopts[0];
+    double rtol = dopts[1];
+    double contraction = dopts[2];
+    double param_rtol = dopts[3];
+    long long maxiter = iopts[0];
+    long long halvings = iopts[1];
+    long long integ = iopts[2];
+    long long* conv = masks + 0 * B;
+    long long* aband = masks + 1 * B;
+    long long* scratch = masks + 2 * B;
+    long long* uph = masks + 3 * B;
+    long long* need = masks + 4 * B;
+    long long* dits = masks + 5 * B;
+    double* norms = fwork + 0 * B;
+    double* tnorms = fwork + 1 * B;
+    double* stepv = fwork + 2 * B;
+    int have = flags[0] != 0;
+    if (have && flags[1] != 0) {
+        /* Resume/re-entry: rebuild every LU block from metadata. */
+        for (long long b = 0; b < B; ++b)
+            for (int i = 0; i < N; ++i)
+                XC[b * N + i] = jac_meta[2 + b * N + i];
+        if (!ens_refactor_(XC, P, B, pstride, jac_meta[0], jac_meta[1],
+                           A, piv, dqs, dfs, jac_meta))
+            have = 0;
+    }
+    flags[1] = 0;
+    long long status = 0;
+    for (long long gi = gi_start; gi < gi_end; ++gi) {
+        long long hc = hstate[0];
+        double t_new = t_grid[gi];
+        double dt = t_new - h_t[hc - 1];
+        double alpha, beta;
+        if (integ == 1) {
+            alpha = 1.0 / dt;
+            beta = 0.5;
+            for (long long b = 0; b < B; ++b)
+                for (int i = 0; i < N; ++i)
+                    RHS[b * N + i] = -h_q[((hc - 1) * B + b) * N + i] / dt
+                        + 0.5 * h_fb[((hc - 1) * B + b) * N + i];
+        } else if (integ == 2 && hc >= 2) {
+            double t1 = h_t[hc - 1];
+            double t2 = h_t[hc - 2];
+            alpha = (2.0 * t_new - t1 - t2)
+                / ((t_new - t1) * (t_new - t2));
+            beta = 1.0;
+            double d1 = (t_new - t2) / ((t1 - t_new) * (t1 - t2));
+            double d2 = (t_new - t1) / ((t2 - t_new) * (t2 - t1));
+            for (long long b = 0; b < B; ++b)
+                for (int i = 0; i < N; ++i)
+                    RHS[b * N + i] =
+                        d1 * h_q[((hc - 1) * B + b) * N + i]
+                        + d2 * h_q[((hc - 2) * B + b) * N + i];
+        } else {
+            alpha = 1.0 / dt;
+            beta = 1.0;
+            for (long long b = 0; b < B; ++b)
+                for (int i = 0; i < N; ++i)
+                    RHS[b * N + i] =
+                        -h_q[((hc - 1) * B + b) * N + i] / dt;
+        }
+        /* _notify_alpha: one tracked alpha in reg[0] (nan = unset). */
+        double old = reg[0];
+        if (old == old && fabs(alpha - old) > param_rtol * fabs(old))
+            have = 0;
+        reg[0] = alpha;
+        if (hc >= 3 && h_t[0] != h_t[1] && h_t[1] != h_t[2]
+                && h_t[0] != h_t[2]) {
+            double ta = h_t[0], tb = h_t[1], tc = h_t[2];
+            double la = (t_new - tb) * (t_new - tc)
+                / ((ta - tb) * (ta - tc));
+            double lb = (t_new - ta) * (t_new - tc)
+                / ((tb - ta) * (tb - tc));
+            double lc = (t_new - ta) * (t_new - tb)
+                / ((tc - ta) * (tc - tb));
+            for (long long b = 0; b < B; ++b)
+                for (int i = 0; i < N; ++i)
+                    XC[b * N + i] = la * h_x[(0 * B + b) * N + i]
+                        + lb * h_x[(1 * B + b) * N + i]
+                        + lc * h_x[(2 * B + b) * N + i];
+        } else if (hc >= 2 && h_t[hc - 1] != h_t[hc - 2]) {
+            double frac = (t_new - h_t[hc - 1])
+                / (h_t[hc - 1] - h_t[hc - 2]);
+            for (long long b = 0; b < B; ++b)
+                for (int i = 0; i < N; ++i)
+                    XC[b * N + i] = h_x[((hc - 1) * B + b) * N + i]
+                        + (h_x[((hc - 1) * B + b) * N + i]
+                           - h_x[((hc - 2) * B + b) * N + i]) * frac;
+        } else {
+            for (long long b = 0; b < B; ++b)
+                for (int i = 0; i < N; ++i)
+                    XC[b * N + i] = h_x[((hc - 1) * B + b) * N + i];
+        }
+        counters[4] += 1;
+        ens_residual_(XC, P, B, pstride, b_grid + gi * B * N, alpha,
+                      beta, RHS, QV, FV, RC, norms);
+        counters[2] += 1;
+        long long num_left = 0;
+        for (long long b = 0; b < B; ++b) {
+            aband[b] = 0;
+            dits[b] = 0;
+            if (norms[b] <= atol) {
+                conv[b] = 1;
+            } else {
+                conv[b] = 0;
+                num_left += 1;
+            }
+        }
+        long long failed = 0;
+        int fresh = 0;
+        if (num_left > 0 && !have) {
+            if (ens_refactor_(XC, P, B, pstride, alpha, beta, A, piv,
+                              dqs, dfs, jac_meta)) {
+                counters[3] += 1;
+                have = 1;
+                fresh = 1;
+            } else {
+                have = 0;
+                failed = 3;
+            }
+        }
+        long long itn = 0;
+        while (failed == 0 && num_left > 0 && itn < maxiter) {
+            itn += 1;
+            counters[1] += 1;
+            for (long long b = 0; b < B; ++b)
+                if (conv[b] == 0 && aband[b] == 0) dits[b] += 1;
+            for (long long b = 0; b < B; ++b)
+                lu_solve_(A + b * NN, piv + b * N, RC + b * N,
+                          UPD + b * N);
+            int anybad = 0;
+            for (long long b = 0; b < B; ++b) {
+                long long fin = 1;
+                for (int i = 0; i < N; ++i)
+                    if (!isfinite(UPD[b * N + i])) fin = 0;
+                scratch[b] = fin;
+                if (fin == 0 && conv[b] == 0 && aband[b] == 0)
+                    anybad = 1;
+            }
+            if (anybad) {
+                if (!fresh) {
+                    /* Blame staleness first: refactorise and retry. */
+                    if (ens_refactor_(XC, P, B, pstride, alpha, beta, A,
+                                      piv, dqs, dfs, jac_meta)) {
+                        counters[3] += 1;
+                        fresh = 1;
+                        for (long long b = 0; b < B; ++b)
+                            if (conv[b] == 0 && aband[b] == 0)
+                                dits[b] -= 1;
+                        counters[1] -= 1;
+                        itn -= 1;
+                        continue;
+                    }
+                    have = 0; failed = 3; break;
+                }
+                /* Fresh factors and still non-finite: abandon those
+                 * scenarios to the python-side rescue. */
+                num_left = 0;
+                for (long long b = 0; b < B; ++b) {
+                    if (conv[b] == 0 && aband[b] == 0 && scratch[b] == 0)
+                        aband[b] = 1;
+                    if (conv[b] == 0 && aband[b] == 0) num_left += 1;
+                }
+                if (num_left == 0) break;
+            }
+            for (long long b = 0; b < B; ++b) {
+                if (conv[b] == 0 && aband[b] == 0) {
+                    for (int i = 0; i < N; ++i)
+                        XN[b * N + i] = XC[b * N + i] - UPD[b * N + i];
+                } else {
+                    for (int i = 0; i < N; ++i)
+                        XN[b * N + i] = XC[b * N + i];
+                }
+            }
+            ens_residual_(XN, P, B, pstride, b_grid + gi * B * N, alpha,
+                          beta, RHS, QV, FV, RN, tnorms);
+            counters[2] += 1;
+            int anyup = 0;
+            for (long long b = 0; b < B; ++b) {
+                long long imp = (tnorms[b] < norms[b]
+                                 || tnorms[b] <= atol) ? 1 : 0;
+                long long up = (conv[b] == 0 && aband[b] == 0
+                                && imp == 0) ? 1 : 0;
+                uph[b] = up;
+                if (up == 1) anyup = 1;
+            }
+            if (anyup) {
+                if (!fresh) {
+                    if (ens_refactor_(XC, P, B, pstride, alpha, beta, A,
+                                      piv, dqs, dfs, jac_meta)) {
+                        counters[3] += 1;
+                        fresh = 1;
+                        for (long long b = 0; b < B; ++b)
+                            if (conv[b] == 0 && aband[b] == 0)
+                                dits[b] -= 1;
+                        counters[1] -= 1;
+                        itn -= 1;
+                        continue;
+                    }
+                    have = 0; failed = 3; break;
+                }
+                /* Per-scenario damped line search. */
+                for (long long b = 0; b < B; ++b) {
+                    stepv[b] = (conv[b] == 0 && aband[b] == 0)
+                        ? 1.0 : 0.0;
+                    need[b] = uph[b];
+                }
+                for (long long halving = 0; halving < halvings;
+                        ++halving) {
+                    for (long long b = 0; b < B; ++b)
+                        if (need[b] == 1) stepv[b] = stepv[b] * 0.5;
+                    for (long long b = 0; b < B; ++b) {
+                        if (conv[b] == 0 && aband[b] == 0) {
+                            for (int i = 0; i < N; ++i)
+                                XN[b * N + i] = XC[b * N + i]
+                                    - stepv[b] * UPD[b * N + i];
+                        } else {
+                            for (int i = 0; i < N; ++i)
+                                XN[b * N + i] = XC[b * N + i];
+                        }
+                    }
+                    ens_residual_(XN, P, B, pstride,
+                                  b_grid + gi * B * N, alpha, beta,
+                                  RHS, QV, FV, RN, tnorms);
+                    counters[2] += 1;
+                    int anyneed = 0;
+                    for (long long b = 0; b < B; ++b) {
+                        long long nd = 0;
+                        if (uph[b] == 1 && !(isfinite(tnorms[b])
+                                             && tnorms[b] < norms[b]))
+                            nd = 1;
+                        need[b] = nd;
+                        if (nd == 1) anyneed = 1;
+                    }
+                    if (!anyneed) break;
+                }
+            }
+            /* update_small & slow at pre-commit states, then commit. */
+            for (long long b = 0; b < B; ++b) {
+                long long small = 1;
+                for (int i = 0; i < N; ++i) {
+                    double m = fabs(XN[b * N + i]);
+                    if (m < 1.0) m = 1.0;
+                    double d = fabs(XN[b * N + i] - XC[b * N + i]);
+                    if (!(d <= rtol * m)) small = 0;
+                }
+                long long slow =
+                    (tnorms[b] > contraction * norms[b]) ? 1 : 0;
+                scratch[b] = 2 * slow + small;
+            }
+            for (long long b = 0; b < B; ++b) {
+                for (int i = 0; i < N; ++i) {
+                    XC[b * N + i] = XN[b * N + i];
+                    RC[b * N + i] = RN[b * N + i];
+                }
+                norms[b] = tnorms[b];
+            }
+            for (long long b = 0; b < B; ++b) {
+                if (conv[b] == 0 && aband[b] == 0) {
+                    long long small = scratch[b] % 2;
+                    if (norms[b] <= atol
+                            || (small == 1 && isfinite(norms[b])))
+                        conv[b] = 1;
+                }
+            }
+            num_left = 0;
+            for (long long b = 0; b < B; ++b)
+                if (conv[b] == 0 && aband[b] == 0) num_left += 1;
+            if (num_left == 0) break;
+            if (!fresh) {
+                int anyslow = 0;
+                for (long long b = 0; b < B; ++b)
+                    if (scratch[b] >= 2 && conv[b] == 0 && aband[b] == 0)
+                        anyslow = 1;
+                if (anyslow) {
+                    if (ens_refactor_(XC, P, B, pstride, alpha, beta, A,
+                                      piv, dqs, dfs, jac_meta)) {
+                        counters[3] += 1;
+                        fresh = 1;
+                    } else {
+                        have = 0; failed = 3; break;
+                    }
+                }
+            }
+        }
+        if (failed == 3) {
+            /* Singular stack: per-scenario iterations are discarded,
+             * like the python controller's early return. */
+            status = 3;
+            break;
+        }
+        for (long long b = 0; b < B; ++b) iters_b[b] += dits[b];
+        int all_conv = 1;
+        for (long long b = 0; b < B; ++b)
+            if (conv[b] == 0) all_conv = 0;
+        if (!all_conv) {
+            have = 0;
+            status = 1;
+            break;
+        }
+        if (hc == 3) {
+            for (int j = 0; j < 2; ++j) {
+                h_t[j] = h_t[j + 1];
+                for (long long b = 0; b < B; ++b)
+                    for (int i = 0; i < N; ++i) {
+                        h_x[(j * B + b) * N + i] =
+                            h_x[((j + 1) * B + b) * N + i];
+                        h_q[(j * B + b) * N + i] =
+                            h_q[((j + 1) * B + b) * N + i];
+                        h_fb[(j * B + b) * N + i] =
+                            h_fb[((j + 1) * B + b) * N + i];
+                    }
+            }
+            hc = 2;
+        }
+        h_t[hc] = t_new;
+        for (long long b = 0; b < B; ++b)
+            for (int i = 0; i < N; ++i) {
+                h_x[(hc * B + b) * N + i] = XC[b * N + i];
+                h_q[(hc * B + b) * N + i] = QV[b * N + i];
+                h_fb[(hc * B + b) * N + i] = FV[b * N + i];
+            }
+        hstate[0] = hc + 1;
+        long long row = gi - gi_start;
+        for (long long b = 0; b < B; ++b)
+            for (int i = 0; i < N; ++i)
+                out_x[(row * B + b) * N + i] = XC[b * N + i];
         counters[0] += 1;
     }
     flags[0] = have ? 1 : 0;

@@ -496,3 +496,46 @@ def spec_for_dae(dae):
     if cls is VanDerPolDae:
         return _build_vdp_spec(dae)
     return None, f"no kernel lowering for {cls.__name__}"
+
+
+def _waveform_is_constant(wave):
+    from repro.circuits.waveforms import DC
+
+    return isinstance(wave, DC) and np.ndim(wave.value) == 0
+
+
+def constant_forcing_row(dae, t_ref=0.0):
+    """Return ``b(t_ref)`` when ``b(t)`` is provably time-invariant.
+
+    The adaptive compiled sweep picks its own step times inside the
+    kernel, so it cannot use a precomputed forcing grid — it needs one
+    constant forcing row instead.  This walks the same registry of DAE
+    classes as :func:`spec_for_dae` and inspects their drive waveforms
+    structurally (scalar :class:`~repro.circuits.waveforms.DC` only);
+    anything it cannot prove constant returns ``None`` and stays on the
+    python adaptive path.
+    """
+    from repro.circuits.library import MemsVcoDae
+    from repro.circuits.mna import CircuitDAE
+    from repro.dae.manufactured import VanDerPolDae
+
+    cls = type(dae)
+    if cls.__name__ == "FaultyDAE" and cls.__module__ == "repro.testing.faults":
+        if dae.nan_b_window is not None:
+            return None
+        return constant_forcing_row(dae._dae, t_ref)
+    if cls is MemsVcoDae:
+        if _waveform_is_constant(dae.control):
+            return np.asarray(dae.b(t_ref), dtype=float)
+        return None
+    if cls is VanDerPolDae:
+        return np.asarray(dae.b(t_ref), dtype=float)
+    if cls is CircuitDAE:
+        for slot in dae._slots:
+            wave = getattr(slot.device, "waveform", None)
+            if wave is None:
+                wave = getattr(slot.device, "control", None)
+            if wave is not None and not _waveform_is_constant(wave):
+                return None
+        return np.asarray(dae.b(t_ref), dtype=float)
+    return None

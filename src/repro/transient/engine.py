@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConvergenceError, SimulationError
+from repro.kernels.registry import constant_forcing_row
 from repro.kernels.sweep import prepare_transient_runner
 from repro.linalg.lu_cache import FrozenFactorization
 from repro.linalg.newton import NewtonOptions, NewtonResult
@@ -49,6 +50,11 @@ from repro.utils.validation import check_positive
 #: Forcing grids beyond this many steps are evaluated per step instead of
 #: being precomputed (memory guard for extreme horizons).
 _MAX_FORCING_GRID = 4_000_000
+
+#: Accepted-step capacity of one compiled adaptive chunk (bounds the
+#: kernel's out_t/out_x allocation; checkpoint cadence cuts chunks
+#: shorter anyway).
+_ADAPTIVE_CHUNK = 65_536
 
 
 @dataclass
@@ -477,15 +483,21 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None,
     # Compiled fast path (ROADMAP item 1).  Resolution runs even for
     # ineligible runs so an explicitly requested unavailable backend
     # raises eagerly instead of silently running the python loop.
+    b_const = None
     if opts.adaptive:
-        kernel_blocked = "adaptive step control stays on the python path"
+        b_const = constant_forcing_row(dae, float(t_start))
+        if b_const is None:
+            kernel_blocked = (
+                "adaptive compiled sweeps need time-invariant forcing; "
+                "this DAE's b(t) varies"
+            )
+        else:
+            kernel_blocked = None
     elif t_grid is None:
         kernel_blocked = (
             "no precomputed forcing grid (horizon exceeds the batch "
             "limit or a resumed run had abandoned the grid)"
         )
-    elif resume_from is None and warm_start is not None:
-        kernel_blocked = "warm-start adoption stays on the python path"
     else:
         kernel_blocked = None
     kernel_runner, kernel_info = prepare_transient_runner(
@@ -630,8 +642,85 @@ def simulate_transient(dae, x0, t_start, t_stop, options=None,
                 kernel_runner = None
                 return
 
-    if kernel_runner is not None and t_grid is not None:
-        _kernel_march()
+    def _kernel_adaptive_march():
+        # Adaptive twin of _kernel_march: the in-kernel local-error dt
+        # controller (constant forcing row) runs whole chunks between
+        # accepted-step checkpoints.  The live dt crosses the boundary in
+        # runner.reg[2] both ways, and a status-4 underflow exits
+        # *without* committing the final shrink, so the python replay of
+        # the offending attempt reproduces the exact failure.
+        nonlocal t, x, dt, history, accepted_since_store
+        nonlocal kernel_runner
+        runner = kernel_runner
+        b_row = np.ascontiguousarray(b_const, dtype=float)
+        runner.load(history, controller)
+        runner.reg[2] = dt
+        core_stats = controller.core.stats
+        while t < t_stop - 1e-15 * max(abs(t_stop), 1.0):
+            cap = opts.max_steps - stats["steps"]
+            if cap <= 0:
+                fail(
+                    f"exceeded max_steps={opts.max_steps} at t={t:.6e}",
+                    dt,
+                )
+            chunk = min(cap, _ADAPTIVE_CHUNK)
+            if manager.every:
+                boundary = manager.every - stats["steps"] % manager.every
+                chunk = min(chunk, boundary)
+            status = runner.run_adaptive(b_row, t_stop, chunk)
+            done = int(runner.counters[0])
+            stats["newton_iterations"] += int(runner.counters[1])
+            stats["rejected_steps"] += int(runner.counters[5])
+            core_stats.solves += int(runner.counters[4])
+            core_stats.iterations += int(runner.counters[1])
+            core_stats.residual_evaluations += int(runner.counters[2])
+            core_stats.factorizations += int(runner.counters[3])
+            core_stats.jacobian_refreshes += int(runner.counters[3])
+            core_stats.wall_time_s += runner.last_wall
+            runner.reset_counters()
+            dt = float(runner.reg[2])
+            if done:
+                if opts.store_every == 1:
+                    stored_t.extend(runner.out_t[:done])
+                    stored_x.extend(runner.out_x[:done].copy())
+                    accepted_since_store = 0
+                else:
+                    for j in range(done):
+                        accepted_since_store += 1
+                        tj = float(runner.out_t[j])
+                        if (accepted_since_store >= opts.store_every
+                                or tj >= t_stop):
+                            stored_t.append(tj)
+                            stored_x.append(runner.out_x[j].copy())
+                            accepted_since_store = 0
+                t = float(runner.out_t[done - 1])
+                history = runner.export_history()
+                x = history[-1][1].copy()
+                stats["steps"] += done
+                kernel_info["compiled_steps"] += done
+                runner.sync_controller(controller, dae)
+                manager.offer(stats["steps"], take_checkpoint)
+                if stats["steps"] >= opts.max_steps:
+                    fail(
+                        f"exceeded max_steps={opts.max_steps} "
+                        f"at t={t:.6e}",
+                        dt,
+                    )
+            else:
+                runner.sync_controller(controller, dae)
+            if status != 0:
+                kernel_info["reason"] = (
+                    f"compiled adaptive sweep returned status {status} at "
+                    f"step {stats['steps']}; python adaptive loop resumed"
+                )
+                kernel_runner = None
+                return
+
+    if kernel_runner is not None:
+        if opts.adaptive:
+            _kernel_adaptive_march()
+        elif t_grid is not None:
+            _kernel_march()
 
     while t < t_stop - 1e-15 * max(abs(t_stop), 1.0):
         if t_grid is not None:

@@ -42,7 +42,10 @@ import numpy as np
 from repro.api.serialize import SerializableMixin
 from repro.dae.ensemble import EnsembleDAE
 from repro.errors import SimulationError, SingularJacobianError
-from repro.kernels.sweep import maybe_kernelize_batch
+from repro.kernels.sweep import (
+    maybe_kernelize_batch,
+    prepare_ensemble_runner,
+)
 from repro.kernels.backends import resolve_mode
 from repro.linalg.lu_cache import BlockFactorization
 from repro.linalg.solver_core import SolverStats
@@ -482,12 +485,13 @@ def simulate_transient_ensemble(ensemble, x0, t_start, t_stop, options=None):
             f"initial states must have shape {(batch, n)}, got {states.shape}"
         )
 
-    # Compiled batched evaluations, opt-in only: the NumPy lock-step
-    # path is this engine's documented reference, so "auto" keeps it.
+    # Compiled batched evaluations for every python-handled iterate
+    # (handed-back steps, per-scenario rescues): on by default under
+    # "auto"; kernel="python" pins the NumPy reference path.
     if ensemble._stacked is not None:
-        stacked, kernel_info = maybe_kernelize_batch(
+        stacked, batch_eval_info = maybe_kernelize_batch(
             ensemble._stacked, getattr(opts, "kernel", "auto"),
-            expected_batch=batch, explicit_only=True,
+            expected_batch=batch,
         )
         if stacked is not ensemble._stacked:
             ensemble = EnsembleDAE(
@@ -499,7 +503,7 @@ def simulate_transient_ensemble(ensemble, x0, t_start, t_stop, options=None):
         # Still resolve so an explicitly requested unavailable backend
         # raises instead of silently looping members in python.
         resolve_mode(requested)
-        kernel_info = {
+        batch_eval_info = {
             "requested": "auto" if requested is None else str(requested),
             "mode": "python",
             "reason": "member-loop ensembles stay on the python path",
@@ -522,6 +526,22 @@ def simulate_transient_ensemble(ensemble, x0, t_start, t_stop, options=None):
         t_grid[-1] = t_stop
         b_grid = ensemble.b_rows_grid(t_grid)
 
+    # Fused compiled march over the shared grid: whole chunks per call,
+    # zero python per step.  Steps the in-kernel vectorised chord cannot
+    # fully converge hand back to the python loop below, whose
+    # per-scenario rescue path is unchanged.
+    kernel_runner, kernel_info = prepare_ensemble_runner(
+        ensemble, opts, integrator,
+        blocked=None if t_grid is not None else (
+            "no precomputed forcing grid (horizon exceeds the batch "
+            "limit); compiled ensemble sweeps march the shared grid"
+        ),
+    )
+    kernel_info["batch_eval"] = batch_eval_info
+    if kernel_runner is not None:
+        t_grid = np.ascontiguousarray(t_grid, dtype=float)
+        b_grid = np.ascontiguousarray(b_grid, dtype=float)
+
     run_start = time.perf_counter()
     stored_t = [t]
     stored_x = [states.copy()]
@@ -537,7 +557,82 @@ def simulate_transient_ensemble(ensemble, x0, t_start, t_stop, options=None):
     accepted_since_store = 0
     history_cap = max(integrator.steps, 2) + 1
 
+    def _kernel_march():
+        """Advance through the compiled batched sweep; False on handback.
+
+        Counter mapping mirrors the python march exactly: the kernel
+        reports per-call chord totals plus per-scenario iteration counts
+        (``iters_b``), which land in the same ``chord.stats`` /
+        ``controller.iterations`` slots the vectorised python chord
+        fills.  After a handback the python loop replays the failing
+        step (rescue included) and the march re-enters on the next one.
+        """
+        nonlocal t, states, dt, grid_idx, accepted_since_store, history
+        runner = kernel_runner
+        chord_stats = controller.chord.stats
+        while grid_idx < n_steps:
+            runner.load(history, controller)
+            runner.reset_counters()
+            end = min(n_steps, grid_idx + (opts.max_steps - stats["steps"]))
+            status = runner.run(t_grid, b_grid, grid_idx, end)
+            done = int(runner.counters[0])
+            chord_stats["iterations"] += int(runner.counters[1])
+            chord_stats["residual_evaluations"] += int(runner.counters[2])
+            chord_stats["factorizations"] += int(runner.counters[3])
+            chord_stats["jacobian_refreshes"] += int(runner.counters[3])
+            controller.iterations += runner.iters_b
+            kernel_info["compiled_steps"] += done
+            runner.sync_controller(controller)
+            if done:
+                out = runner.out_x
+                if opts.store_every == 1:
+                    stored_t.extend(
+                        float(v) for v in t_grid[grid_idx:grid_idx + done]
+                    )
+                    stored_x.extend(out[j].copy() for j in range(done))
+                    accepted_since_store = 0
+                else:
+                    for j in range(done):
+                        accepted_since_store += 1
+                        tj = float(t_grid[grid_idx + j])
+                        if (accepted_since_store >= opts.store_every
+                                or tj >= t_stop):
+                            stored_t.append(tj)
+                            stored_x.append(out[j].copy())
+                            accepted_since_store = 0
+                grid_idx += done
+                t = float(t_grid[grid_idx - 1])
+                prev = t_grid[grid_idx - 2] if grid_idx >= 2 else t_start
+                dt = float(t_grid[grid_idx - 1] - prev)
+                history = runner.export_history()
+                states = history[-1][1].copy()
+                stats["steps"] += done
+                if stats["steps"] >= opts.max_steps:
+                    raise SimulationError(
+                        f"exceeded max_steps={opts.max_steps} at t={t:.6e}",
+                        step=stats["steps"],
+                        time=t,
+                        dt=dt,
+                        partial_result=EnsembleTransientResult(
+                            stored_t,
+                            stored_x,
+                            ensemble.variable_names,
+                            stats=dict(stats),
+                        ),
+                    )
+            if status != 0:
+                kernel_info["reason"] = (
+                    f"compiled ensemble sweep returned status {status} at "
+                    f"step {stats['steps']}; python lock-step march handled "
+                    f"the failing step"
+                )
+                return False
+        return True
+
     while t < t_stop - 1e-15 * max(abs(t_stop), 1.0):
+        if kernel_runner is not None and t_grid is not None:
+            if _kernel_march():
+                break
         if t_grid is not None:
             t_new = t_grid[grid_idx]
             b_new = b_grid[grid_idx]
@@ -604,6 +699,9 @@ def simulate_transient_ensemble(ensemble, x0, t_start, t_stop, options=None):
                 ),
             )
 
+    kernel_info["python_steps"] = (
+        stats["steps"] - kernel_info.get("compiled_steps", 0)
+    )
     chord_stats = controller.chord.stats
     stats["newton_iterations"] = int(controller.iterations.sum())
     stats["newton_fallbacks"] = int(controller.fallbacks.sum())

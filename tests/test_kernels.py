@@ -18,6 +18,7 @@ Covers the four contracts of the kernel layer:
 """
 
 import sys
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -32,6 +33,7 @@ from repro.circuits.library import (
     ring_oscillator_circuit,
 )
 from repro.dae import VanDerPolDae
+from repro.dae.ensemble import EnsembleDAE, ensemble_from_factory
 from repro.errors import ConfigurationError, SimulationError
 from repro.kernels import (
     build_kernel,
@@ -42,7 +44,11 @@ from repro.kernels import (
     spec_for_dae,
 )
 from repro.testing.faults import FaultyDAE
-from repro.transient import TransientOptions, simulate_transient
+from repro.transient import (
+    TransientOptions,
+    simulate_transient,
+    simulate_transient_ensemble,
+)
 
 needs_backend = pytest.mark.skipif(
     not (probe_numba() or probe_cc()),
@@ -277,15 +283,26 @@ class TestGracefulFallback:
         assert info["mode"] == "python"
         assert info["compiled_steps"] == 0
 
-    def test_adaptive_runs_report_blocked_reason(self):
+    @needs_backend
+    def test_adaptive_constant_forcing_compiles(self):
         result = simulate_transient(
             VanDerPolDae(mu=0.5), [0.5, 0.0], 0.0, 1.0,
             TransientOptions(dt=0.01, adaptive=True, kernel="auto"),
         )
         info = result.stats["kernel"]
+        assert info["mode"] != "python"
+        assert info["compiled_steps"] == result.stats["steps"]
+
+    def test_adaptive_varying_forcing_reports_blocked_reason(self):
+        dae = forced_lc_oscillator_circuit().to_dae()
+        result = simulate_transient(
+            dae, np.zeros(dae.n), 0.0, 2e-6,
+            TransientOptions(dt=2e-8, adaptive=True, kernel="auto"),
+        )
+        info = result.stats["kernel"]
         if probe_numba() or probe_cc():
             assert info["mode"] == "python"
-            assert "adaptive" in info["reason"]
+            assert "time-invariant" in info["reason"]
 
 
 class TestSlowPathInterop:
@@ -339,11 +356,217 @@ class TestBatchedKernels:
             wrapped.df_dx_batch(states), dae.df_dx_batch(states), rtol=1e-12
         )
 
-    def test_ensemble_requires_explicit_opt_in(self):
+    @needs_backend
+    def test_batch_kernelize_defaults_on_under_auto(self):
+        dae = MemsVcoDae(VcoParams.air())
+        wrapped, info = maybe_kernelize_batch(dae, "auto", expected_batch=4)
+        assert wrapped is not dae
+        assert info["mode"] != "python"
+
+    def test_batch_kernelize_python_escape_hatch(self):
         dae = MemsVcoDae(VcoParams.air())
         wrapped, info = maybe_kernelize_batch(
-            dae, "auto", expected_batch=4, explicit_only=True
+            dae, "python", expected_batch=4
         )
-        if probe_numba() or probe_cc():
-            assert wrapped is dae
-            assert "opt in" in info["reason"]
+        assert wrapped is dae
+        assert info["mode"] == "python"
+
+
+def _vco_control_ensemble(batch):
+    base = VcoParams.air()
+    values = np.linspace(0.8, 2.4, batch)
+    return ensemble_from_factory(
+        lambda v: MemsVcoDae(replace(base, control_offset=v)),
+        values,
+        stacked_factory=lambda arr: MemsVcoDae(
+            replace(base, control_offset=arr)
+        ),
+    )
+
+
+class TestEnsembleCompiled:
+    @needs_backend
+    def test_batched_march_matches_python_lockstep(self):
+        batch = 8
+        ens = _vco_control_ensemble(batch)
+        x0 = np.tile(np.array([1.0, 0.0, 0.0, 0.0]), (batch, 1))
+
+        def run(kernel):
+            return simulate_transient_ensemble(
+                ens, x0, 0.0, 20 * T_NOMINAL,
+                TransientOptions(
+                    integrator="trap", dt=T_NOMINAL / 100, kernel=kernel
+                ),
+            )
+
+        ref = run("python")
+        com = run("auto")
+        assert ref.stats["kernel"]["mode"] == "python"
+        assert com.stats["kernel"]["mode"] != "python"
+        assert com.stats["kernel"]["compiled_steps"] == com.stats["steps"]
+        assert com.stats["kernel"]["python_steps"] == 0
+        np.testing.assert_array_equal(ref.t, com.t)
+        scale = np.abs(ref.x).max()
+        assert np.abs(com.x - ref.x).max() / scale < 1e-9
+        # Same lock-step chord policy: the bookkeeping must agree
+        # exactly, down to each scenario's iteration count.
+        assert (com.stats["newton_iterations"]
+                == ref.stats["newton_iterations"])
+        for b in range(batch):
+            assert (com.stats["solver_per_scenario"][b]["iterations"]
+                    == ref.stats["solver_per_scenario"][b]["iterations"])
+        assert (com.stats["jacobian_factorizations"]
+                == ref.stats["jacobian_factorizations"])
+        assert (com.stats["solver"]["residual_evaluations"]
+                == ref.stats["solver"]["residual_evaluations"])
+
+    @needs_backend
+    def test_diverging_scenarios_hand_back_to_rescue(self):
+        """A NaN forcing window poisons the batched march mid-grid; the
+        kernel hands the step back, the per-scenario rescue + dt-halving
+        ladder runs, and the failure context matches the python path."""
+        def faulty():
+            return FaultyDAE(
+                VanDerPolDae(mu=1.0), nan_b_window=(0.5, np.inf)
+            )
+
+        ens = EnsembleDAE.from_stacked(
+            faulty(), 4, members=[faulty() for _ in range(4)]
+        )
+        x0 = np.array(
+            [[2.0, 0.0], [1.9, 0.05], [1.8, 0.1], [1.7, 0.15]]
+        )
+        options = TransientOptions(
+            integrator="trap", dt=0.01, dt_min=1e-10, kernel="auto"
+        )
+        with pytest.raises(SimulationError, match="underflow") as info:
+            simulate_transient_ensemble(ens, x0, 0.0, 1.0, options)
+        exc = info.value
+        assert exc.partial_result is not None
+        assert exc.partial_result.t[-1] < 0.5
+        stats = exc.partial_result.stats
+        assert stats["newton_failures"] >= 1
+        assert stats["kernel"]["compiled_steps"] > 0
+        assert "status" in stats["kernel"]["reason"]
+
+
+class TestAdaptiveCompiled:
+    @needs_backend
+    def test_adaptive_dt_sequence_matches_python(self):
+        # rtol loose enough that the error controller actually rejects
+        # steps; horizon short enough that ulp-level differences between
+        # the python and kernel linear solves never reach the dt
+        # decisions, so the sequences must agree to the bit.
+        dae = MemsVcoDae(VcoParams.air(), constant_control=True)
+        x0 = [1.0, 0.0, 0.0, 0.0]
+        horizon = T_NOMINAL / 2
+
+        def run(kernel):
+            return simulate_transient(
+                dae, x0, 0.0, horizon,
+                TransientOptions(
+                    integrator="trap", dt=T_NOMINAL / 500, adaptive=True,
+                    rtol=1e-4, kernel=kernel, max_steps=500000,
+                ),
+            )
+
+        ref = run("python")
+        com = run("auto")
+        assert com.stats["kernel"]["mode"] != "python"
+        assert com.stats["kernel"]["compiled_steps"] == com.stats["steps"]
+        # The in-kernel local-error controller replays the python dt
+        # decisions exactly: same accepted times, same rejections.
+        np.testing.assert_array_equal(np.asarray(ref.t), np.asarray(com.t))
+        assert ref.stats["rejected_steps"] > 0
+        assert com.stats["rejected_steps"] == ref.stats["rejected_steps"]
+        assert (com.stats["newton_iterations"]
+                == ref.stats["newton_iterations"])
+        assert (com.stats["jacobian_factorizations"]
+                == ref.stats["jacobian_factorizations"])
+        scale = np.abs(np.asarray(ref.x)).max()
+        assert np.abs(np.asarray(com.x) - np.asarray(ref.x)).max() / scale < 1e-9
+
+    @needs_backend
+    def test_adaptive_checkpoint_cadence_is_bit_identical(self):
+        dae = MemsVcoDae(VcoParams.air(), constant_control=True)
+        x0 = [1.0, 0.0, 0.0, 0.0]
+        horizon = 3 * T_NOMINAL
+
+        def opts(**kw):
+            return TransientOptions(
+                integrator="trap", dt=T_NOMINAL / 400, adaptive=True,
+                kernel="auto", max_steps=500000, **kw
+            )
+
+        plain = simulate_transient(dae, x0, 0.0, horizon, opts())
+        chunked = simulate_transient(
+            dae, x0, 0.0, horizon, opts(checkpoint_every=37)
+        )
+        # Cadence chunks the compiled adaptive march mid-run; the live
+        # dt crosses each boundary in reg[2], so the dt sequence (and
+        # with it the trajectory) must not feel the cuts.
+        np.testing.assert_array_equal(
+            np.asarray(plain.t), np.asarray(chunked.t)
+        )
+        np.testing.assert_array_equal(
+            np.asarray(plain.x), np.asarray(chunked.x)
+        )
+
+    @needs_backend
+    def test_adaptive_resume_is_bit_identical(self):
+        dae = MemsVcoDae(VcoParams.air(), constant_control=True)
+        x0 = [1.0, 0.0, 0.0, 0.0]
+        horizon = 3 * T_NOMINAL
+
+        def opts(max_steps=500000):
+            return TransientOptions(
+                integrator="trap", dt=T_NOMINAL / 400, adaptive=True,
+                kernel="auto", checkpoint_every=50, max_steps=max_steps,
+            )
+
+        full = simulate_transient(dae, x0, 0.0, horizon, opts())
+        with pytest.raises(SimulationError) as info:
+            simulate_transient(
+                dae, x0, 0.0, horizon, opts(max_steps=120)
+            )
+        resumed = simulate_transient(
+            dae, None, 0.0, horizon, opts(),
+            resume_from=info.value.checkpoint,
+        )
+        assert resumed.stats["kernel"]["compiled_steps"] > 0
+        n_tail = np.asarray(resumed.x).shape[0]
+        np.testing.assert_array_equal(
+            np.asarray(full.t)[-n_tail:], np.asarray(resumed.t)
+        )
+        np.testing.assert_array_equal(
+            np.asarray(full.x)[-n_tail:], np.asarray(resumed.x)
+        )
+
+
+class TestWarmStartCompiled:
+    @needs_backend
+    def test_warm_compiled_run_zero_refactorizations(self):
+        from repro import api
+
+        def request(x0, t0, t1):
+            return api.TransientRequest(
+                dae=VanDerPolDae(mu=0.2), x0=x0, t_start=t0, t_stop=t1,
+                options=TransientOptions(
+                    integrator="trap", dt=0.02, kernel="auto"
+                ),
+            )
+
+        cold_request = request(np.array([2.0, 0.0]), 0.0, 4.0)
+        cold = api.run(cold_request)
+        assert cold.stats["kernel"]["mode"] != "python"
+        seed = cold_request.extract_warm_start(cold)
+        warm = api.run(request(None, 4.0, 8.0), warm_start=seed)
+        info = warm.stats["kernel"]
+        assert info["mode"] != "python"
+        assert info["compiled_steps"] == warm.stats["steps"]
+        # The adopted frozen factorisation carries the whole march:
+        # the warm contract (zero refactorisations) stays observable
+        # through the compiled path.
+        assert warm.stats["solver"]["factorizations"] == 0
+        assert warm.stats["jacobian_factorizations"] == 0
+        assert np.array_equal(warm.x[0], cold.x[-1])
