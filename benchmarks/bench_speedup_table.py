@@ -244,6 +244,107 @@ def _bench_ensemble_sweep_compiled(batch=8):
     }
 
 
+def _bench_ensemble_large_b(batch=256, shard=8):
+    """Single large-B lock-step march versus shard-sized passes (ratcheted).
+
+    The array-backend tentpole's win condition: a thousand-scenario-class
+    ensemble (``B = 256``) advanced as ONE lock-step march must beat the
+    same scenarios run as ``B // shard`` sequential shard-sized passes
+    (``shard = 8`` — the host python-kernel shard size from
+    :meth:`repro.backend.ArrayBackend.ensemble_shard_size`) by >= 3x,
+    asserted outright.  Both sides pin ``kernel="python"`` so the entry
+    ratchets what whole-batch array dispatch buys over fragmented
+    marches; trajectories are cross-checked against independently
+    integrated sample scenarios.
+    """
+    from dataclasses import replace
+
+    from repro.circuits.library import T_NOMINAL, VcoParams
+    from repro.dae import ensemble_from_factory
+    from repro.transient import (
+        TransientOptions,
+        merge_ensemble_results,
+        simulate_transient,
+        simulate_transient_ensemble,
+    )
+
+    base = VcoParams.vacuum()
+    control_voltages = np.linspace(0.8, 2.4, batch)
+
+    def factory(vc):
+        return MemsVcoDae(
+            replace(base, control_offset=vc), constant_control=True
+        )
+
+    def stacked_factory(values):
+        return MemsVcoDae(
+            replace(base, control_offset=np.asarray(values)),
+            constant_control=True,
+        )
+
+    ensemble = ensemble_from_factory(
+        factory, control_voltages, stacked_factory
+    )
+    x0 = np.tile([1.0, 0.0, 0.0, 0.0], (batch, 1))
+    options = TransientOptions(
+        integrator="trap", dt=T_NOMINAL / 100, kernel="python"
+    )
+    horizon = 10 * T_NOMINAL
+
+    with WallTimer() as march_timer:
+        march = simulate_transient_ensemble(
+            ensemble, x0, 0.0, horizon, options
+        )
+    with WallTimer() as shard_timer:
+        pieces = []
+        for start in range(0, batch, shard):
+            indices = np.arange(start, min(start + shard, batch))
+            pieces.append(simulate_transient_ensemble(
+                ensemble.subset(indices), x0[indices], 0.0, horizon,
+                options,
+            ))
+    merged = merge_ensemble_results(pieces)
+
+    # Shard composition changes which chord factors scenarios share, so
+    # agreement is within solver tolerance rather than bit-exact.
+    scale = np.abs(march.x).max()
+    mismatch = float(np.abs(merged.x - march.x).max() / scale)
+    assert mismatch < 1e-4, (
+        f"large-B march diverged from shard-sized passes: {mismatch}"
+    )
+    # Spot-check the big march against independently integrated members.
+    for index in (0, batch // 2, batch - 1):
+        solo = simulate_transient(
+            factory(control_voltages[index]), x0[index], 0.0, horizon,
+            options,
+        )
+        ref_scale = np.maximum(np.abs(solo.x[-1]), 1e-12)
+        solo_mismatch = float(np.max(
+            np.abs(march.x[-1, index] - solo.x[-1]) / ref_scale
+        ))
+        assert solo_mismatch < 1e-4, (
+            f"scenario {index} diverged from its serial reference: "
+            f"{solo_mismatch}"
+        )
+
+    speedup = shard_timer.elapsed / march_timer.elapsed
+    assert speedup >= 3.0, (
+        f"B={batch} march only {speedup:.2f}x faster than "
+        f"{batch // shard} sequential B={shard} passes (require >= 3x)"
+    )
+    assert march.stats["backend"]["routing"] == "python-lockstep"
+    return {
+        "name": "ensemble_large_b",
+        "steps": int(march.stats["steps"]) * batch,
+        "wall_time_s": march_timer.elapsed,
+        "wall_time_retimed_s": march_timer.elapsed,
+        "sharded_wall_time_s": shard_timer.elapsed,
+        "batch_size": batch,
+        "shard_size": shard,
+        "speedup_vs_sharded_passes": speedup,
+    }
+
+
 def _bench_transient_adaptive_compiled():
     """Compiled adaptive march versus the python adaptive loop (ratcheted).
 
@@ -484,6 +585,20 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
               "(ratcheted; >= 3x enforced when compiled)",
     ))
 
+    large_b_entry = _bench_ensemble_large_b()
+    print(format_table(
+        ["metric", "value"],
+        [["scenarios (B)", large_b_entry["batch_size"]],
+         ["shard size", large_b_entry["shard_size"]],
+         ["single-march wall time [s]", large_b_entry["wall_time_s"]],
+         ["sharded-passes wall time [s]",
+          large_b_entry["sharded_wall_time_s"]],
+         ["speedup vs sharded passes",
+          large_b_entry["speedup_vs_sharded_passes"]]],
+        title="Large-B ensemble march vs shard-sized passes "
+              "(ratcheted; >= 3x enforced)",
+    ))
+
     adaptive_compiled_entry = _bench_transient_adaptive_compiled()
     print(format_table(
         ["metric", "value"],
@@ -560,6 +675,7 @@ def test_speedup_table(benchmark, fig12_data, air_ic, output_dir):
             *ported,
             ensemble_entry,
             ensemble_compiled_entry,
+            large_b_entry,
             adaptive_compiled_entry,
             *service_entries,
         ],

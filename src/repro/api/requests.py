@@ -317,14 +317,18 @@ class QuasiperiodicRequest(AnalysisRequest):
 
 @dataclass(eq=False)
 class EnsembleRequest(AnalysisRequest):
-    """Lock-step ensemble transient, shardable across scenario members.
+    """Lock-step ensemble transient, shardable across scenario blocks.
 
     ``run()`` uses the vectorised lock-step engine
     (:func:`repro.transient.ensemble.simulate_transient_ensemble`); the
-    service may instead execute :meth:`shards` — one per-member
-    :class:`TransientRequest` each — across its worker pool and
-    :meth:`merge` the trajectories.  Fixed-step members land on the same
-    time grid, so both paths agree within solver tolerance.
+    service may instead execute :meth:`shards` — scenario-block
+    sub-requests sized by the resolved array backend
+    (:meth:`repro.backend.ArrayBackend.ensemble_shard_size`) — across
+    its worker pool and :meth:`merge` the trajectories.  Device backends
+    return no shards at all: the whole batch is one device-resident
+    march, and fragmenting it into slivers would waste the device.
+    Fixed-step shards land on the same time grid, so both paths agree
+    within solver tolerance.
     """
 
     dae: object = None  # an EnsembleDAE
@@ -352,55 +356,57 @@ class EnsembleRequest(AnalysisRequest):
     def extract_warm_start(self, result):
         return _warm_start(x0=np.array(result.x[-1], dtype=float))
 
-    def _member_x0(self, index):
-        x0 = np.asarray(self.x0, dtype=float)
-        return x0[index] if x0.ndim == 2 else x0
+    def _shard_size(self):
+        """Scenarios per shard for the request's resolved backend.
+
+        ``None`` disables sharding — either the backend is a device (the
+        whole batch belongs in one march) or the backend string is
+        invalid (``run()`` then surfaces the configuration error instead
+        of the service masking it at shard time).
+        """
+        from repro.backend import resolve_backend
+        from repro.errors import ConfigurationError
+
+        opts = self.options
+        kernel = getattr(opts, "kernel", "auto") if opts is not None \
+            else "auto"
+        try:
+            backend, _ = resolve_backend(getattr(opts, "backend", None))
+        except ConfigurationError:
+            return None
+        return backend.ensemble_shard_size(kernel)
 
     def shards(self):
+        from repro.errors import ValidationError
+
         opts = self.options
         if opts is not None and getattr(opts, "adaptive", False):
-            return None  # adaptive members land on different grids
-        if not getattr(self.dae, "has_members", False):
+            return None  # adaptive shards land on different grids
+        if self.x0 is None:
+            return None  # warm-start-seeded x0 is resolved at run() time
+        batch = int(getattr(self.dae, "batch_size", 0) or 0)
+        size = self._shard_size()
+        if size is None or batch <= size:
             return None
-        return [
-            TransientRequest(
-                dae=self.dae.member(index),
-                x0=self._member_x0(index),
-                t_start=self.t_start,
-                t_stop=self.t_stop,
-                options=self.options,
-            )
-            for index in range(self.dae.batch_size)
-        ]
+        subset = getattr(self.dae, "subset", None)
+        if subset is None:
+            return None
+        x0 = np.asarray(self.x0, dtype=float)
+        shards = []
+        for start in range(0, batch, size):
+            indices = np.arange(start, min(start + size, batch))
+            try:
+                dae = subset(indices)
+            except ValidationError:
+                return None  # stacked DAE without a scenario-slice hook
+            shard_x0 = x0[indices] if x0.ndim == 2 else x0
+            shards.append(replace(self, dae=dae, x0=shard_x0))
+        return shards
 
     def merge(self, results):
-        from repro.transient.ensemble import EnsembleTransientResult
+        from repro.transient.ensemble import merge_ensemble_results
 
-        stats = {
-            "steps": results[0].stats.get("steps", 0),
-            "solver_per_scenario": [
-                dict(r.stats.get("solver", {})) for r in results
-            ],
-        }
-        # Sharded members run serial kernels; surface their aggregate so
-        # a merged result answers the same "did this run compiled, and
-        # if not, why" question as the lock-step engine's.
-        kernels = [r.stats.get("kernel") or {} for r in results]
-        if kernels[0]:
-            kernel = dict(kernels[0])
-            kernel["compiled_steps"] = sum(
-                int(k.get("compiled_steps", 0)) for k in kernels
-            )
-            kernel["python_steps"] = sum(
-                int(k.get("python_steps", 0)) for k in kernels
-            )
-            stats["kernel"] = kernel
-        return EnsembleTransientResult(
-            results[0].t,
-            np.stack([r.x for r in results], axis=1),
-            results[0].variable_names,
-            stats,
-        )
+        return merge_ensemble_results(results)
 
 
 @dataclass(eq=False)
@@ -424,6 +430,9 @@ class SweepRequest(AnalysisRequest):
     method: str = "continuation"
     on_failure: str = "raise"
     stacked_factory: object = None
+    #: Array backend name for the ensemble settle transient (``None``
+    #: resolves the default; see :func:`repro.backend.resolve_backend`).
+    backend: object = None
 
     kind = "sweep"
 
@@ -436,17 +445,23 @@ class SweepRequest(AnalysisRequest):
             phase_condition=self.phase_condition, method=self.method,
             on_failure=self.on_failure,
             stacked_factory=self.stacked_factory,
+            backend=self.backend,
         )
+
+    #: Sweep points per worker shard.  Chunks (not single points) keep
+    #: each worker on the batched lock-step path with its ``stacked_factory``
+    #: intact instead of degrading every shard to a one-member ensemble.
+    SHARD_BLOCK = 8
 
     def shards(self):
         if self.method != "ensemble":
             return None  # continuation points are sequentially seeded
         values = np.asarray(self.values, dtype=float).ravel()
-        if values.size <= 1:
+        if values.size <= self.SHARD_BLOCK:
             return None
         return [
-            replace(self, values=values[i:i + 1], stacked_factory=None)
-            for i in range(values.size)
+            replace(self, values=values[i:i + self.SHARD_BLOCK])
+            for i in range(0, values.size, self.SHARD_BLOCK)
         ]
 
     def merge(self, results):

@@ -24,6 +24,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.errors import DeviceError
 
 
@@ -55,6 +56,18 @@ def per_scenario_parameter(value, name, device_name, positive=True):
             f"{device_name!r} needs positive {name}, got {stack!r}"
         )
     return stack
+
+
+def slice_per_scenario(value, indices):
+    """Slice a per-scenario stack to ``indices``; scalars pass through.
+
+    The companion of :func:`per_scenario_parameter` for chunked ensemble
+    marches: ``Device.subset_scenarios`` implementations apply it to every
+    stackable parameter.
+    """
+    if np.ndim(value) == 0:
+        return value
+    return np.asarray(value, dtype=float)[np.asarray(indices, dtype=int)]
 
 
 class Device(ABC):
@@ -96,6 +109,18 @@ class Device(ABC):
         """Length of the local unknown vector (and of the local rows)."""
         return self.n_ports + self.n_internal
 
+    # -- ensembles -----------------------------------------------------------
+
+    def subset_scenarios(self, indices):
+        """Copy with per-scenario stacks sliced to ``indices``.
+
+        Devices that accept stacked parameters
+        (:func:`per_scenario_parameter`) override this so chunked ensemble
+        marches can carve a ``(B,)`` stacked circuit into backend-sized
+        blocks; parameterless devices are shared as-is.
+        """
+        return self
+
     # -- stamping ------------------------------------------------------------
 
     def q_local(self, u):
@@ -130,13 +155,17 @@ class Device(ABC):
 
     def q_local_batch(self, U):
         """Row-wise :meth:`q_local`; zeros fast path for static devices."""
-        U = np.asarray(U, dtype=float)
+        xp = array_namespace(U)
         if type(self).q_local is Device.q_local:
-            return np.zeros((U.shape[0], self.n_local))
+            return xp.zeros((U.shape[0], self.n_local))
+        # The generic loop evaluates the scalar stamp pointwise and is
+        # host-only; devices that should run on array backends override
+        # with a vectorised version.
+        U = np.asarray(U, dtype=float)
         return np.stack([self.q_local(u) for u in U])
 
     def f_local_batch(self, U):
-        """Row-wise :meth:`f_local` (loop fallback)."""
+        """Row-wise :meth:`f_local` (host loop fallback)."""
         U = np.asarray(U, dtype=float)
         return np.stack([self.f_local(u) for u in U])
 
@@ -149,13 +178,14 @@ class Device(ABC):
 
     def dq_local_batch(self, U):
         """Row-wise :meth:`dq_local`; zeros fast path for static devices."""
-        U = np.asarray(U, dtype=float)
+        xp = array_namespace(U)
         if type(self).dq_local is Device.dq_local:
-            return np.zeros((U.shape[0], self.n_local, self.n_local))
+            return xp.zeros((U.shape[0], self.n_local, self.n_local))
+        U = np.asarray(U, dtype=float)
         return np.stack([self.dq_local(u) for u in U])
 
     def df_local_batch(self, U):
-        """Row-wise :meth:`df_local` (loop fallback)."""
+        """Row-wise :meth:`df_local` (host loop fallback)."""
         U = np.asarray(U, dtype=float)
         return np.stack([self.df_local(u) for u in U])
 
@@ -196,14 +226,16 @@ class TwoTerminalStatic(Device):
         return np.array([[g, -g], [-g, g]])
 
     def f_local_batch(self, U):
-        U = np.asarray(U, dtype=float)
-        i = np.asarray(self.current(U[:, 0] - U[:, 1]), dtype=float)
-        return np.stack([i, -i], axis=1)
+        xp = array_namespace(U)
+        U = xp.asarray(U, dtype=float)
+        i = xp.asarray(self.current(U[:, 0] - U[:, 1]), dtype=float)
+        return xp.stack([i, -i], axis=1)
 
     def df_local_batch(self, U):
-        U = np.asarray(U, dtype=float)
-        g = np.asarray(self.conductance(U[:, 0] - U[:, 1]), dtype=float)
-        out = np.empty((U.shape[0], 2, 2))
+        xp = array_namespace(U)
+        U = xp.asarray(U, dtype=float)
+        g = xp.asarray(self.conductance(U[:, 0] - U[:, 1]), dtype=float)
+        out = xp.empty((U.shape[0], 2, 2))
         out[:, 0, 0] = g
         out[:, 0, 1] = -g
         out[:, 1, 0] = -g

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.circuits.devices.base import Device, per_scenario_parameter
+from repro.backend import array_namespace
+from repro.circuits.devices.base import (
+    Device,
+    per_scenario_parameter,
+    slice_per_scenario,
+)
 
 
 class Capacitor(Device):
@@ -40,14 +45,22 @@ class Capacitor(Device):
     def df_local(self, u):
         return np.zeros((2, 2))
 
+    def subset_scenarios(self, indices):
+        return Capacitor(
+            self.name, self.ports[0], self.ports[1],
+            slice_per_scenario(self.capacitance, indices),
+        )
+
     def q_local_batch(self, U):
-        U = np.asarray(U, dtype=float)
+        xp = array_namespace(U)
+        U = xp.asarray(U, dtype=float)
         charge = self.capacitance * (U[:, 0] - U[:, 1])
-        return np.stack([charge, -charge], axis=1)
+        return xp.stack([charge, -charge], axis=1)
 
     def dq_local_batch(self, U):
-        U = np.asarray(U, dtype=float)
-        out = np.empty((U.shape[0], 2, 2))
+        xp = array_namespace(U)
+        U = xp.asarray(U, dtype=float)
+        out = xp.empty((U.shape[0], 2, 2))
         out[:, 0, 0] = self.capacitance
         out[:, 0, 1] = -out[:, 0, 0]
         out[:, 1, 0] = -out[:, 0, 0]
@@ -55,7 +68,9 @@ class Capacitor(Device):
         return out
 
     def f_local_batch(self, U):
-        return np.zeros((np.asarray(U).shape[0], 2))
+        xp = array_namespace(U)
+        return xp.zeros((xp.asarray(U).shape[0], 2))
 
     def df_local_batch(self, U):
-        return np.zeros((np.asarray(U).shape[0], 2, 2))
+        xp = array_namespace(U)
+        return xp.zeros((xp.asarray(U).shape[0], 2, 2))

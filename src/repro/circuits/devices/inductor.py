@@ -4,8 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.circuits.devices.base import Device
-from repro.errors import DeviceError
+from repro.backend import array_namespace
+from repro.circuits.devices.base import (
+    Device,
+    per_scenario_parameter,
+    slice_per_scenario,
+)
 
 
 class Inductor(Device):
@@ -19,12 +23,15 @@ class Inductor(Device):
 
     def __init__(self, name, node_a, node_b, inductance):
         super().__init__(name, (node_a, node_b))
-        inductance = float(inductance)
-        if not inductance > 0:
-            raise DeviceError(
-                f"inductor {name!r} needs positive inductance, got {inductance!r}"
-            )
-        self.inductance = inductance
+        self.inductance = per_scenario_parameter(
+            inductance, "inductance", name
+        )
+
+    def subset_scenarios(self, indices):
+        return Inductor(
+            self.name, self.ports[0], self.ports[1],
+            slice_per_scenario(self.inductance, indices),
+        )
 
     def q_local(self, u):
         # Rows: [kcl_a, kcl_b, branch]; only the branch row carries flux.
@@ -48,24 +55,30 @@ class Inductor(Device):
         )
 
     def q_local_batch(self, U):
-        U = np.asarray(U, dtype=float)
-        out = np.zeros((U.shape[0], 3))
+        xp = array_namespace(U)
+        U = xp.asarray(U, dtype=float)
+        out = xp.zeros((U.shape[0], 3))
         out[:, 2] = self.inductance * U[:, 2]
         return out
 
     def dq_local_batch(self, U):
-        out = np.zeros((np.asarray(U).shape[0], 3, 3))
+        xp = array_namespace(U)
+        out = xp.zeros((xp.asarray(U).shape[0], 3, 3))
         out[:, 2, 2] = self.inductance
         return out
 
     def f_local_batch(self, U):
-        U = np.asarray(U, dtype=float)
-        return np.stack(
+        xp = array_namespace(U)
+        U = xp.asarray(U, dtype=float)
+        return xp.stack(
             [U[:, 2], -U[:, 2], -(U[:, 0] - U[:, 1])], axis=1
         )
 
     def df_local_batch(self, U):
-        return np.broadcast_to(
-            np.array([[0.0, 0.0, 1.0], [0.0, 0.0, -1.0], [-1.0, 1.0, 0.0]]),
-            (np.asarray(U).shape[0], 3, 3),
-        ).copy()
+        xp = array_namespace(U)
+        out = xp.zeros((xp.asarray(U).shape[0], 3, 3))
+        out[:, 0, 2] = 1.0
+        out[:, 1, 2] = -1.0
+        out[:, 2, 0] = -1.0
+        out[:, 2, 1] = 1.0
+        return out

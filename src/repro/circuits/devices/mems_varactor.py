@@ -39,7 +39,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.circuits.devices.base import Device
+from repro.backend import array_namespace
+from repro.circuits.devices.base import (
+    Device,
+    per_scenario_parameter,
+    slice_per_scenario,
+)
 from repro.circuits.waveforms import as_waveform
 from repro.errors import DeviceError
 
@@ -75,27 +80,24 @@ class MemsVaractor(Device):
     def __init__(self, name, node_a, node_b, control, c0, z_scale, mass,
                  damping, stiffness, force_gain):
         super().__init__(name, (node_a, node_b))
-        for label, value in (
-            ("c0", c0),
-            ("z_scale", z_scale),
-            ("mass", mass),
-            ("stiffness", stiffness),
-        ):
-            if not float(value) > 0:
-                raise DeviceError(
-                    f"varactor {name!r} needs positive {label}, got {value!r}"
-                )
-        if float(damping) < 0:
+        # Every mechanical/electrical parameter accepts a (B,) per-scenario
+        # stack, which is how an ensemble sweeps e.g. the damping spread
+        # between the paper's vacuum and air experiments with one device.
+        self.control = as_waveform(control)
+        self.c0 = per_scenario_parameter(c0, "c0", name)
+        self.z_scale = per_scenario_parameter(z_scale, "z_scale", name)
+        self.mass = per_scenario_parameter(mass, "mass", name)
+        self.damping = per_scenario_parameter(
+            damping, "damping", name, positive=False
+        )
+        if np.any(np.asarray(self.damping) < 0):
             raise DeviceError(
                 f"varactor {name!r} needs non-negative damping, got {damping!r}"
             )
-        self.control = as_waveform(control)
-        self.c0 = float(c0)
-        self.z_scale = float(z_scale)
-        self.mass = float(mass)
-        self.damping = float(damping)
-        self.stiffness = float(stiffness)
-        self.force_gain = float(force_gain)
+        self.stiffness = per_scenario_parameter(stiffness, "stiffness", name)
+        self.force_gain = per_scenario_parameter(
+            force_gain, "force_gain", name, positive=False
+        )
 
     # -- capacitance law -------------------------------------------------------
 
@@ -112,6 +114,18 @@ class MemsVaractor(Device):
     def static_displacement(self, vc):
         """Equilibrium displacement for a constant control voltage."""
         return self.force_gain * float(vc) ** 2 / self.stiffness
+
+    def subset_scenarios(self, indices):
+        """Copy of this device with per-scenario stacks sliced to ``indices``."""
+        return MemsVaractor(
+            self.name, self.ports[0], self.ports[1], self.control,
+            c0=slice_per_scenario(self.c0, indices),
+            z_scale=slice_per_scenario(self.z_scale, indices),
+            mass=slice_per_scenario(self.mass, indices),
+            damping=slice_per_scenario(self.damping, indices),
+            stiffness=slice_per_scenario(self.stiffness, indices),
+            force_gain=slice_per_scenario(self.force_gain, indices),
+        )
 
     def static_capacitance(self, vc):
         """Equilibrium capacitance for a constant control voltage."""
@@ -169,19 +183,21 @@ class MemsVaractor(Device):
     # -- batched stamping --------------------------------------------------------
 
     def q_local_batch(self, U):
-        U = np.asarray(U, dtype=float)
+        xp = array_namespace(U)
+        U = xp.asarray(U, dtype=float)
         v = U[:, 0] - U[:, 1]
         z = U[:, 2]
         charge = self.capacitance(z) * v
-        return np.stack([charge, -charge, z, self.mass * U[:, 3]], axis=1)
+        return xp.stack([charge, -charge, z, self.mass * U[:, 3]], axis=1)
 
     def dq_local_batch(self, U):
-        U = np.asarray(U, dtype=float)
+        xp = array_namespace(U)
+        U = xp.asarray(U, dtype=float)
         v = U[:, 0] - U[:, 1]
         z = U[:, 2]
         cap = self.capacitance(z)
         dcap = self.dcapacitance_dz(z)
-        out = np.zeros((U.shape[0], 4, 4))
+        out = xp.zeros((U.shape[0], 4, 4))
         out[:, 0, 0] = cap
         out[:, 0, 1] = -cap
         out[:, 0, 2] = dcap * v
@@ -193,14 +209,16 @@ class MemsVaractor(Device):
         return out
 
     def f_local_batch(self, U):
-        U = np.asarray(U, dtype=float)
-        out = np.zeros((U.shape[0], 4))
+        xp = array_namespace(U)
+        U = xp.asarray(U, dtype=float)
+        out = xp.zeros((U.shape[0], 4))
         out[:, 2] = -U[:, 3]
         out[:, 3] = self.damping * U[:, 3] + self.stiffness * U[:, 2]
         return out
 
     def df_local_batch(self, U):
-        out = np.zeros((np.asarray(U).shape[0], 4, 4))
+        xp = array_namespace(U)
+        out = xp.zeros((xp.asarray(U).shape[0], 4, 4))
         out[:, 2, 3] = -1.0
         out[:, 3, 2] = self.stiffness
         out[:, 3, 3] = self.damping

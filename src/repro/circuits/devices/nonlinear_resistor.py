@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.circuits.devices.base import TwoTerminalStatic
 from repro.errors import DeviceError
 
@@ -74,8 +75,10 @@ class TanhNegativeConductance(TwoTerminalStatic):
         self.imax = imax
 
     def current(self, v):
-        return self.gsat * v - self.imax * np.tanh(self.gneg * v / self.imax)
+        xp = array_namespace(v)
+        return self.gsat * v - self.imax * xp.tanh(self.gneg * v / self.imax)
 
     def conductance(self, v):
-        sech2 = 1.0 / np.cosh(self.gneg * v / self.imax) ** 2
+        xp = array_namespace(v)
+        sech2 = 1.0 / xp.cosh(self.gneg * v / self.imax) ** 2
         return self.gsat - self.gneg * sech2

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
-from repro.circuits.devices.base import TwoTerminalStatic, per_scenario_parameter
+from repro.circuits.devices.base import (
+    TwoTerminalStatic,
+    per_scenario_parameter,
+    slice_per_scenario,
+)
 
 
 class Resistor(TwoTerminalStatic):
@@ -20,6 +24,12 @@ class Resistor(TwoTerminalStatic):
         super().__init__(name, node_a, node_b)
         self.resistance = per_scenario_parameter(
             resistance, "resistance", name
+        )
+
+    def subset_scenarios(self, indices):
+        return Resistor(
+            self.name, self.ports[0], self.ports[1],
+            slice_per_scenario(self.resistance, indices),
         )
 
     def current(self, v):

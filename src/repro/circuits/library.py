@@ -20,10 +20,11 @@ The control waveform is ``Vc(t) = 1.5 + 1.2 sin(2 pi t / T_force)`` with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.circuits.devices import (
     CubicConductance,
     CurrentSource,
@@ -185,21 +186,43 @@ class MemsVcoDae(SemiExplicitDAE):
 
     def __init__(self, params=None, constant_control=False):
         self.params = params or VcoParams()
+        self._constant_control = bool(constant_control)
         self.control = self.params.control_waveform(constant=constant_control)
         self.n = 4
         self.variable_names = ("v(tank)", "L1.i", "Cmems.z", "Cmems.u")
+
+    def subset_scenarios(self, indices):
+        """A new DAE over the selected scenario rows of every ``(B,)`` stack.
+
+        The hook behind :meth:`repro.dae.ensemble.EnsembleDAE.subset` —
+        scalar parameters are shared by every scenario and pass through;
+        stacked parameters are sliced.
+        """
+        indices = np.asarray(indices, dtype=int).ravel()
+
+        def pick(value):
+            arr = np.asarray(value, dtype=float)
+            return value if arr.ndim == 0 else arr[indices]
+
+        params = replace(self.params, **{
+            field.name: pick(getattr(self.params, field.name))
+            for field in fields(self.params)
+        })
+        return MemsVcoDae(params, constant_control=self._constant_control)
 
     # -- capacitance law (shared with MemsVaractor) ---------------------------
 
     def capacitance(self, z):
         """RF capacitance at displacement ``z`` (vectorised)."""
-        s2 = (np.asarray(z) / self.params.z_scale) ** 2
+        xp = array_namespace(z)
+        s2 = (xp.asarray(z) / self.params.z_scale) ** 2
         return self.params.c0 / (1.0 + s2) ** 2
 
     def dcapacitance_dz(self, z):
         """Derivative dC/dz (vectorised)."""
+        xp = array_namespace(z)
         zs = self.params.z_scale
-        s = np.asarray(z) / zs
+        s = xp.asarray(z) / zs
         return -4.0 * self.params.c0 * s / (zs * (1.0 + s**2) ** 3)
 
     # -- single-point interface ------------------------------------------------
@@ -241,10 +264,11 @@ class MemsVcoDae(SemiExplicitDAE):
     # -- vectorised batch interface ---------------------------------------------
 
     def q_batch(self, states):
-        states = np.asarray(states, dtype=float)
+        xp = array_namespace(states)
+        states = xp.asarray(states, dtype=float)
         p = self.params
         v, il, z, u = states.T
-        out = np.empty_like(states)
+        out = xp.empty_like(states)
         out[:, 0] = self.capacitance(z) * v
         out[:, 1] = p.inductance * il
         out[:, 2] = z
@@ -252,10 +276,11 @@ class MemsVcoDae(SemiExplicitDAE):
         return out
 
     def f_batch(self, states):
-        states = np.asarray(states, dtype=float)
+        xp = array_namespace(states)
+        states = xp.asarray(states, dtype=float)
         p = self.params
         v, il, z, u = states.T
-        out = np.empty_like(states)
+        out = xp.empty_like(states)
         out[:, 0] = il - p.g1 * v + p.g3 * v**3
         out[:, 1] = -v
         out[:, 2] = -u
@@ -265,15 +290,16 @@ class MemsVcoDae(SemiExplicitDAE):
     def qf_batch(self, states):
         # Ensemble hot path: one unpack and one capacitance evaluation for
         # both stacks (mirrors the single-point qf fast path).
-        states = np.asarray(states, dtype=float)
+        xp = array_namespace(states)
+        states = xp.asarray(states, dtype=float)
         p = self.params
         v, il, z, u = states.T
-        q = np.empty_like(states)
+        q = xp.empty_like(states)
         q[:, 0] = self.capacitance(z) * v
         q[:, 1] = p.inductance * il
         q[:, 2] = z
         q[:, 3] = p.mass * u
-        f = np.empty_like(states)
+        f = xp.empty_like(states)
         f[:, 0] = il - p.g1 * v + p.g3 * v**3
         f[:, 1] = -v
         f[:, 2] = -u
@@ -288,10 +314,11 @@ class MemsVcoDae(SemiExplicitDAE):
         return out
 
     def dq_dx_batch(self, states):
-        states = np.asarray(states, dtype=float)
+        xp = array_namespace(states)
+        states = xp.asarray(states, dtype=float)
         p = self.params
         v, il, z, u = states.T
-        out = np.zeros((states.shape[0], 4, 4))
+        out = xp.zeros((states.shape[0], 4, 4))
         out[:, 0, 0] = self.capacitance(z)
         out[:, 0, 2] = self.dcapacitance_dz(z) * v
         out[:, 1, 1] = p.inductance
@@ -300,10 +327,11 @@ class MemsVcoDae(SemiExplicitDAE):
         return out
 
     def df_dx_batch(self, states):
-        states = np.asarray(states, dtype=float)
+        xp = array_namespace(states)
+        states = xp.asarray(states, dtype=float)
         p = self.params
         v = states[:, 0]
-        out = np.zeros((states.shape[0], 4, 4))
+        out = xp.zeros((states.shape[0], 4, 4))
         out[:, 0, 0] = -p.g1 + 3.0 * p.g3 * v**2
         out[:, 0, 1] = 1.0
         out[:, 1, 0] = -1.0

@@ -223,6 +223,7 @@ def _run_tuning_sweep(args):
         dae_factory=factory, values=values, period_guess=T_NOMINAL,
         num_t1=args.num_t1, method=method,
         stacked_factory=stacked_factory,
+        backend=getattr(args, "backend", None),
     ))
     print(format_table(
         ["Vc [V]", "frequency [MHz]", "amplitude [Vpp]"],
@@ -414,6 +415,14 @@ def build_parser():
         "--ensemble", action=argparse.BooleanOptionalAction, default=True,
         help="run the sweep through the lock-step ensemble path "
              "(--no-ensemble = point-by-point continuation)",
+    )
+    vco.add_argument(
+        "--backend", choices=("auto", "numpy", "strict", "cupy"),
+        default=None,
+        help="array backend for the --sweep ensemble settle transient: "
+             "'numpy' (host, the default), 'cupy' (GPU, when installed), "
+             "'strict' (host numerics that reject implicit transfers), "
+             "or 'auto' ($REPRO_XP or numpy)",
     )
     vco.add_argument("--sweep-min", type=float, default=0.4,
                      help="lowest swept control voltage [V]")

@@ -133,14 +133,59 @@ class EnsembleDAE:
             )
         return self._members[index]
 
+    def subset(self, indices):
+        """A new ensemble restricted to the given scenario ``indices``.
+
+        Used by the backend-chunked ensemble march (split ``B`` into
+        device-sized blocks) and by backend-aware service sharding.  A
+        stacked ensemble subsets through the stacked DAE's optional
+        ``subset_scenarios(indices)`` hook (parameter-stack slicing);
+        without that hook, member DAEs are sliced; with neither, raises
+        :class:`~repro.errors.ValidationError`.
+        """
+        indices = np.asarray(indices, dtype=int).ravel()
+        if indices.size < 1:
+            raise ValidationError("ensemble subset needs at least one index")
+        if np.any((indices < 0) | (indices >= self.batch_size)):
+            raise ValidationError(
+                f"subset indices out of range for batch_size="
+                f"{self.batch_size}: {indices.tolist()}"
+            )
+        members = (
+            [self._members[i] for i in indices]
+            if self._members is not None else None
+        )
+        stacked = None
+        if self._stacked is not None:
+            hook = getattr(self._stacked, "subset_scenarios", None)
+            if hook is not None:
+                stacked = hook(indices)
+            elif members is None:
+                raise ValidationError(
+                    f"{type(self._stacked).__name__} does not support "
+                    f"subset_scenarios and the ensemble has no members "
+                    f"to slice"
+                )
+        return EnsembleDAE(
+            indices.size, self.n, self.variable_names,
+            members=members, stacked=stacked,
+        )
+
     # -- row-wise evaluation -------------------------------------------------
 
     def _check_rows(self, states):
+        shape = (self.batch_size, self.n)
+        # Backend arrays (CuPy, the strict wrapper) pass through untouched
+        # when already shaped — coercing through np.asarray would force a
+        # host round-trip on every evaluation.
+        if not isinstance(states, np.ndarray) \
+                and getattr(states, "shape", None) == shape:
+            return states
         states = np.asarray(states, dtype=float)
-        if states.shape != (self.batch_size, self.n):
+        if states.shape != shape:
             raise ValidationError(
-                f"ensemble states must have shape "
-                f"{(self.batch_size, self.n)}, got {states.shape}"
+                f"ensemble states must have shape {shape}, "
+                f"got {states.shape}"
             )
         return states
 

@@ -28,6 +28,8 @@ import scipy.linalg as sla
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.errors import ConfigurationError
+
 
 class FrozenFactorization:
     """Factor once, solve many — the kernel behind stale-Jacobian Newton.
@@ -116,27 +118,37 @@ class BlockFactorization:
     block-diagonal system that never couples scenarios, so the
     factorisation batches perfectly:
 
-    * a ``(B, n, n)`` dense stack with ``n <= INVERSE_LIMIT`` — one batched
-      LAPACK :func:`numpy.linalg.inv` call; each :meth:`solve` is a single
-      batched mat-vec (same trade-off as
-      :class:`FrozenFactorization`'s inverse regime, and the common case:
-      ensembles exist precisely because the per-scenario systems are tiny);
-    * a larger dense stack — per-block LAPACK LU (the loop runs only on
-      refactorisation, which the chord policy makes rare);
+    * a ``(B, n, n)`` dense stack with ``n <= DENSE_LIMIT`` — one batched
+      LU factorisation through the array backend
+      (:class:`repro.backend.BatchedLinalg`): stacked ``getrf``-style
+      factors, no materialised inverses, and every :meth:`solve` is a
+      permutation gather plus batched substitution.  On a device backend
+      the whole stack factors and solves without leaving the device;
+    * a larger dense stack — per-block LAPACK LU on the host (the loop
+      runs only on refactorisation, which the chord policy makes rare);
     * a sparse block-diagonal matrix (from
       :class:`repro.linalg.transient_assembler.TransientStepAssembler` in
-      batch mode) — one SuperLU factorisation of the whole block diagonal.
+      batch mode) — one SuperLU factorisation of the whole block diagonal
+      (host only).
 
     ``solve`` takes and returns ``(B, n)`` right-hand sides (row ``b`` is
     scenario ``b``'s system).
     """
 
-    #: Largest per-block dense size for which the batched inverse is used.
-    INVERSE_LIMIT = FrozenFactorization.INVERSE_LIMIT
+    #: Largest per-block dense size handled by the batched factorisation —
+    #: aligned with the compiled kernels' 64-unknown dense cap.
+    DENSE_LIMIT = 64
+    #: Backwards-compatible alias (the old batched-inverse threshold; the
+    #: inverse path itself is gone).
+    INVERSE_LIMIT = DENSE_LIMIT
 
-    def __init__(self):
+    def __init__(self, backend=None):
+        from repro.backend import NUMPY
+
+        self._backend = NUMPY if backend is None else backend
         self._mode = None
-        self._inv = None
+        self._lu = None
+        self._perm = None
         self._lus = None
         self._splu = None
         self._shape = None
@@ -148,31 +160,42 @@ class BlockFactorization:
 
     def factor(self, blocks):
         """Factorise a ``(B, n, n)`` stack or sparse block-diagonal matrix."""
+        backend = self._backend
         if sp.issparse(blocks):
+            if backend.is_device:
+                raise ConfigurationError(
+                    "sparse block-diagonal factorisation is host-only; "
+                    "device backends require a dense (B, n, n) stack"
+                )
             csc = blocks if sp.isspmatrix_csc(blocks) else blocks.tocsc()
             self._splu = spla.splu(csc)
             self._mode = "sparse"
             return self
-        stack = np.asarray(blocks, dtype=float)
+        stack = backend.asarray(blocks)
         if stack.ndim != 3 or stack.shape[1] != stack.shape[2]:
             raise ValueError(
                 f"blocks must be a (B, n, n) stack, got shape {stack.shape}"
             )
-        self._shape = stack.shape[:2]
-        if stack.shape[1] <= self.INVERSE_LIMIT:
-            self._inv = np.linalg.inv(stack)
-            self._mode = "inverse"
+        self._shape = (stack.shape[0], stack.shape[1])
+        if stack.shape[1] <= self.DENSE_LIMIT:
+            self._lu, self._perm = backend.linalg.lu_factor(stack)
+            self._mode = "batched"
         else:
+            if backend.is_device:
+                raise ConfigurationError(
+                    f"device backends cap dense blocks at n="
+                    f"{self.DENSE_LIMIT}, got n={stack.shape[1]}"
+                )
             self._lus = [sla.lu_factor(block) for block in stack]
             self._mode = "lu"
         return self
 
     def solve(self, rhs):
         """Solve every scenario's system; ``rhs`` and the result are ``(B, n)``."""
-        if self._mode == "inverse":
-            return (self._inv @ np.asarray(rhs, dtype=float)[:, :, None])[
-                :, :, 0
-            ]
+        if self._mode == "batched":
+            return self._backend.linalg.lu_solve(
+                self._lu, self._perm, self._backend.asarray(rhs)
+            )
         if self._mode == "lu":
             rhs = np.asarray(rhs, dtype=float)
             out = np.empty(self._shape)

@@ -200,6 +200,13 @@ class SolverOptionsMixin:
         (:class:`~repro.errors.ConfigurationError` when unavailable);
         ``"python"`` — force the reference path.  Engines without a
         kernelised loop accept and ignore the option.
+    backend:
+        Array backend for batched/ensemble hot paths (see
+        :mod:`repro.backend`): ``None``/``"auto"`` — ``$REPRO_XP`` or the
+        NumPy default; ``"numpy"``/``"cupy"``/``"strict"`` — require that
+        backend (:class:`~repro.errors.ConfigurationError` when
+        unavailable); or an :class:`repro.backend.ArrayBackend` instance.
+        Engines without a batched path accept and ignore the option.
     """
 
     newton: NewtonOptions = None
@@ -207,6 +214,7 @@ class SolverOptionsMixin:
     threads: int | None = None
     ladder: object = None
     kernel: object = "auto"
+    backend: object = None
 
 
 @dataclass

@@ -70,7 +70,7 @@ def oscillator_frequency_sweep(dae_factory, values, period_guess,
                                num_t1=25, variable=0,
                                phase_condition="fourier",
                                method="continuation", on_failure="raise",
-                               stacked_factory=None):
+                               stacked_factory=None, backend=None):
     """Free-running frequency versus a swept parameter.
 
     Parameters
@@ -103,6 +103,11 @@ def oscillator_frequency_sweep(dae_factory, values, period_guess,
     stacked_factory:
         Optional ``values_array -> SemiExplicitDAE`` enabling the
         vectorised stacked-parameter fast path of the ensemble method.
+    backend:
+        Array backend for the ensemble method's lock-step settle
+        transient (see
+        :attr:`repro.linalg.solver_core.SolverOptionsMixin.backend`);
+        ignored by continuation, whose point solves are host-only.
 
     Returns
     -------
@@ -127,6 +132,7 @@ def oscillator_frequency_sweep(dae_factory, values, period_guess,
             dae_factory, values, period_guess, num_t1=num_t1,
             variable=variable, phase_condition=phase_condition,
             on_failure=on_failure, stacked_factory=stacked_factory,
+            backend=backend,
         )
 
     # Imported here: the initial-condition pipeline lives in repro.wampde,
@@ -205,7 +211,7 @@ def ensemble_frequency_sweep(dae_factory, values, period_guess, num_t1=25,
                              variable=0, phase_condition="fourier",
                              on_failure="raise", stacked_factory=None,
                              settle_cycles=40, steps_per_cycle=60,
-                             perturbation=0.1):
+                             perturbation=0.1, backend=None):
     """Tuning curve with every parameter value settled in lock-step.
 
     The batched analogue of running
@@ -228,6 +234,11 @@ def ensemble_frequency_sweep(dae_factory, values, period_guess, num_t1=25,
     perturbation:
         Kick added to ``variable`` of each scenario's DC point to start
         the oscillation.
+    backend:
+        Array backend for the shared settle transient — the sweep's
+        dominant cost.  ``None`` resolves the default (``$REPRO_XP`` or
+        NumPy); the per-scenario HB refinements stay host-side either
+        way.
 
     Returns
     -------
@@ -281,7 +292,8 @@ def ensemble_frequency_sweep(dae_factory, values, period_guess, num_t1=25,
         settle = simulate_transient_ensemble(
             ensemble, x0, 0.0, settle_cycles * period_guess,
             TransientOptions(
-                integrator="trap", dt=period_guess / steps_per_cycle
+                integrator="trap", dt=period_guess / steps_per_cycle,
+                backend=backend,
             ),
         )
         solved = 0

@@ -21,6 +21,7 @@ from repro.transient.engine import (
 )
 from repro.transient.ensemble import (
     EnsembleTransientResult,
+    merge_ensemble_results,
     simulate_transient_ensemble,
 )
 from repro.transient.results import TransientResult
@@ -35,6 +36,7 @@ __all__ = [
     "TransientSensitivityResult",
     "simulate_transient",
     "simulate_transient_ensemble",
+    "merge_ensemble_results",
     "simulate_transient_with_sensitivity",
     "TransientResult",
     "EnsembleTransientResult",

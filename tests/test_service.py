@@ -2,8 +2,8 @@
 
 Inline (``workers=0``) jobs cover the lifecycle, the warm-start cache
 (exact replay and family seeding) and streaming; the worker-pool tests
-shard an 8-member ensemble across 4 spawn processes and check the merged
-trajectory against the in-process lock-step engine.
+shard a 32-member ensemble into 4 scenario blocks across spawn processes
+and check the merged trajectory against the in-process lock-step engine.
 
 The pool tests live at module level (picklable requests reference this
 module by name), so they also guard against accidental closure capture
@@ -48,12 +48,12 @@ def _rc_member(resistance):
     return circuit.to_dae()
 
 
-def _ensemble_request(batch=8):
+def _ensemble_request(batch=8, kernel="auto"):
     members = [_rc_member(r) for r in np.linspace(0.5e3, 2e3, batch)]
     ensemble = EnsembleDAE.from_members(members)
     return api.EnsembleRequest(
         dae=ensemble, x0=np.zeros(ensemble.n), t_start=0.0, t_stop=1e-6,
-        options=TransientOptions(dt=1e-8),
+        options=TransientOptions(dt=1e-8, kernel=kernel),
     )
 
 
@@ -216,21 +216,31 @@ class TestStreaming:
 
 class TestWorkerPool:
     def test_sharded_ensemble_matches_in_process(self):
-        request = _ensemble_request(batch=8)
+        # kernel="python" shards at 8 scenarios per block; batch=32 so
+        # the service spreads 4 lock-step blocks across its pool.
+        request = _ensemble_request(batch=32, kernel="python")
         shards = request.shards()
-        assert shards is not None and len(shards) == 8
+        assert shards is not None and len(shards) == 4
+        assert all(s.dae.batch_size == 8 for s in shards)
         reference = api.run(request)
         with SimulationService(workers=4) as service:
             job = service.submit(request)
             merged = service.result(job.job_id, timeout=300)
-            assert job.shard_count == 8
+            assert job.shard_count == 4
         assert merged.x.shape == reference.x.shape
-        # Per-member fixed-step runs land on the lock-step grid; the
-        # trajectories agree within solver tolerance.
+        # Scenario blocks march the same fixed-step grid; trajectories
+        # agree within solver tolerance.
         np.testing.assert_allclose(
             merged.x, reference.x, rtol=1e-8, atol=1e-12
         )
-        assert len(merged.stats["solver_per_scenario"]) == 8
+        assert len(merged.stats["solver_per_scenario"]) == 32
+
+    def test_small_batches_are_not_fragmented(self):
+        # The shard size is derived from the resolved backend; a batch
+        # at or below one block runs as a single job instead of being
+        # split into per-member slivers.
+        assert _ensemble_request(batch=8).shards() is None
+        assert _ensemble_request(batch=8, kernel="python").shards() is None
 
     def test_pooled_single_job_round_trips(self):
         with SimulationService(workers=2) as service:
